@@ -1,0 +1,331 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations of the design decisions called out in
+// DESIGN.md. Heavy hardware-pipeline benchmarks execute a single iteration
+// under the default -benchtime; expect several minutes for the full suite.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Table2 -benchtime=1x
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cachequery"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fingerprint"
+	"repro/internal/hw"
+	"repro/internal/learn"
+	"repro/internal/mealy"
+	"repro/internal/permpol"
+	"repro/internal/polca"
+	"repro/internal/policy"
+	"repro/internal/synth"
+)
+
+// BenchmarkFig1Pipeline runs the toy end-to-end pipeline of Figure 1:
+// CacheQuery -> Polca -> learner -> synthesized explanation on a simulated
+// 2-way set.
+func BenchmarkFig1Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 learns policies from software-simulated caches (§6). The
+// sub-benchmark set is the feasible core of Table 2; run cmd/experiments
+// with -full for the multi-hour instances.
+func BenchmarkTable2(b *testing.B) {
+	cases := []struct {
+		name  string
+		assoc int
+	}{
+		{"FIFO", 16}, {"LRU", 4}, {"PLRU", 8}, {"MRU", 8},
+		{"LIP", 4}, {"SRRIP-HP", 4}, {"SRRIP-FP", 4}, {"New1", 4}, {"New2", 4},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("%s-%d", c.name, c.assoc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				row := experiments.RunTable2Row(c.name, c.assoc)
+				if !row.Verified {
+					b.Fatalf("row failed: %+v", row)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4 learns policies through the full hardware pipeline (§7)
+// on the simulated Skylake: the L1 PLRU and, in non-short mode, the L2
+// New1. Each iteration is a complete provisioning + calibration + learning
+// run; expect tens of seconds (L1) to minutes (L2) per iteration.
+func BenchmarkTable4(b *testing.B) {
+	jobs := []struct {
+		name  string
+		level hw.Level
+		short bool // cheap enough for every run
+	}{
+		{"SkylakeL1-PLRU", hw.L1, true},
+		{"SkylakeL2-New1", hw.L2, false},
+	}
+	for _, j := range jobs {
+		b.Run(j.name, func(b *testing.B) {
+			if !j.short && testing.Short() {
+				b.Skip("hardware L2 learning is expensive; run without -short")
+			}
+			cfg := hw.Skylake()
+			pol := policy.MustNew(cfg.Config(j.level).Policy, cfg.Config(j.level).Assoc)
+			for i := 0; i < b.N; i++ {
+				req := core.HardwareRequest{
+					CPU:              hw.NewCPU(cfg, 77),
+					Target:           cachequery.Target{Level: j.level, Set: 0},
+					Backend:          cachequery.DefaultBackendOptions(),
+					Resets:           core.ResetCandidatesFor(pol),
+					Learn:            learn.Options{Depth: 1, MaxStates: 4096},
+					DeterminismEvery: 128,
+				}
+				res, err := core.LearnHardware(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				truth, err := core.GroundTruthAfterReset(pol, res.Reset)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if eq, _ := res.Machine.Equivalent(truth); !eq {
+					b.Fatal("learned machine differs from the installed policy")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable5 synthesizes explanations for the Table 5 policies at
+// associativity 4, including the PLRU exhaustion (the paper's "—" row).
+func BenchmarkTable5(b *testing.B) {
+	for _, name := range experiments.Table5Policies() {
+		b.Run(name, func(b *testing.B) {
+			m, err := mealy.FromPolicy(policy.MustNew(name, 4), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				_, err := synth.Synthesize(m, synth.Options{Seed: 1})
+				if name == "PLRU" {
+					if err == nil {
+						b.Fatal("PLRU unexpectedly synthesized")
+					}
+				} else if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryCost measures the execution time of the MBL query `@ M _?`
+// per cache level on the simulated Skylake — the §7.2 measurement.
+func BenchmarkQueryCost(b *testing.B) {
+	for _, lvl := range []hw.Level{hw.L1, hw.L2, hw.L3} {
+		b.Run(lvl.String(), func(b *testing.B) {
+			cpu := hw.NewCPU(hw.Skylake(), 22)
+			f := cachequery.NewFrontend(cpu, cachequery.DefaultBackendOptions())
+			f.SetResultCache(false)
+			tgt := cachequery.Target{Level: lvl, Set: 0}
+			if _, err := f.Backend(tgt); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Query(tgt, "@ M _?"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLeaderScan runs a reduced Appendix B scan: classify a handful of
+// Skylake L3 sets (two leaders of each kind plus followers) under both
+// set-dueling steerings.
+func BenchmarkLeaderScan(b *testing.B) {
+	model := hw.Skylake()
+	sample := []int{0, 1, 33, 62, 63, 5}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLeaderScan(model, sample, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Correct != len(sample) {
+			b.Fatalf("misclassified %d/%d sets", len(sample)-res.Correct, len(sample))
+		}
+	}
+}
+
+// BenchmarkBaselines compares the prior-art approaches of §6/§10 against
+// Polca-based learning on MRU-4 (a policy outside the permutation class):
+// the Abel–Reineke permutation baseline on an in-scope policy, nanoBench
+// fingerprinting, and full automata learning.
+func BenchmarkBaselines(b *testing.B) {
+	b.Run("permutation-LRU4", func(b *testing.B) {
+		truth, _ := mealy.FromPolicy(policy.MustNew("LRU", 4), 0)
+		for i := 0; i < b.N; i++ {
+			if _, err := permpol.InferAndValidate(polca.NewSimProber(policy.MustNew("LRU", 4)), truth); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fingerprint-MRU4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := fingerprint.Identify(polca.NewSimProber(policy.MustNew("MRU", 4)),
+				fingerprint.DefaultPool(), fingerprint.Options{Seed: 42})
+			if err != nil || len(res.Matches) != 1 || res.Matches[0] != "MRU" {
+				b.Fatalf("fingerprinting failed: %v %v", res, err)
+			}
+		}
+	})
+	b.Run("learning-MRU4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.LearnSimulated("MRU", 4, learn.Options{Depth: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSuite compares the paper's Wp-method against the plain
+// W-method on the same learning task.
+func BenchmarkAblationSuite(b *testing.B) {
+	truth, _ := mealy.FromPolicy(policy.MustNew("SRRIP-HP", 4), 0)
+	for _, suite := range []struct {
+		name string
+		s    learn.Suite
+	}{{"wp", learn.SuiteWp}, {"w", learn.SuiteW}} {
+		b.Run(suite.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := learn.Learn(learn.MachineTeacher{M: truth}, learn.Options{Depth: 1, Suite: suite.s})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.TestWords), "testwords/op")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMemo quantifies the probe memoization of §4.2 (the
+// LevelDB layer): learning LRU-4 through reset-rooted probes with and
+// without the memo table.
+func BenchmarkAblationMemo(b *testing.B) {
+	run := func(b *testing.B, opts ...polca.Option) {
+		for i := 0; i < b.N; i++ {
+			prober := polca.SlowProber{P: polca.NewSimProber(policy.MustNew("LRU", 4))}
+			oracle := polca.NewOracle(prober, opts...)
+			if _, err := learn.Learn(oracle, learn.Options{Depth: 1}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(oracle.Stats().Probes), "probes/op")
+		}
+	}
+	b.Run("memo", func(b *testing.B) { run(b) })
+	b.Run("nomemo", func(b *testing.B) { run(b, polca.WithoutMemo()) })
+}
+
+// BenchmarkAblationPolca quantifies the data-independence abstraction:
+// learning the policy through Polca versus learning the raw cache automaton
+// over a concrete block alphabet, which multiplies the state space by the
+// block arrangements (§3.2).
+func BenchmarkAblationPolca(b *testing.B) {
+	b.Run("polca-LRU4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.LearnSimulated("LRU", 4, learn.Options{Depth: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Machine.NumStates), "states")
+		}
+	})
+	b.Run("direct-LRU4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := learn.Learn(&cacheTeacher{name: "LRU", assoc: 4, numBlocks: 5}, learn.Options{Depth: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Machine.NumStates), "states")
+		}
+	})
+}
+
+// cacheTeacher exposes the raw cache LTS (inputs: concrete blocks, outputs:
+// hit/miss) to the learner, bypassing Polca — the baseline the paper
+// compares against conceptually (and the reason direct learning does not
+// scale: the hypothesis must encode the data-storage logic too).
+type cacheTeacher struct {
+	name      string
+	assoc     int
+	numBlocks int
+}
+
+func (t *cacheTeacher) NumInputs() int { return t.numBlocks }
+
+func (t *cacheTeacher) OutputQuery(word []int) ([]int, error) {
+	prober := polca.NewSimProber(policy.MustNew(t.name, t.assoc))
+	sess, err := prober.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(word))
+	for i, in := range word {
+		oc, err := sess.Access(fmt.Sprintf("B%d", in+1))
+		if err != nil {
+			return nil, err
+		}
+		if oc {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// BenchmarkAblationDepth varies the conformance suite depth k (§3.4) while
+// learning MRU-4.
+func BenchmarkAblationDepth(b *testing.B) {
+	for _, depth := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("k=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.LearnSimulated("MRU", 4, learn.Options{Depth: depth})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.LearnStats.TestWords), "testwords/op")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSynthPrefilter compares CEGIS with seeded witness traces
+// against pure counterexample-driven CEGIS (every surviving candidate costs
+// a product-equivalence check) on the LRU synthesis.
+func BenchmarkAblationSynthPrefilter(b *testing.B) {
+	m, err := mealy.FromPolicy(policy.MustNew("LRU", 4), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("seeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := synth.Synthesize(m, synth.Options{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pure-cegis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := synth.Synthesize(m, synth.Options{Seed: 1, SeedWitnesses: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

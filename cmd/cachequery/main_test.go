@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+func TestModelLookup(t *testing.T) {
+	for _, name := range []string{"haswell", "Skylake", "kabylake", "kbl", "toy"} {
+		if _, err := model(name); err != nil {
+			t.Errorf("model(%q): %v", name, err)
+		}
+	}
+	if _, err := model("pentium"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Command cqsynth synthesizes a rule-based explanation (§5) for a known
+// replacement policy: it extracts the policy's Mealy machine and searches
+// the promote/evict/insert/normalize rule grammar for an exactly
+// trace-equivalent program.
+//
+//	cqsynth -policy New2 -assoc 4
+//	cqsynth -policy LRU -assoc 4 -template simple
+//	cqsynth -in learned.json            # explain a saved model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/mealy"
+	"repro/internal/policy"
+	"repro/internal/synth"
+)
+
+func main() {
+	polName := flag.String("policy", "", "policy to explain (see -list)")
+	inPath := flag.String("in", "", "explain a saved machine (JSON, see polca -json) instead of a named policy")
+	assoc := flag.Int("assoc", 4, "associativity")
+	template := flag.String("template", "auto", "template: auto, simple, extended")
+	list := flag.Bool("list", false, "list known policies")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(policy.Names(), "\n"))
+		return
+	}
+	var m *mealy.Machine
+	switch {
+	case *polName != "" && *inPath != "":
+		fatal(fmt.Errorf("choose either -policy or -in"))
+	case *inPath != "":
+		fh, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		m, err = mealy.Load(fh)
+		fh.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d control states, associativity %d\n", *inPath, m.NumStates, m.NumInputs-1)
+	case *polName != "":
+		pol, err := policy.New(*polName, *assoc)
+		if err != nil {
+			fatal(err)
+		}
+		m, err = mealy.FromPolicy(pol, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s (associativity %d): %d control states\n", pol.Name(), *assoc, m.NumStates)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := synth.Options{Seed: 1}
+	switch strings.ToLower(*template) {
+	case "auto":
+	case "simple":
+		opt.Template = synth.TemplateSimple
+	case "extended":
+		opt.Template = synth.TemplateExtended
+	default:
+		fatal(fmt.Errorf("unknown template %q", *template))
+	}
+	res, err := synth.Synthesize(m, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("synthesized with the %s template after %d candidates in %v:\n\n%s",
+		res.Template, res.Candidates, res.Duration.Round(1e6), res.Program)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cqsynth:", err)
+	os.Exit(1)
+}

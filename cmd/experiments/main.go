@@ -1,0 +1,181 @@
+// Command experiments regenerates the tables and figures of the CacheQuery
+// paper's evaluation against the simulated CPUs.
+//
+// Usage:
+//
+//	experiments fig1
+//	experiments table2 [-full]
+//	experiments table3
+//	experiments table4 [-full]
+//	experiments table5 [-programs]
+//	experiments costs [-assoc N] [-reps N]
+//	experiments appendixb [-reps N]
+//	experiments all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cachequery"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "fig1":
+		err = runFig1()
+	case "table2":
+		err = runTable2(args)
+	case "table3":
+		experiments.Table3Table().Render(os.Stdout)
+	case "table4":
+		err = runTable4(args)
+	case "table5":
+		err = runTable5(args)
+	case "costs":
+		err = runCosts(args)
+	case "appendixb":
+		err = runAppendixB(args)
+	case "baselines":
+		err = runBaselines()
+	case "all":
+		err = runAll()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table2|table3|table4|table5|costs|appendixb|baselines|all> [flags]`)
+}
+
+func runFig1() error {
+	report, err := experiments.RunFigure1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}
+
+func runTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	full := fs.Bool("full", false, "include the large instances (hours of runtime)")
+	fs.Parse(args)
+	spec := experiments.Table2Default()
+	if *full {
+		spec = experiments.Table2Full()
+	}
+	rows := experiments.RunTable2(spec)
+	experiments.Table2Table(rows).Render(os.Stdout)
+	return nil
+}
+
+func runTable4(args []string) error {
+	fs := flag.NewFlagSet("table4", flag.ExitOnError)
+	full := fs.Bool("full", false, "learn every CPU and level (slow)")
+	fs.Parse(args)
+	var rows []experiments.Table4Row
+	for _, job := range experiments.Table4Jobs(!*full) {
+		fmt.Fprintf(os.Stderr, "learning %s %s %s ...\n", job.Model.Name, job.Level, job.Target)
+		rows = append(rows, experiments.RunTable4Job(job, cachequery.DefaultBackendOptions()))
+	}
+	experiments.Table4Table(rows).Render(os.Stdout)
+	return nil
+}
+
+func runTable5(args []string) error {
+	fs := flag.NewFlagSet("table5", flag.ExitOnError)
+	programs := fs.Bool("programs", false, "print the synthesized programs")
+	fs.Parse(args)
+	rows := experiments.RunTable5()
+	experiments.Table5Table(rows).Render(os.Stdout)
+	if *programs {
+		for _, r := range rows {
+			if r.Program != nil {
+				fmt.Printf("\n%s (%s template):\n%s", r.Policy, r.Template, r.Program)
+			}
+		}
+	}
+	return nil
+}
+
+func runCosts(args []string) error {
+	fs := flag.NewFlagSet("costs", flag.ExitOnError)
+	reps := fs.Int("reps", 100, "repetitions of the per-level query measurement")
+	fs.Parse(args)
+	res, err := experiments.RunCosts(*reps)
+	if err != nil {
+		return err
+	}
+	experiments.CostsTable(res).Render(os.Stdout)
+	return nil
+}
+
+func runBaselines() error {
+	rows, err := experiments.RunBaselines(4)
+	if err != nil {
+		return err
+	}
+	experiments.BaselinesTable(rows).Render(os.Stdout)
+	return nil
+}
+
+func runAppendixB(args []string) error {
+	fs := flag.NewFlagSet("appendixb", flag.ExitOnError)
+	reps := fs.Int("reps", 5, "thrashing repetitions per set")
+	fs.Parse(args)
+	model := hw.Skylake()
+	res, err := experiments.RunLeaderScan(model, experiments.DefaultLeaderSample(model), *reps)
+	if err != nil {
+		return err
+	}
+	experiments.LeaderScanTable(res).Render(os.Stdout)
+	fmt.Printf("\ncorrectly classified: %d/%d sets; Skylake XOR formula holds: %v; PSEL high/low: %d/%d\n",
+		res.Correct, len(res.SampledSets), res.FormulaHolds, res.PSELHigh, res.PSELLow)
+	return nil
+}
+
+func runAll() error {
+	if err := runFig1(); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runTable2(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	experiments.Table3Table().Render(os.Stdout)
+	fmt.Println()
+	if err := runTable4(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runTable5(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runCosts(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runAppendixB(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	return runBaselines()
+}

@@ -1,0 +1,181 @@
+// Command polca learns a cache replacement policy as a Mealy machine,
+// either from a software-simulated cache (§6) or from a simulated silicon
+// CPU through CacheQuery (§7), and optionally synthesizes a human-readable
+// explanation (§5).
+//
+// Examples:
+//
+//	polca -policy MRU -assoc 6                 # learn from a simulator
+//	polca -policy SRRIP-HP -assoc 4 -explain   # ... and explain it
+//	polca -hw skylake -level L2 -set 0         # learn from simulated silicon
+//	polca -hw skylake -level L3 -cat 4         # with CAT-reduced L3
+//	polca -policy LRU -assoc 4 -dot lru.dot    # export the automaton
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/blocks"
+	"repro/internal/cachequery"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/learn"
+	"repro/internal/mealy"
+	"repro/internal/policy"
+	"repro/internal/synth"
+)
+
+func main() {
+	polName := flag.String("policy", "", "policy to learn from a software-simulated cache")
+	assoc := flag.Int("assoc", 4, "associativity (simulator mode)")
+	hwName := flag.String("hw", "", "CPU model to learn from: haswell, skylake, kabylake, toy")
+	levelName := flag.String("level", "L1", "cache level (hardware mode)")
+	slice := flag.Int("slice", 0, "cache slice (hardware mode)")
+	set := flag.Int("set", 0, "cache set (hardware mode)")
+	cat := flag.Int("cat", 0, "CAT ways for the L3 (hardware mode)")
+	seed := flag.Int64("seed", 1, "simulator seed (hardware mode)")
+	depth := flag.Int("depth", 1, "conformance test suite depth k")
+	maxStates := flag.Int("max-states", 100000, "abort when the hypothesis exceeds this many states")
+	reset := flag.String("reset", "", `reset sequence, e.g. "F+R" or "D C B A @" (hardware mode)`)
+	explain := flag.Bool("explain", false, "synthesize a rule-based explanation of the result")
+	dotPath := flag.String("dot", "", "write the learned automaton in DOT format to this file")
+	jsonPath := flag.String("json", "", "write the learned automaton as JSON to this file")
+	flag.Parse()
+
+	var machine *mealy.Machine
+	var err error
+	switch {
+	case *polName != "" && *hwName != "":
+		fatal(fmt.Errorf("choose either -policy (simulator) or -hw (hardware)"))
+	case *polName != "":
+		machine, err = learnSim(*polName, *assoc, *depth, *maxStates)
+	case *hwName != "":
+		machine, err = learnHW(*hwName, *levelName, *slice, *set, *cat, *seed, *depth, *maxStates, *reset)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("learned a policy with %d control states\n", machine.NumStates)
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(machine.DOT("policy")), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("automaton written to %s\n", *dotPath)
+	}
+	if *jsonPath != "" {
+		fh, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := machine.Save(fh); err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("automaton written to %s\n", *jsonPath)
+	}
+	if *explain {
+		res, err := synth.Synthesize(machine, synth.Options{Seed: 1})
+		if err != nil {
+			fatal(fmt.Errorf("synthesis failed: %w", err))
+		}
+		fmt.Printf("\nexplanation (%s template, %d candidates, %v):\n%s",
+			res.Template, res.Candidates, res.Duration.Round(1e6), res.Program)
+	}
+}
+
+func learnSim(name string, assoc, depth, maxStates int) (*mealy.Machine, error) {
+	res, err := core.LearnSimulated(name, assoc, learn.Options{Depth: depth, MaxStates: maxStates})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("simulator: %s assoc %d, %d output queries, %v\n",
+		res.Policy, assoc, res.LearnStats.OutputQueries, res.LearnStats.Duration.Round(1e6))
+	// Verify against the installed ground truth, which we know in
+	// simulator mode.
+	pol := policy.MustNew(name, assoc)
+	truth, err := mealy.FromPolicy(pol, 0)
+	if err == nil {
+		if eq, _ := res.Machine.Equivalent(truth); eq {
+			fmt.Println("verified: trace-equivalent to the installed policy")
+		} else {
+			fmt.Println("WARNING: learned machine differs from the installed policy")
+		}
+	}
+	return res.Machine, nil
+}
+
+func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, depth, maxStates int, reset string) (*mealy.Machine, error) {
+	var cfg hw.CPUConfig
+	switch strings.ToLower(cpuName) {
+	case "haswell":
+		cfg = hw.Haswell()
+	case "skylake":
+		cfg = hw.Skylake()
+	case "kabylake", "kbl":
+		cfg = hw.KabyLake()
+	case "toy":
+		cfg = experiments.ToyCPU()
+	default:
+		return nil, fmt.Errorf("unknown CPU model %q", cpuName)
+	}
+	level, err := hw.ParseLevel(levelName)
+	if err != nil {
+		return nil, err
+	}
+	req := core.HardwareRequest{
+		CPU:              hw.NewCPU(cfg, seed),
+		Target:           cachequery.Target{Level: level, Slice: slice, Set: set},
+		Backend:          cachequery.DefaultBackendOptions(),
+		CATWays:          cat,
+		Learn:            learn.Options{Depth: depth, MaxStates: maxStates},
+		DeterminismEvery: 128,
+	}
+	if reset != "" && reset != "F+R" {
+		seq := strings.Fields(reset)
+		for _, b := range seq {
+			if !blocks.IsValid(b) && b != "@" {
+				return nil, fmt.Errorf("invalid reset block %q", b)
+			}
+		}
+		req.Resets = []cachequery.Reset{parseReset(seq, cfg.Config(level).Assoc, cat)}
+	}
+	res, err := core.LearnHardware(req)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("hardware: %s %s %s, reset %q, %d output queries, %d MBL queries executed\n",
+		cfg.Name, level, req.Target, res.Reset.Name(), res.LearnStats.OutputQueries, res.Frontend.Executed)
+	return res.Machine, nil
+}
+
+// parseReset expands a user reset specification; '@' stands for the
+// associativity-many fill.
+func parseReset(fields []string, assoc, cat int) cachequery.Reset {
+	if cat > 0 {
+		assoc = cat
+	}
+	var seq []blocks.Block
+	for _, f := range fields {
+		if f == "@" {
+			seq = append(seq, blocks.Ordered(assoc)...)
+		} else {
+			seq = append(seq, f)
+		}
+	}
+	return cachequery.Reset{FlushFirst: false, Sequence: seq}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "polca:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseResetExpandsFill(t *testing.T) {
+	r := parseReset([]string{"D", "C", "B", "A", "@"}, 4, 0)
+	want := []string{"D", "C", "B", "A", "A", "B", "C", "D"}
+	if len(r.Sequence) != len(want) {
+		t.Fatalf("sequence %v", r.Sequence)
+	}
+	for i := range want {
+		if r.Sequence[i] != want[i] {
+			t.Errorf("sequence[%d] = %s, want %s", i, r.Sequence[i], want[i])
+		}
+	}
+	if r.FlushFirst {
+		t.Error("explicit sequences must not flush first")
+	}
+}
+
+func TestParseResetHonoursCAT(t *testing.T) {
+	r := parseReset([]string{"@"}, 16, 4)
+	if len(r.Sequence) != 4 {
+		t.Errorf("CAT-reduced fill has %d blocks, want 4", len(r.Sequence))
+	}
+}

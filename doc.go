@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "CacheQuery: Learning
+// Replacement Policies from Hardware Caches" (Vila, Ganty, Guarnieri, Köpf;
+// PLDI 2020).
+//
+// The library lives under internal/: replacement policies (internal/policy),
+// Mealy machines (internal/mealy), the cache model (internal/cache), the
+// Polca oracle (internal/polca), the L*-style learner (internal/learn), the
+// MemBlockLang DSL (internal/mbl), the simulated silicon CPUs
+// (internal/hw), the CacheQuery tool (internal/cachequery), explanation
+// synthesis (internal/synth), end-to-end pipelines (internal/core) and the
+// table/figure harness (internal/experiments).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate every table and figure of the evaluation.
+package repro

@@ -1,0 +1,95 @@
+package blocks
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNameFirst26(t *testing.T) {
+	if got := Name(0); got != "A" {
+		t.Errorf("Name(0) = %q, want A", got)
+	}
+	if got := Name(25); got != "Z" {
+		t.Errorf("Name(25) = %q, want Z", got)
+	}
+	if got := Name(26); got != "A1" {
+		t.Errorf("Name(26) = %q, want A1", got)
+	}
+	if got := Name(53); got != "B2" {
+		t.Errorf("Name(53) = %q, want B2", got)
+	}
+}
+
+func TestNameIndexRoundTrip(t *testing.T) {
+	f := func(i uint16) bool {
+		idx, err := Index(Name(int(i)))
+		return err == nil && idx == int(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"", "a", "1A", "A0", "A-1", "AB", "Ax"} {
+		if _, err := Index(bad); err == nil {
+			t.Errorf("Index(%q) succeeded, want error", bad)
+		}
+		if IsValid(bad) {
+			t.Errorf("IsValid(%q) = true", bad)
+		}
+	}
+}
+
+func TestOrdered(t *testing.T) {
+	got := Ordered(4)
+	want := []string{"A", "B", "C", "D"}
+	if len(got) != len(want) {
+		t.Fatalf("Ordered(4) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ordered(4)[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFreshAvoidsTaken(t *testing.T) {
+	if got := Fresh(nil); got != "A" {
+		t.Errorf("Fresh(nil) = %q, want A", got)
+	}
+	if got := Fresh([]string{"A", "B", "C"}); got != "D" {
+		t.Errorf("Fresh(A B C) = %q, want D", got)
+	}
+	if got := Fresh([]string{"A", "C"}); got != "B" {
+		t.Errorf("Fresh(A C) = %q, want B", got)
+	}
+}
+
+func TestFreshProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		taken := make([]string, len(raw))
+		for i, r := range raw {
+			taken[i] = Name(int(r) % 40)
+		}
+		fresh := Fresh(taken)
+		for _, b := range taken {
+			if b == fresh {
+				return false
+			}
+		}
+		return IsValid(fresh)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	if got := Join([]string{"A", "B", "C"}); got != "A B C" {
+		t.Errorf("Join = %q", got)
+	}
+	if got := Join(nil); got != "" {
+		t.Errorf("Join(nil) = %q", got)
+	}
+}

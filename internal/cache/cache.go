@@ -1,0 +1,175 @@
+// Package cache implements the n-way set-associative cache set model of
+// Definition 2.3: a labeled transition system over memory blocks whose
+// replacement decisions are delegated to a policy.Policy. It is the
+// software-simulated cache used for the paper's first case study (§6), the
+// building block of the simulated CPU hierarchy (internal/hw), and the home
+// of the reset-sequence search used to bootstrap learning from hardware
+// (§7.1).
+package cache
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/blocks"
+	"repro/internal/policy"
+)
+
+// Outcome is a cache output: Hit or Miss.
+type Outcome bool
+
+// Cache outputs (Table 1).
+const (
+	Hit  Outcome = true
+	Miss Outcome = false
+)
+
+// String renders the outcome like the paper's traces.
+func (o Outcome) String() string {
+	if o == Hit {
+		return "Hit"
+	}
+	return "Miss"
+}
+
+// Set is one cache set: an n-tuple of memory blocks plus the control state of
+// its replacement policy. The zero line content "" denotes an invalid
+// (empty) line, which only arises after Flush; the Definition 2.3 semantics
+// always operates on full sets.
+type Set struct {
+	n       int
+	content []blocks.Block
+	pol     policy.Policy
+}
+
+// NewSet returns a cache set driven by pol, initialized by Reset: the
+// content is the first n blocks A, B, ... in lines 0..n-1 and the policy is
+// in its initial control state.
+func NewSet(pol policy.Policy) *Set {
+	s := &Set{n: pol.Assoc(), content: make([]blocks.Block, pol.Assoc()), pol: pol}
+	s.Reset()
+	return s
+}
+
+// NewEmptySet returns a cache set with all lines invalid and the policy in
+// its initial control state, as used inside the hardware simulator where
+// sets start cold.
+func NewEmptySet(pol policy.Policy) *Set {
+	pol.Reset()
+	return &Set{n: pol.Assoc(), content: make([]blocks.Block, pol.Assoc()), pol: pol}
+}
+
+// Assoc returns the associativity n.
+func (s *Set) Assoc() int { return s.n }
+
+// Policy exposes the underlying replacement policy (shared, not a copy).
+func (s *Set) Policy() policy.Policy { return s.pol }
+
+// Reset restores the canonical initial cache state: content A, B, ... in
+// lines 0..n-1 with the policy in its initial control state cs0. This is
+// the idealized reset available on software-simulated caches.
+func (s *Set) Reset() {
+	copy(s.content, blocks.Ordered(s.n))
+	s.pol.Reset()
+}
+
+// Content returns a copy of the current cache content; empty strings are
+// invalid lines.
+func (s *Set) Content() []blocks.Block {
+	out := make([]blocks.Block, s.n)
+	copy(out, s.content)
+	return out
+}
+
+// Lookup returns the line holding b, or -1.
+func (s *Set) Lookup(b blocks.Block) int {
+	for i, c := range s.content {
+		if c == b && c != "" {
+			return i
+		}
+	}
+	return -1
+}
+
+// Access performs one memory access (rules Hit/Miss of Figure 2) and
+// additionally returns the evicted line index (-1 when none) so that callers
+// such as the hardware simulator can maintain inclusivity.
+func (s *Set) Access(b blocks.Block) (Outcome, int) {
+	oc, line, _ := s.AccessEvicted(b)
+	return oc, line
+}
+
+// AccessEvicted is Access extended with the name of the displaced block,
+// used by the inclusive-hierarchy back-invalidation without copying the
+// cache content.
+func (s *Set) AccessEvicted(b blocks.Block) (Outcome, int, blocks.Block) {
+	if b == "" {
+		panic("cache: access to empty block name")
+	}
+	if i := s.Lookup(b); i >= 0 {
+		s.pol.OnHit(i)
+		return Hit, -1, ""
+	}
+	// Fill an invalid line first, as hardware does; the policy observes the
+	// fill as an access to that line. With a full set this branch is dead
+	// and the semantics is exactly Definition 2.3.
+	for i, c := range s.content {
+		if c == "" {
+			s.content[i] = b
+			s.pol.OnHit(i)
+			return Miss, -1, ""
+		}
+	}
+	v := s.pol.OnMiss()
+	evicted := s.content[v]
+	s.content[v] = b
+	return Miss, v, evicted
+}
+
+// AccessAll accesses every block in sequence and returns the outcome trace.
+func (s *Set) AccessAll(bs []blocks.Block) []Outcome {
+	out := make([]Outcome, len(bs))
+	for i, b := range bs {
+		out[i], _ = s.Access(b)
+	}
+	return out
+}
+
+// FlushBlock invalidates b's line if present (the clflush analog) and
+// reports whether it was present. The policy control state is deliberately
+// left untouched: on the modeled Intel CPUs flushing data does not reset the
+// replacement metadata, which is why Flush+Refill is not a universal reset
+// sequence (§7.1).
+func (s *Set) FlushBlock(b blocks.Block) bool {
+	if i := s.Lookup(b); i >= 0 {
+		s.content[i] = ""
+		return true
+	}
+	return false
+}
+
+// Flush invalidates every line (the wbinvd analog), keeping the policy
+// control state.
+func (s *Set) Flush() {
+	for i := range s.content {
+		s.content[i] = ""
+	}
+}
+
+// StateKey canonically encodes the full cache state (content plus policy
+// control state) for use by the reset-sequence search.
+func (s *Set) StateKey() string {
+	return strings.Join(s.content, ",") + "|" + s.pol.StateKey()
+}
+
+// Clone returns an independent deep copy of the cache set.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, content: make([]blocks.Block, s.n), pol: s.pol.Clone()}
+	copy(c.content, s.content)
+	return c
+}
+
+// String renders the cache state for debugging.
+func (s *Set) String() string {
+	return fmt.Sprintf("⟨[%s], %s⟩", strings.Join(s.content, " "), s.pol.StateKey())
+}

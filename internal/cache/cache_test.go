@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blocks"
+	"repro/internal/policy"
+)
+
+func TestExample24LRUTrace(t *testing.T) {
+	// Example 2.4 with associativity 2: from ⟨⟨A,B⟩, cs0⟩, B hits, A hits
+	// (flipping the control state), C misses and evicts line 0.
+	s := NewSet(policy.MustNew("LRU", 2))
+	if oc, _ := s.Access("B"); oc != Hit {
+		t.Fatal("B should hit")
+	}
+	if oc, _ := s.Access("A"); oc != Hit {
+		t.Fatal("A should hit")
+	}
+	oc, evicted := s.Access("C")
+	if oc != Miss {
+		t.Fatal("C should miss")
+	}
+	if evicted != 1 {
+		t.Errorf("C evicted line %d, want 1 (B was least recently used)", evicted)
+	}
+	got := s.Content()
+	if got[0] != "A" || got[1] != "C" {
+		t.Errorf("content %v, want [A C]", got)
+	}
+}
+
+func TestFigure1ToyTrace(t *testing.T) {
+	// Figure 1c: on a 2-way LRU set, A B C A yields Hit Hit Miss Miss and
+	// A B C B yields Hit Hit Miss Hit.
+	s := NewSet(policy.MustNew("LRU", 2))
+	got := s.AccessAll([]blocks.Block{"A", "B", "C", "A"})
+	want := []Outcome{Hit, Hit, Miss, Miss}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("A B C A: step %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	s.Reset()
+	got = s.AccessAll([]blocks.Block{"A", "B", "C", "B"})
+	want = []Outcome{Hit, Hit, Miss, Hit}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("A B C B: step %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	s := NewSet(policy.MustNew("PLRU", 4))
+	before := s.StateKey()
+	s.AccessAll([]blocks.Block{"X", "Y", "Z", "A", "X"})
+	s.Reset()
+	if s.StateKey() != before {
+		t.Errorf("Reset: %s, want %s", s.StateKey(), before)
+	}
+	want := blocks.Ordered(4)
+	for i, b := range s.Content() {
+		if b != want[i] {
+			t.Errorf("content[%d] = %s, want %s", i, b, want[i])
+		}
+	}
+}
+
+func TestAccessFillsInvalidLinesFirst(t *testing.T) {
+	s := NewEmptySet(policy.MustNew("LRU", 4))
+	for i, b := range []blocks.Block{"P", "Q", "R", "S"} {
+		oc, ev := s.Access(b)
+		if oc != Miss || ev != -1 {
+			t.Fatalf("cold access %d: outcome %v evicted %d", i, oc, ev)
+		}
+		if s.Lookup(b) != i {
+			t.Fatalf("block %s filled line %d, want %d", b, s.Lookup(b), i)
+		}
+	}
+	// The set is now full: the next miss must evict.
+	if _, ev := s.Access("T"); ev == -1 {
+		t.Error("miss on a full set did not evict")
+	}
+}
+
+func TestFlushBlockKeepsPolicyState(t *testing.T) {
+	s := NewSet(policy.MustNew("LRU", 4))
+	key := s.Policy().StateKey()
+	if !s.FlushBlock("B") {
+		t.Fatal("B not resident")
+	}
+	if s.FlushBlock("B") {
+		t.Error("B flushed twice")
+	}
+	if s.Policy().StateKey() != key {
+		t.Error("FlushBlock changed the policy control state")
+	}
+	if oc, _ := s.Access("B"); oc != Miss {
+		t.Error("flushed block should miss on re-access")
+	}
+	if oc, _ := s.Access("B"); oc != Hit {
+		t.Error("re-accessed block should have been refilled")
+	}
+}
+
+func TestFlushInvalidatesAll(t *testing.T) {
+	s := NewSet(policy.MustNew("MRU", 4))
+	s.Flush()
+	for _, b := range s.Content() {
+		if b != "" {
+			t.Errorf("line still holds %q after Flush", b)
+		}
+	}
+	if oc, _ := s.Access("A"); oc != Miss {
+		t.Error("access after Flush should miss")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := NewSet(policy.MustNew("SRRIP-HP", 4))
+	c := s.Clone()
+	c.AccessAll([]blocks.Block{"X", "Y", "Z"})
+	if s.StateKey() == c.StateKey() {
+		t.Error("clone state tracked original")
+	}
+	s2 := NewSet(policy.MustNew("SRRIP-HP", 4))
+	if s.StateKey() != s2.StateKey() {
+		t.Error("original mutated by clone accesses")
+	}
+}
+
+// TestCacheDeterminism: identical queries from reset produce identical
+// hit/miss traces (Proposition 3.2 rests on this).
+func TestCacheDeterminism(t *testing.T) {
+	for _, name := range []string{"FIFO", "LRU", "PLRU", "MRU", "LIP", "SRRIP-HP", "SRRIP-FP", "New1", "New2"} {
+		s := NewSet(policy.MustNew(name, 4))
+		f := func(raw []uint8) bool {
+			q := make([]blocks.Block, len(raw))
+			for i, r := range raw {
+				q[i] = blocks.Name(int(r) % 6)
+			}
+			s.Reset()
+			a := s.AccessAll(q)
+			s.Reset()
+			b := s.AccessAll(q)
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestRepeatedAccessHits: accessing the same block twice in a row always
+// hits the second time — a basic cache invariant.
+func TestRepeatedAccessHits(t *testing.T) {
+	for _, name := range []string{"FIFO", "LRU", "PLRU", "MRU", "LIP", "SRRIP-HP", "New1", "New2"} {
+		s := NewSet(policy.MustNew(name, 4))
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < 300; i++ {
+			b := blocks.Name(rng.Intn(8))
+			s.Access(b)
+			if oc, _ := s.Access(b); oc != Hit {
+				t.Fatalf("%s: immediate re-access of %s missed", name, b)
+			}
+		}
+	}
+}
+
+// TestWorkingSetFits: accessing n blocks cyclically, every pass after the
+// first consists solely of hits for any sane policy.
+func TestWorkingSetFits(t *testing.T) {
+	for _, name := range []string{"FIFO", "LRU", "PLRU", "MRU", "LIP", "SRRIP-HP", "SRRIP-FP", "New1", "New2"} {
+		s := NewSet(policy.MustNew(name, 4))
+		ws := blocks.Ordered(4)
+		s.AccessAll(ws) // warm (already resident, but normalizes recency)
+		for pass := 0; pass < 5; pass++ {
+			for _, b := range ws {
+				if oc, _ := s.Access(b); oc != Hit {
+					t.Fatalf("%s: block %s missed with a fitting working set", name, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/policy"
+)
+
+func TestFlushRefillResetsPLRU(t *testing.T) {
+	// F+R is the reset the paper uses on Skylake/Kaby Lake L1 (Table 4):
+	// filling a flushed set touches every tree node deterministically.
+	r, err := VerifyReset(policy.MustNew("PLRU", 8), blocks.Ordered(8), true, 0)
+	if err != nil {
+		t.Fatalf("F+R does not reset PLRU-8: %v", err)
+	}
+	if r.Name() != "F+R" {
+		t.Errorf("reset name %q, want F+R", r.Name())
+	}
+	for i, b := range r.Content {
+		if b != blocks.Name(i) {
+			t.Errorf("post-reset line %d holds %s", i, b)
+		}
+	}
+}
+
+func TestFlushRefillDoesNotResetNew1(t *testing.T) {
+	// §7.1: F+R is not a universal reset; on the Skylake L2 (New1) the
+	// authors needed the dedicated sequence D C B A @. Flushing keeps the
+	// replacement metadata, so refilling from different control states
+	// diverges.
+	if _, err := VerifyReset(policy.MustNew("New1", 4), blocks.Ordered(4), true, 0); err == nil {
+		t.Fatal("F+R unexpectedly resets New1")
+	}
+}
+
+func TestFIFOHasNoResetSequence(t *testing.T) {
+	// FIFO is a permutation automaton: every access sequence advances the
+	// round-robin pointer uniformly, so no synchronizing word exists.
+	if _, err := FindResetSequence(policy.MustNew("FIFO", 2), 0); err == nil {
+		t.Fatal("found a reset sequence for FIFO, which cannot exist")
+	}
+}
+
+func TestFindResetSequenceForLearnedPolicies(t *testing.T) {
+	// Every policy the hardware case study learns must have a findable
+	// reset sequence.
+	for _, tc := range []struct {
+		name  string
+		assoc int
+	}{
+		{"PLRU", 8}, {"New1", 4}, {"New2", 4}, {"LRU", 4}, {"MRU", 4}, {"SRRIP-HP", 4},
+	} {
+		r, err := FindResetSequence(policy.MustNew(tc.name, tc.assoc), 0)
+		if err != nil {
+			t.Errorf("%s/%d: %v", tc.name, tc.assoc, err)
+			continue
+		}
+		// Re-verify independently.
+		if _, err := VerifyReset(policy.MustNew(tc.name, tc.assoc), r.Sequence, r.FlushFirst, 0); err != nil {
+			t.Errorf("%s/%d: returned sequence fails verification: %v", tc.name, tc.assoc, err)
+		}
+		if len(r.Content) != tc.assoc {
+			t.Errorf("%s/%d: reset content has %d lines", tc.name, tc.assoc, len(r.Content))
+		}
+	}
+}
+
+func TestVerifyResetRejectsShortSequences(t *testing.T) {
+	// A sequence that does not even fill the set leaves invalid lines.
+	if _, err := VerifyReset(policy.MustNew("LRU", 4), []blocks.Block{"A", "B"}, true, 0); err == nil {
+		t.Fatal("two accesses cannot reset a 4-way set")
+	}
+}
+
+func TestVerifyResetStateBudget(t *testing.T) {
+	if _, err := VerifyReset(policy.MustNew("LRU", 6), blocks.Ordered(6), true, 10); err == nil {
+		t.Fatal("state budget not enforced")
+	}
+}
+
+func TestResetNameRendering(t *testing.T) {
+	r := ResetResult{
+		Sequence:   []blocks.Block{"D", "C", "B", "A", "A", "B", "C", "D"},
+		FlushFirst: false,
+		Content:    blocks.Ordered(4),
+	}
+	if got := r.Name(); got != "D C B A A B C D" {
+		t.Errorf("Name() = %q", got)
+	}
+	r2 := ResetResult{Sequence: blocks.Ordered(4), FlushFirst: true, Content: blocks.Ordered(4)}
+	if got := r2.Name(); got != "F+R" {
+		t.Errorf("Name() = %q, want F+R", got)
+	}
+}

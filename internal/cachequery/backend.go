@@ -1,0 +1,386 @@
+// Package cachequery implements CacheQuery (§4 of the paper): an abstract
+// interface to individual cache sets of a (simulated) silicon CPU. Users
+// name a cache set — say, set 63 of the L2 — and submit MemBlockLang
+// queries; CacheQuery takes care of virtual-to-physical translation, slice
+// hashing, set indexing, eviction of accessed blocks from higher cache
+// levels, latency profiling, threshold calibration, repetition voting, and
+// caching of query results.
+//
+// The backend below plays the role of the paper's Linux kernel module: it
+// owns the congruent-address pools and executes access plans against the
+// simulated CPU. The frontend (frontend.go) expands MBL expressions and
+// memoizes query results, as the real tool does with LevelDB.
+package cachequery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/blocks"
+	"repro/internal/cache"
+	"repro/internal/hw"
+	"repro/internal/mbl"
+)
+
+// Target names one cache set of the CPU.
+type Target struct {
+	Level hw.Level
+	Slice int
+	Set   int
+}
+
+// String renders the target like the tool's virtual file paths, e.g.
+// "l2_sets/63".
+func (t Target) String() string {
+	if t.Slice == 0 {
+		return fmt.Sprintf("l%d_sets/%d", int(t.Level)+1, t.Set)
+	}
+	return fmt.Sprintf("l%d_sets/%d.%d", int(t.Level)+1, t.Slice, t.Set)
+}
+
+// BackendOptions tune pool sizes and measurement repetition.
+type BackendOptions struct {
+	// MaxBlocks is the number of distinct congruent blocks the backend
+	// provisions (the usable MBL block universe for this set).
+	MaxBlocks int
+	// Reps is the default number of times a query is executed for
+	// majority voting; queries must be reset-prefixed for this to be
+	// sound. Must be odd.
+	Reps int
+	// EvictRounds is how many passes over an eviction set are used to
+	// filter a block out of a higher level.
+	EvictRounds int
+	// CalibrationSamples per latency class.
+	CalibrationSamples int
+}
+
+// DefaultBackendOptions returns the tuning the experiments use.
+func DefaultBackendOptions() BackendOptions {
+	return BackendOptions{MaxBlocks: 24, Reps: 3, EvictRounds: 2, CalibrationSamples: 41}
+}
+
+// Backend executes access plans against one target cache set.
+type Backend struct {
+	cpu *hw.CPU
+	tgt Target
+	opt BackendOptions
+
+	pool    []hw.Addr // congruent lines, in block-universe order
+	byBlock map[blocks.Block]hw.Addr
+
+	l1Evict []hw.Addr // filters the pool's shared L1 set (targets >= L2)
+	l2Evict []hw.Addr // filters the pool's shared L2 set (L3 targets)
+	// calEvict evicts the calibration scratch block from the target level
+	// but not from the next one, yielding a "nearest miss" latency sample
+	// (unused for L3 targets, where clflush provides the DRAM sample).
+	calEvict []hw.Addr
+
+	threshold float64 // hit-at-target-level classification bound
+
+	// Cost counters for the §7.2 experiments.
+	queriesRun int
+	loadsDone  uint64
+}
+
+// NewBackend provisions address pools and calibrates the latency threshold
+// for one target set. The CPU is put into the low-noise measurement
+// configuration (prefetchers off, interrupts/dvfs suppressed), as the real
+// tool does (§4.3).
+func NewBackend(cpu *hw.CPU, tgt Target, opt BackendOptions) (*Backend, error) {
+	cfg := cpu.Config().Config(tgt.Level)
+	if tgt.Slice < 0 || tgt.Slice >= cfg.Slices {
+		return nil, fmt.Errorf("cachequery: slice %d out of range for %v", tgt.Slice, tgt.Level)
+	}
+	if tgt.Set < 0 || tgt.Set >= cfg.SetsPerSlice {
+		return nil, fmt.Errorf("cachequery: set %d out of range for %v", tgt.Set, tgt.Level)
+	}
+	if opt.MaxBlocks <= 0 || opt.Reps <= 0 || opt.Reps%2 == 0 {
+		return nil, fmt.Errorf("cachequery: invalid options %+v (Reps must be odd and positive)", opt)
+	}
+	cpu.SetPrefetcher(false)
+	cpu.SetLowNoise(true)
+
+	b := &Backend{cpu: cpu, tgt: tgt, opt: opt, byBlock: make(map[blocks.Block]hw.Addr)}
+	if err := b.provision(); err != nil {
+		return nil, err
+	}
+	if err := b.calibrate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Target returns the backend's cache set.
+func (b *Backend) Target() Target { return b.tgt }
+
+// Assoc returns the associativity of the target set (accounting for CAT
+// way masking, which must be configured before the backend is built).
+func (b *Backend) Assoc() int { return b.cpu.EffectiveAssoc(b.tgt.Level) }
+
+// Threshold returns the calibrated hit/miss latency boundary in cycles.
+func (b *Backend) Threshold() float64 { return b.threshold }
+
+// matches reports whether a physical address belongs to the target set.
+func (b *Backend) matches(pa hw.Addr) bool {
+	slice, set := b.cpu.SetIndex(b.tgt.Level, pa)
+	return slice == b.tgt.Slice && set == b.tgt.Set
+}
+
+// provision scans freshly allocated pages for congruent lines and builds the
+// non-interfering eviction sets used for cache filtering.
+func (b *Backend) provision() error {
+	cfgL1 := b.cpu.Config().Config(hw.L1)
+	wantPool := b.opt.MaxBlocks
+	wantL1, wantL2 := 0, 0
+	if b.tgt.Level >= hw.L2 {
+		wantL1 = cfgL1.Assoc*2 + 4
+	}
+	if b.tgt.Level == hw.L3 {
+		wantL2 = b.cpu.Config().Config(hw.L2).Assoc*2 + 4
+	}
+
+	// All pool lines share one L1 set (and one L2 set), because the L1/L2
+	// set index bits are a suffix of the higher-level index bits; derive
+	// them from the target set number.
+	l1Set := b.tgt.Set % cfgL1.SetsPerSlice
+	l2Sets := b.cpu.Config().Config(hw.L2).SetsPerSlice
+	l2Set := b.tgt.Set % l2Sets
+
+	const maxPages = 1 << 17
+	for pages := 0; pages < maxPages; pages += 64 {
+		base := b.cpu.AllocBuffer(64)
+		for line := 0; line < 64*hw.PageSize/hw.LineSize; line++ {
+			va := base + hw.Addr(line)*hw.LineSize
+			pa := b.cpu.TranslateToPhys(va)
+			_, l1s := b.cpu.SetIndex(hw.L1, pa)
+			_, l2s := b.cpu.SetIndex(hw.L2, pa)
+			switch {
+			case b.matches(pa) && len(b.pool) < wantPool:
+				b.pool = append(b.pool, va)
+			case b.tgt.Level >= hw.L2 && l1s == l1Set && !b.matchesLevelSet(pa) && len(b.l1Evict) < wantL1:
+				b.l1Evict = append(b.l1Evict, va)
+			case b.tgt.Level == hw.L3 && l2s == l2Set && !b.matches(pa) && len(b.l2Evict) < wantL2:
+				b.l2Evict = append(b.l2Evict, va)
+			}
+		}
+		if len(b.pool) >= wantPool && len(b.l1Evict) >= wantL1 && len(b.l2Evict) >= wantL2 {
+			return b.provisionCalibration()
+		}
+	}
+	return fmt.Errorf("cachequery: could not provision %d congruent lines for %s", wantPool, b.tgt)
+}
+
+// provisionCalibration builds the calibration eviction set: addresses that
+// conflict with the scratch block (pool[0]) at the target level while
+// leaving its copy at the next level untouched, so a post-eviction load
+// yields a next-level hit — the closest miss latency the threshold must
+// separate. L3 targets need none: their misses are DRAM accesses.
+func (b *Backend) provisionCalibration() error {
+	if b.tgt.Level == hw.L3 {
+		return nil
+	}
+	scratchPA := b.cpu.TranslateToPhys(b.pool[0])
+	sL2, sL2set := b.cpu.SetIndex(hw.L2, scratchPA)
+	sL3, sL3set := b.cpu.SetIndex(hw.L3, scratchPA)
+	_, l1Set := b.cpu.SetIndex(hw.L1, scratchPA)
+	want := b.cpu.Config().Config(b.tgt.Level).Assoc*2 + 4
+
+	const maxPages = 1 << 17
+	for pages := 0; pages < maxPages; pages += 64 {
+		base := b.cpu.AllocBuffer(64)
+		for line := 0; line < 64*hw.PageSize/hw.LineSize; line++ {
+			va := base + hw.Addr(line)*hw.LineSize
+			pa := b.cpu.TranslateToPhys(va)
+			l3Slice, l3Set := b.cpu.SetIndex(hw.L3, pa)
+			if l3Slice == sL3 && l3Set == sL3set {
+				continue // would evict the scratch line from L3 inclusively
+			}
+			l2Slice, l2Set := b.cpu.SetIndex(hw.L2, pa)
+			_, l1s := b.cpu.SetIndex(hw.L1, pa)
+			switch b.tgt.Level {
+			case hw.L1:
+				// Conflict in L1, avoid the scratch L2 set.
+				if l1s == l1Set && !(l2Slice == sL2 && l2Set == sL2set) {
+					b.calEvict = append(b.calEvict, va)
+				}
+			case hw.L2:
+				// Conflict in L2 (which also evicts from L1).
+				if l2Slice == sL2 && l2Set == sL2set {
+					b.calEvict = append(b.calEvict, va)
+				}
+			}
+			if len(b.calEvict) >= want {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("cachequery: could not provision a calibration eviction set for %s", b.tgt)
+}
+
+// matchesLevelSet reports whether pa maps into the target's set at the
+// *target level* (regardless of slice) — used to keep L1 eviction sets from
+// interfering with the probed set.
+func (b *Backend) matchesLevelSet(pa hw.Addr) bool {
+	_, set := b.cpu.SetIndex(b.tgt.Level, pa)
+	return set == b.tgt.Set
+}
+
+// load issues one timed access.
+func (b *Backend) load(va hw.Addr) float64 {
+	b.loadsDone++
+	return b.cpu.Load(va)
+}
+
+// filter pushes the pool's blocks out of every level above the target by
+// walking the non-interfering eviction sets (§4.3 "Cache Filtering").
+func (b *Backend) filter() {
+	if b.tgt.Level == hw.L1 {
+		return
+	}
+	for round := 0; round < b.opt.EvictRounds; round++ {
+		for _, va := range b.l2Evict {
+			b.load(va)
+		}
+		for _, va := range b.l1Evict {
+			b.load(va)
+		}
+	}
+}
+
+// AddressOf returns the virtual address backing an abstract block. Blocks
+// are bound to pool addresses in order of first use, so any well-formed
+// block name works until the pool of distinct congruent lines is exhausted.
+func (b *Backend) AddressOf(block blocks.Block) (hw.Addr, error) {
+	if va, ok := b.byBlock[block]; ok {
+		return va, nil
+	}
+	if !blocks.IsValid(block) {
+		return 0, fmt.Errorf("cachequery: invalid block name %q", block)
+	}
+	if len(b.byBlock) >= len(b.pool) {
+		return 0, fmt.Errorf("cachequery: block %s exceeds the provisioned pool of %d congruent lines", block, len(b.pool))
+	}
+	va := b.pool[len(b.byBlock)]
+	b.byBlock[block] = va
+	return va, nil
+}
+
+// FlushPool clflushes every provisioned block (including the calibration
+// eviction lines, which for an L2 target conflict with the probed set),
+// emptying the target set without touching replacement metadata. This is
+// the set-local analog of the Flush step in Flush+Refill resets.
+func (b *Backend) FlushPool() {
+	for _, va := range b.pool {
+		b.cpu.CLFlush(va)
+	}
+	for _, va := range b.calEvict {
+		b.cpu.CLFlush(va)
+	}
+}
+
+// runOnce executes a query once and returns the raw latencies of the
+// profiled accesses.
+func (b *Backend) runOnce(q mbl.Query) ([]float64, error) {
+	var lats []float64
+	for _, op := range q {
+		va, err := b.AddressOf(op.Block)
+		if err != nil {
+			return nil, err
+		}
+		if op.Tag == mbl.TagFlush {
+			b.cpu.CLFlush(va)
+			continue
+		}
+		lat := b.load(va)
+		if op.Tag == mbl.TagProfile {
+			lats = append(lats, lat)
+		}
+		b.filter()
+	}
+	return lats, nil
+}
+
+// Run executes a query (the generated access plan) reps times — opt.Reps
+// when reps <= 0 — classifies every profiled access against the calibrated
+// threshold, and majority-votes across repetitions. If flushFirst is set,
+// every repetition starts by flushing the pool. Repetition is only sound
+// for reset-prefixed queries, which is what the learning pipeline issues.
+func (b *Backend) Run(q mbl.Query, reps int, flushFirst bool) ([]cache.Outcome, error) {
+	if reps <= 0 {
+		reps = b.opt.Reps
+	}
+	nProf := q.ProfiledCount()
+	votes := make([]int, nProf)
+	for r := 0; r < reps; r++ {
+		if flushFirst {
+			b.FlushPool()
+		}
+		lats, err := b.runOnce(q)
+		if err != nil {
+			return nil, err
+		}
+		if len(lats) != nProf {
+			return nil, fmt.Errorf("cachequery: profiled %d accesses, expected %d", len(lats), nProf)
+		}
+		for i, l := range lats {
+			if l <= b.threshold {
+				votes[i]++
+			}
+		}
+	}
+	b.queriesRun++
+	out := make([]cache.Outcome, nProf)
+	for i, v := range votes {
+		out[i] = cache.Outcome(v*2 > reps)
+	}
+	return out, nil
+}
+
+// calibrate measures hit-at-target and nearest-miss latencies on a scratch
+// pool block and places the classification threshold between the two
+// medians. The nearest miss is a next-level hit for L1/L2 targets (produced
+// by conflict-evicting the scratch line at the target level only) and a
+// DRAM access for L3 targets.
+func (b *Backend) calibrate() error {
+	scratch := b.pool[0]
+	var hits, misses []float64
+	for i := 0; i < b.opt.CalibrationSamples; i++ {
+		// Hit sample: install the line, filter higher levels, re-load.
+		b.load(scratch)
+		b.filter()
+		hits = append(hits, b.load(scratch))
+		// Nearest-miss sample.
+		if b.tgt.Level == hw.L3 {
+			b.cpu.CLFlush(scratch)
+		} else {
+			for round := 0; round < b.opt.EvictRounds; round++ {
+				for _, va := range b.calEvict {
+					b.load(va)
+				}
+			}
+		}
+		misses = append(misses, b.load(scratch))
+		b.filter()
+	}
+	hm, mm := median(hits), median(misses)
+	// Require a real gap between the classes: thresholds inside overlapping
+	// distributions would classify noise, not cache behaviour.
+	const minGap = 2.0
+	if hm+minGap >= mm {
+		return fmt.Errorf("cachequery: calibration failed: hit median %.1f and miss median %.1f are not separable", hm, mm)
+	}
+	b.threshold = (hm + mm) / 2
+	// Leave no calibration residue in the target set: for L2 targets the
+	// calibration eviction lines conflict with the probed set itself.
+	b.FlushPool()
+	return nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// Stats reports the backend's cost counters.
+func (b *Backend) Stats() (queries int, loads uint64) { return b.queriesRun, b.loadsDone }

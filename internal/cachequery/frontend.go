@@ -1,0 +1,206 @@
+package cachequery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/hw"
+	"repro/internal/mbl"
+)
+
+// QueryResult is the outcome of one expanded query: the hit/miss value of
+// every '?'-profiled access.
+type QueryResult struct {
+	Query    mbl.Query
+	Outcomes []cache.Outcome
+}
+
+// Pattern renders the outcomes like the tool's traces, e.g. "Hit Miss".
+func (r QueryResult) Pattern() string {
+	parts := make([]string, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// FrontendStats counts query-cache effectiveness and backend work, the
+// quantities behind the paper's §7.2 cost analysis.
+type FrontendStats struct {
+	Expanded  int           // queries after MBL expansion
+	Executed  int           // queries actually run on the backend
+	CacheHits int           // queries answered from the result cache
+	Duration  time.Duration // cumulative backend execution time
+}
+
+// Frontend expands MBL expressions, routes them to per-set backends, and
+// caches results — the Python frontend plus LevelDB layer of the real tool.
+type Frontend struct {
+	cpu      *hw.CPU
+	opt      BackendOptions
+	backends map[Target]*Backend
+	results  map[string]string // cache key -> encoded outcomes
+	useCache bool
+	stats    FrontendStats
+}
+
+// NewFrontend builds a frontend over a simulated CPU with result caching
+// enabled.
+func NewFrontend(cpu *hw.CPU, opt BackendOptions) *Frontend {
+	return &Frontend{
+		cpu:      cpu,
+		opt:      opt,
+		backends: make(map[Target]*Backend),
+		results:  make(map[string]string),
+		useCache: true,
+	}
+}
+
+// SetResultCache toggles the query-result cache (the LevelDB role).
+func (f *Frontend) SetResultCache(on bool) { f.useCache = on }
+
+// Stats returns a copy of the accumulated counters.
+func (f *Frontend) Stats() FrontendStats { return f.stats }
+
+// CPU exposes the underlying processor.
+func (f *Frontend) CPU() *hw.CPU { return f.cpu }
+
+// Backend returns (provisioning on demand) the backend for a target set.
+func (f *Frontend) Backend(tgt Target) (*Backend, error) {
+	if be, ok := f.backends[tgt]; ok {
+		return be, nil
+	}
+	be, err := NewBackend(f.cpu, tgt, f.opt)
+	if err != nil {
+		return nil, err
+	}
+	f.backends[tgt] = be
+	return be, nil
+}
+
+func cacheKey(tgt Target, q mbl.Query, flushFirst bool) string {
+	k := tgt.String() + "|" + q.String()
+	if flushFirst {
+		k = "F|" + k
+	}
+	return k
+}
+
+func encodeOutcomes(ocs []cache.Outcome) string {
+	var sb strings.Builder
+	for _, o := range ocs {
+		if o == cache.Hit {
+			sb.WriteByte('H')
+		} else {
+			sb.WriteByte('M')
+		}
+	}
+	return sb.String()
+}
+
+func decodeOutcomes(s string) []cache.Outcome {
+	out := make([]cache.Outcome, len(s))
+	for i := range s {
+		out[i] = cache.Outcome(s[i] == 'H')
+	}
+	return out
+}
+
+// RunQuery executes one already-expanded query against a target set,
+// consulting the result cache first.
+func (f *Frontend) RunQuery(tgt Target, q mbl.Query, flushFirst bool) ([]cache.Outcome, error) {
+	key := cacheKey(tgt, q, flushFirst)
+	if f.useCache {
+		if enc, ok := f.results[key]; ok {
+			f.stats.CacheHits++
+			return decodeOutcomes(enc), nil
+		}
+	}
+	be, err := f.Backend(tgt)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ocs, err := be.Run(q, 0, flushFirst)
+	f.stats.Duration += time.Since(start)
+	f.stats.Executed++
+	if err != nil {
+		return nil, err
+	}
+	if f.useCache {
+		f.results[key] = encodeOutcomes(ocs)
+	}
+	return ocs, nil
+}
+
+// Query expands an MBL expression for the target's associativity and runs
+// every resulting query, in expansion order. This is the tool's primary
+// entry point (interactive and batch modes are thin wrappers in
+// cmd/cachequery).
+func (f *Frontend) Query(tgt Target, src string) ([]QueryResult, error) {
+	be, err := f.Backend(tgt)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := mbl.Expand(src, be.Assoc())
+	if err != nil {
+		return nil, err
+	}
+	f.stats.Expanded += len(queries)
+	results := make([]QueryResult, 0, len(queries))
+	for _, q := range queries {
+		ocs, err := f.RunQuery(tgt, q, false)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, QueryResult{Query: q, Outcomes: ocs})
+	}
+	return results, nil
+}
+
+// Batch runs a list of MBL expressions against several sets of one level,
+// returning rendered lines — the batch mode used for the Appendix B leader
+// scans.
+func (f *Frontend) Batch(level hw.Level, slices, sets []int, srcs []string) ([]string, error) {
+	var lines []string
+	for _, slice := range slices {
+		for _, set := range sets {
+			tgt := Target{Level: level, Slice: slice, Set: set}
+			for _, src := range srcs {
+				results, err := f.Query(tgt, src)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", tgt, err)
+				}
+				for _, r := range results {
+					lines = append(lines, fmt.Sprintf("%s\t%s\t%s", tgt, r.Query, r.Pattern()))
+				}
+			}
+		}
+	}
+	return lines, nil
+}
+
+// Targets enumerates every set of a level, optionally restricted to one
+// slice (pass slice = -1 for all slices), in a deterministic order.
+func (f *Frontend) Targets(level hw.Level, slice int) []Target {
+	cfg := f.cpu.Config().Config(level)
+	var out []Target
+	for s := 0; s < cfg.Slices; s++ {
+		if slice >= 0 && s != slice {
+			continue
+		}
+		for i := 0; i < cfg.SetsPerSlice; i++ {
+			out = append(out, Target{Level: level, Slice: s, Set: i})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slice != out[j].Slice {
+			return out[i].Slice < out[j].Slice
+		}
+		return out[i].Set < out[j].Set
+	})
+	return out
+}

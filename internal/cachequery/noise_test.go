@@ -1,0 +1,68 @@
+package cachequery
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/hw"
+)
+
+// noisyCPU has deliberately poor latency separation: the L1/L2 gap is only
+// ~4 sigma, so single measurements misclassify regularly and majority
+// voting across repetitions is load-bearing.
+func noisyCPU() hw.CPUConfig {
+	cfg := tinyCPU()
+	cfg.L1.LatencySigma = 2.0
+	cfg.L2.LatencySigma = 3.0
+	cfg.L3.LatencySigma = 8.0
+	cfg.MemSigma = 30
+	return cfg
+}
+
+// TestRepetitionVotingSuppressesNoise runs a battery of known-answer
+// queries on the noisy CPU: with 9 repetitions every answer must be
+// correct, and across the battery the raw single-shot latencies must
+// actually have been ambiguous (otherwise the test would prove nothing).
+func TestRepetitionVotingSuppressesNoise(t *testing.T) {
+	cpu := hw.NewCPU(noisyCPU(), 123)
+	opt := testOptions()
+	opt.Reps = 9
+	opt.CalibrationSamples = 81
+	f := NewFrontend(cpu, opt)
+	f.SetResultCache(false)
+	tgt := Target{Level: hw.L1, Set: 6}
+
+	// Known answers on the 4-way PLRU after the fill '@': resident blocks
+	// hit, a fresh block misses.
+	wrong := 0
+	for i := 0; i < 40; i++ {
+		res, err := f.Query(tgt, "@ B? X? C?")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []cache.Outcome{cache.Hit, cache.Miss, cache.Hit}
+		for j, oc := range res[0].Outcomes {
+			if oc != want[j] {
+				wrong++
+			}
+		}
+	}
+	if wrong != 0 {
+		t.Errorf("%d misclassifications with 9-way voting", wrong)
+	}
+}
+
+// TestCalibrationFailsWhenClassesOverlap: when the latency distributions
+// overlap completely, calibration must refuse rather than emit a garbage
+// threshold.
+func TestCalibrationFailsWhenClassesOverlap(t *testing.T) {
+	cfg := tinyCPU()
+	cfg.L1.HitLatency = 100
+	cfg.L2.HitLatency = 100
+	cfg.L1.LatencySigma = 0.1
+	cfg.L2.LatencySigma = 0.1
+	cpu := hw.NewCPU(cfg, 5)
+	if _, err := NewBackend(cpu, Target{Level: hw.L1, Set: 0}, testOptions()); err == nil {
+		t.Error("calibration succeeded with indistinguishable latency classes")
+	}
+}

@@ -1,0 +1,178 @@
+// Package core wires the CacheQuery reproduction into end-to-end pipelines:
+// learning replacement policies from software-simulated caches (§6),
+// learning them from the simulated silicon CPUs through CacheQuery (§7),
+// and synthesizing rule-based explanations of the results (§5, §8). The
+// command-line tools, the examples and the benchmark harness are thin
+// clients of this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blocks"
+	"repro/internal/cache"
+	"repro/internal/cachequery"
+	"repro/internal/hw"
+	"repro/internal/learn"
+	"repro/internal/mealy"
+	"repro/internal/polca"
+	"repro/internal/policy"
+	"repro/internal/synth"
+)
+
+// SimResult is the outcome of learning from a software-simulated cache.
+type SimResult struct {
+	Policy      string
+	Assoc       int
+	Machine     *mealy.Machine
+	LearnStats  learn.Stats
+	OracleStats polca.Stats
+}
+
+// LearnSimulated learns a named policy of the given associativity from a
+// software-simulated cache (the §6 case study). The returned machine is
+// checked against nothing: callers that know the ground truth can extract
+// it with mealy.FromPolicy and compare.
+func LearnSimulated(policyName string, assoc int, opt learn.Options) (*SimResult, error) {
+	pol, err := policy.New(policyName, assoc)
+	if err != nil {
+		return nil, err
+	}
+	oracle := polca.NewOracle(polca.NewSimProber(pol))
+	res, err := learn.Learn(oracle, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &SimResult{
+		Policy:      pol.Name(),
+		Assoc:       assoc,
+		Machine:     res.Machine,
+		LearnStats:  res.Stats,
+		OracleStats: oracle.Stats(),
+	}, nil
+}
+
+// HardwareRequest configures one §7 learning run against a simulated CPU.
+type HardwareRequest struct {
+	CPU     *hw.CPU
+	Target  cachequery.Target
+	Backend cachequery.BackendOptions
+	// CATWays, when non-zero, virtually reduces the L3 associativity
+	// before provisioning (requires CAT support).
+	CATWays int
+	// Resets are the candidate reset sequences to try in order; an empty
+	// list defaults to Flush+Refill.
+	Resets []cachequery.Reset
+	// Learn configures the learner; Depth defaults to the paper's k=1.
+	Learn learn.Options
+	// DeterminismEvery re-checks every n-th Polca query (0 disables).
+	DeterminismEvery int
+}
+
+// HardwareResult is the outcome of a §7 learning run.
+type HardwareResult struct {
+	Machine     *mealy.Machine
+	Reset       cachequery.Reset
+	LearnStats  learn.Stats
+	OracleStats polca.Stats
+	Frontend    cachequery.FrontendStats
+}
+
+// LearnHardware drives the full hardware pipeline: CAT setup, backend
+// provisioning and calibration, reset-sequence selection, and the learning
+// loop through Polca and CacheQuery. Candidate resets are tried in order;
+// a wrong reset manifests as nondeterminism (or a state-budget overflow)
+// and the next candidate is tried, mirroring the paper's §7.1 procedure.
+func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
+	if req.CATWays > 0 {
+		if err := req.CPU.SetCATWays(req.CATWays); err != nil {
+			return nil, err
+		}
+	}
+	f := cachequery.NewFrontend(req.CPU, req.Backend)
+	be, err := f.Backend(req.Target)
+	if err != nil {
+		return nil, err
+	}
+	resets := req.Resets
+	if len(resets) == 0 {
+		resets = []cachequery.Reset{cachequery.FlushRefill(be.Assoc())}
+	}
+	if req.Learn.Depth == 0 {
+		req.Learn.Depth = 1
+	}
+	var lastErr error
+	for _, rst := range resets {
+		if len(rst.Content) == 0 {
+			content, err := cachequery.DiscoverInitialContent(f, req.Target, rst)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			rst.Content = content
+		}
+		prober, err := cachequery.NewProber(f, req.Target, rst)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var opts []polca.Option
+		if req.DeterminismEvery > 0 {
+			opts = append(opts, polca.WithDeterminismChecks(req.DeterminismEvery))
+		}
+		oracle := polca.NewOracle(prober, opts...)
+		res, err := learn.Learn(oracle, req.Learn)
+		if err != nil {
+			lastErr = fmt.Errorf("reset %q: %w", rst.Name(), err)
+			continue
+		}
+		return &HardwareResult{
+			Machine:     res.Machine,
+			Reset:       rst,
+			LearnStats:  res.Stats,
+			OracleStats: oracle.Stats(),
+			Frontend:    f.Stats(),
+		}, nil
+	}
+	return nil, fmt.Errorf("core: every reset candidate failed, last error: %w", lastErr)
+}
+
+// ResetCandidatesFor computes reset candidates for a known policy using the
+// synchronizing-sequence search, plus the generic Flush+Refill. This is the
+// white-box convenience the experiment harness uses; fully black-box runs
+// pass hand-picked candidates instead, as the paper's authors did.
+func ResetCandidatesFor(pol policy.Policy) []cachequery.Reset {
+	var out []cachequery.Reset
+	if rr, err := cache.FindResetSequence(pol, 0); err == nil {
+		out = append(out, cachequery.Reset{
+			FlushFirst: rr.FlushFirst,
+			Sequence:   rr.Sequence,
+			Content:    rr.Content,
+		})
+	}
+	out = append(out, cachequery.FlushRefill(pol.Assoc()))
+	return out
+}
+
+// GroundTruthAfterReset extracts the Mealy machine of a known policy rooted
+// at the state its reset sequence reaches, for verifying hardware learning
+// results.
+func GroundTruthAfterReset(pol policy.Policy, rst cachequery.Reset) (*mealy.Machine, error) {
+	set := cache.NewEmptySet(pol.Clone())
+	if !rst.FlushFirst {
+		// Model unknown pre-reset content with placeholder blocks outside
+		// the probe universe; a verified reset converges from any state.
+		for i := 0; i < pol.Assoc(); i++ {
+			set.Access(blocks.Block(fmt.Sprintf("Z%d", 90+i)))
+		}
+	}
+	for _, b := range rst.Sequence {
+		set.Access(b)
+	}
+	return mealy.FromPolicyState(set.Policy(), 0)
+}
+
+// Explain synthesizes a rule-based explanation for a learned machine.
+func Explain(m *mealy.Machine, opt synth.Options) (*synth.Result, error) {
+	return synth.Synthesize(m, opt)
+}

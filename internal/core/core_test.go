@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cachequery"
+	"repro/internal/hw"
+	"repro/internal/learn"
+	"repro/internal/mealy"
+	"repro/internal/policy"
+	"repro/internal/synth"
+)
+
+func testCPU() hw.CPUConfig {
+	return hw.CPUConfig{
+		Name:       "core-test",
+		Arch:       "Test",
+		L1:         hw.LevelConfig{Assoc: 4, Slices: 1, SetsPerSlice: 16, Policy: "PLRU", HitLatency: 4, LatencySigma: 0.5},
+		L2:         hw.LevelConfig{Assoc: 4, Slices: 1, SetsPerSlice: 64, Policy: "New1", HitLatency: 12, LatencySigma: 1},
+		L3:         hw.LevelConfig{Assoc: 8, Slices: 2, SetsPerSlice: 256, Policy: "New2", HitLatency: 40, LatencySigma: 3},
+		MemLatency: 190, MemSigma: 15,
+	}
+}
+
+func TestLearnSimulated(t *testing.T) {
+	res, err := LearnSimulated("MRU", 4, learn.Options{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.NumStates != 14 || res.Policy != "MRU" {
+		t.Errorf("result %+v", res)
+	}
+	if res.OracleStats.Probes == 0 || res.LearnStats.OutputQueries == 0 {
+		t.Error("stats not collected")
+	}
+	if _, err := LearnSimulated("nope", 4, learn.Options{}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestLearnHardwareWithDefaultReset(t *testing.T) {
+	res, err := LearnHardware(HardwareRequest{
+		CPU:              hw.NewCPU(testCPU(), 9),
+		Target:           cachequery.Target{Level: hw.L1, Set: 5},
+		Backend:          cachequery.BackendOptions{MaxBlocks: 12, Reps: 3, EvictRounds: 1, CalibrationSamples: 21},
+		Learn:            learn.Options{Depth: 1},
+		DeterminismEvery: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.NumStates != 8 {
+		t.Errorf("learned %d states, want 8 (PLRU-4)", res.Machine.NumStates)
+	}
+	if res.Reset.Name() != "F+R" {
+		t.Errorf("reset %q, want default F+R", res.Reset.Name())
+	}
+	truth, err := GroundTruthAfterReset(policy.MustNew("PLRU", 4), res.Reset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ce := res.Machine.Equivalent(truth); !eq {
+		t.Errorf("learned machine differs, ce=%v", ce)
+	}
+}
+
+func TestLearnHardwareTriesResetCandidates(t *testing.T) {
+	// The first candidate (F+R) is invalid for New1; LearnHardware must
+	// fall through to the synchronizing sequence and succeed. New1 is
+	// installed at the L1 here so the probes need no cross-level
+	// filtering, keeping the test fast; the filtered L2 path is covered
+	// by internal/cachequery's TestLearnNew1FromTinyHardwareL2.
+	cfg := testCPU()
+	cfg.L1.Policy = "New1"
+	pol := policy.MustNew("New1", 4)
+	candidates := append([]cachequery.Reset{cachequery.FlushRefill(4)}, ResetCandidatesFor(pol)...)
+	res, err := LearnHardware(HardwareRequest{
+		CPU:              hw.NewCPU(cfg, 9),
+		Target:           cachequery.Target{Level: hw.L1, Set: 7},
+		Backend:          cachequery.BackendOptions{MaxBlocks: 12, Reps: 3, EvictRounds: 1, CalibrationSamples: 21},
+		Resets:           candidates,
+		Learn:            learn.Options{Depth: 1, MaxStates: 1000},
+		DeterminismEvery: 2, // catch the invalid reset quickly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reset.Name() == "F+R" {
+		t.Error("learning claimed success with the invalid F+R reset")
+	}
+	truth, err := GroundTruthAfterReset(pol, res.Reset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ce := res.Machine.Equivalent(truth); !eq {
+		t.Errorf("learned machine differs from New1, ce=%v", ce)
+	}
+}
+
+func TestLearnHardwareAllResetsFail(t *testing.T) {
+	// An undersized state budget makes every candidate fail.
+	_, err := LearnHardware(HardwareRequest{
+		CPU:     hw.NewCPU(testCPU(), 9),
+		Target:  cachequery.Target{Level: hw.L1, Set: 1},
+		Backend: cachequery.BackendOptions{MaxBlocks: 12, Reps: 3, EvictRounds: 1, CalibrationSamples: 21},
+		Learn:   learn.Options{Depth: 1, MaxStates: 2},
+	})
+	if err == nil || !strings.Contains(err.Error(), "every reset candidate failed") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLearnHardwareRejectsCATWithoutSupport(t *testing.T) {
+	_, err := LearnHardware(HardwareRequest{
+		CPU:     hw.NewCPU(testCPU(), 9),
+		Target:  cachequery.Target{Level: hw.L3, Set: 0},
+		Backend: cachequery.BackendOptions{MaxBlocks: 12, Reps: 3, EvictRounds: 1, CalibrationSamples: 21},
+		CATWays: 4,
+	})
+	if err == nil {
+		t.Error("CAT accepted on a CPU without support")
+	}
+}
+
+func TestResetCandidatesFor(t *testing.T) {
+	// New1 has a findable synchronizing sequence plus the F+R fallback.
+	cands := ResetCandidatesFor(policy.MustNew("New1", 4))
+	if len(cands) != 2 {
+		t.Fatalf("%d candidates", len(cands))
+	}
+	if len(cands[0].Content) != 4 {
+		t.Error("first candidate has no verified content")
+	}
+	// FIFO has no synchronizing sequence: only F+R remains.
+	cands = ResetCandidatesFor(policy.MustNew("FIFO", 4))
+	if len(cands) != 1 || cands[0].Name() != "F+R" {
+		t.Errorf("FIFO candidates = %v", cands)
+	}
+}
+
+func TestGroundTruthAfterResetWithoutFlush(t *testing.T) {
+	// A non-flush reset must converge from placeholder dirty content.
+	pol := policy.MustNew("PLRU", 4)
+	rr := ResetCandidatesFor(pol)[0]
+	noFlush := cachequery.Reset{
+		FlushFirst: false,
+		Sequence:   append(append([]string{}, rr.Sequence...), rr.Sequence...),
+		Content:    rr.Content,
+	}
+	if _, err := GroundTruthAfterReset(pol, noFlush); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainDelegates(t *testing.T) {
+	m, _ := mealy.FromPolicy(policy.MustNew("FIFO", 4), 0)
+	res, err := Explain(m, synth.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Program == nil {
+		t.Error("no program returned")
+	}
+}

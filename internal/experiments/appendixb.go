@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/blocks"
+	"repro/internal/cache"
+	"repro/internal/cachequery"
+	"repro/internal/hw"
+	"repro/internal/mbl"
+)
+
+// LeaderScanResult is the outcome of the Appendix B adaptive-set analysis:
+// per-set thrashing scans under both set-dueling steerings, classifying
+// every sampled set as a fixed thrash-susceptible leader, a fixed
+// thrash-resistant leader, or a follower.
+type LeaderScanResult struct {
+	Model       string
+	Slice       int
+	SampledSets []int
+	// Classified maps set index to the detected kind; Installed holds the
+	// simulator's ground truth for comparison.
+	Classified map[int]hw.LeaderKind
+	Installed  map[int]hw.LeaderKind
+	// Correct counts sets whose detected kind matches the installed rule.
+	Correct int
+	// FormulaHolds reports whether every detected thrash-susceptible set
+	// satisfies the paper's Skylake XOR formula.
+	FormulaHolds bool
+	// PSELLow/PSELHigh record the dueling counter after each steering.
+	PSELLow, PSELHigh int
+}
+
+// thrashQuery builds the thrashing probe of Appendix B: a working set of
+// assoc+4 blocks cycled through the set, with the steady-state passes
+// profiled. On a thrash-susceptible (LRU-like) policy the steady state
+// misses on every access; a thrash-resistant policy retains most of the
+// working set.
+func thrashQuery(assoc int) mbl.Query {
+	ws := blocks.Ordered(assoc + 4)
+	var q mbl.Query
+	for pass := 0; pass < 3; pass++ { // warm-up passes
+		for _, b := range ws {
+			q = append(q, mbl.Op{Block: b})
+		}
+	}
+	for pass := 0; pass < 2; pass++ { // profiled steady-state passes
+		for _, b := range ws {
+			q = append(q, mbl.Op{Block: b, Tag: mbl.TagProfile})
+		}
+	}
+	return q
+}
+
+// thrashSusceptible classifies a steady-state miss fraction.
+func thrashSusceptible(missFraction float64) bool { return missFraction > 0.9 }
+
+// steerPSEL drives the set-dueling counter by thrashing one leader set of
+// the given kind (misses in thrash-susceptible leaders push PSEL up, in
+// resistant leaders down).
+func steerPSEL(f *cachequery.Frontend, kind hw.LeaderKind, rounds int) error {
+	cpu := f.CPU()
+	cfg := cpu.Config()
+	var tgt cachequery.Target
+	found := false
+	for set := 0; set < cfg.L3.SetsPerSlice && !found; set++ {
+		if cfg.LeaderRule(0, set) == kind {
+			tgt = cachequery.Target{Level: hw.L3, Slice: 0, Set: set}
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("experiments: no leader set of kind %v", kind)
+	}
+	be, err := f.Backend(tgt)
+	if err != nil {
+		return err
+	}
+	q := thrashQuery(be.Assoc())
+	for i := 0; i < rounds; i++ {
+		if _, err := be.Run(q, 1, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// classifySet measures the steady-state thrash miss fraction of one set.
+func classifySet(f *cachequery.Frontend, tgt cachequery.Target, reps int) (float64, error) {
+	be, err := f.Backend(tgt)
+	if err != nil {
+		return 0, err
+	}
+	q := thrashQuery(be.Assoc())
+	misses, total := 0, 0
+	for i := 0; i < reps; i++ {
+		ocs, err := be.Run(q, 1, true)
+		if err != nil {
+			return 0, err
+		}
+		for _, oc := range ocs {
+			total++
+			if oc == cache.Miss {
+				misses++
+			}
+		}
+	}
+	return float64(misses) / float64(total), nil
+}
+
+// RunLeaderScan performs the two-pass scan over sampled L3 sets of slice 0.
+func RunLeaderScan(model hw.CPUConfig, sampleSets []int, reps int) (*LeaderScanResult, error) {
+	cpu := hw.NewCPU(model, 31)
+	opt := cachequery.DefaultBackendOptions()
+	opt.MaxBlocks = model.L3.Assoc + 6
+	f := cachequery.NewFrontend(cpu, opt)
+	f.SetResultCache(false) // adaptive behaviour must be observed live
+
+	res := &LeaderScanResult{
+		Model:       model.Name,
+		SampledSets: append([]int(nil), sampleSets...),
+		Classified:  make(map[int]hw.LeaderKind),
+		Installed:   make(map[int]hw.LeaderKind),
+	}
+
+	// Pass 1: PSEL high — followers behave thrash-resistant, so only the
+	// fixed thrash-susceptible leaders keep missing.
+	susceptibleHigh := make(map[int]bool)
+	for _, set := range sampleSets {
+		if err := steerPSEL(f, hw.LeaderThrashable, 40); err != nil {
+			return nil, err
+		}
+		frac, err := classifySet(f, cachequery.Target{Level: hw.L3, Slice: 0, Set: set}, reps)
+		if err != nil {
+			return nil, err
+		}
+		susceptibleHigh[set] = thrashSusceptible(frac)
+	}
+	res.PSELHigh = cpu.PSEL()
+
+	// Pass 2: PSEL low — followers behave thrash-susceptible too.
+	susceptibleLow := make(map[int]bool)
+	for _, set := range sampleSets {
+		if err := steerPSEL(f, hw.LeaderResistant, 40); err != nil {
+			return nil, err
+		}
+		frac, err := classifySet(f, cachequery.Target{Level: hw.L3, Slice: 0, Set: set}, reps)
+		if err != nil {
+			return nil, err
+		}
+		susceptibleLow[set] = thrashSusceptible(frac)
+	}
+	res.PSELLow = cpu.PSEL()
+
+	res.FormulaHolds = true
+	for _, set := range sampleSets {
+		var kind hw.LeaderKind
+		switch {
+		case susceptibleHigh[set]:
+			kind = hw.LeaderThrashable
+		case susceptibleLow[set]:
+			kind = hw.Follower
+		default:
+			kind = hw.LeaderResistant
+		}
+		res.Classified[set] = kind
+		res.Installed[set] = cpu.LeaderKindOf(0, set)
+		if kind == res.Installed[set] {
+			res.Correct++
+		}
+		if kind == hw.LeaderThrashable {
+			x := ((set & 0x3e0) >> 5) ^ (set & 0x1f)
+			if !(x == 0 && set&0x2 == 0) {
+				res.FormulaHolds = false
+			}
+		}
+	}
+	return res, nil
+}
+
+// DefaultLeaderSample returns a sample of slice-0 set indices containing
+// both leader groups plus surrounding followers.
+func DefaultLeaderSample(model hw.CPUConfig) []int {
+	rule := model.LeaderRule
+	seen := map[int]bool{}
+	var sample []int
+	add := func(s int) {
+		if s >= 0 && s < model.L3.SetsPerSlice && !seen[s] {
+			seen[s] = true
+			sample = append(sample, s)
+		}
+	}
+	// Every leader of either kind in the first 256 sets, plus neighbours.
+	for set := 0; set < 256; set++ {
+		if rule(0, set) != hw.Follower {
+			add(set)
+			add(set + 1)
+			add(set - 1)
+		}
+	}
+	// A few plain followers spread across the slice.
+	for _, s := range []int{5, 77, 200, 300, 500} {
+		add(s % model.L3.SetsPerSlice)
+	}
+	sort.Ints(sample)
+	return sample
+}
+
+// LeaderScanTable renders the classification.
+func LeaderScanTable(r *LeaderScanResult) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Appendix B: leader set scan on %s (slice %d)", r.Model, r.Slice),
+		Header: []string{"Set", "Detected", "Installed"},
+	}
+	kindName := map[hw.LeaderKind]string{
+		hw.Follower:         "follower",
+		hw.LeaderThrashable: "leader (thrash-susceptible)",
+		hw.LeaderResistant:  "leader (thrash-resistant)",
+	}
+	for _, set := range r.SampledSets {
+		t.Append(fmt.Sprint(set), kindName[r.Classified[set]], kindName[r.Installed[set]])
+	}
+	return t
+}

@@ -1,0 +1,81 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6 learning from simulators, §7 learning from hardware, §8
+// synthesis, §7.2 costs, Appendix B adaptive-set analysis) against the
+// simulated CPUs. cmd/experiments and the root benchmark harness are thin
+// clients.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table renders rows of tab-separated cells with aligned columns.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Append adds a row.
+func (t *Table) Append(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with padded columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	pad := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = c + strings.Repeat(" ", widths[i]-len([]rune(c)))
+			} else {
+				parts[i] = c
+			}
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	fmt.Fprintln(w, pad(t.Header))
+	fmt.Fprintln(w, strings.Repeat("-", sum(widths)+2*(len(widths)-1)))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, pad(row))
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// fmtDuration renders a duration in the paper's "h m s" style.
+func fmtDuration(d time.Duration) string {
+	d = d.Round(10 * time.Millisecond)
+	h := d / time.Hour
+	m := (d % time.Hour) / time.Minute
+	s := d % time.Minute
+	switch {
+	case h > 0:
+		return fmt.Sprintf("%dh %dm %.0fs", h, m, s.Seconds())
+	case m > 0:
+		return fmt.Sprintf("%dm %.2fs", m, s.Seconds())
+	default:
+		return fmt.Sprintf("%.3fs", s.Seconds())
+	}
+}

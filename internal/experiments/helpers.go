@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"repro/internal/polca"
+	"repro/internal/synth"
+)
+
+// polcaOracle builds the standard oracle used by the figure and table
+// harness: determinism re-checks every 128 queries, memoization on.
+func polcaOracle(p polca.Prober) *polca.Oracle {
+	return polca.NewOracle(p, polca.WithDeterminismChecks(128))
+}
+
+// synthOptions is the fixed synthesis configuration of the harness.
+func synthOptions() synth.Options { return synth.Options{Seed: 1} }

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/mealy"
+	"repro/internal/policy"
+	"repro/internal/synth"
+)
+
+// Table5Policies are the nine policies the paper synthesizes explanations
+// for, at associativity 4 (Table 5).
+func Table5Policies() []string {
+	return []string{"FIFO", "LRU", "PLRU", "LIP", "MRU", "SRRIP-HP", "SRRIP-FP", "New1", "New2"}
+}
+
+// Table5Row is one synthesis outcome.
+type Table5Row struct {
+	Policy     string
+	States     int
+	Template   string
+	Time       time.Duration
+	Candidates int
+	Program    *synth.Program // nil when synthesis failed
+	Err        string
+}
+
+// RunTable5Row synthesizes an explanation for one policy at associativity 4.
+func RunTable5Row(name string) Table5Row {
+	row := Table5Row{Policy: name}
+	pol, err := policy.New(name, 4)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	m, err := mealy.FromPolicy(pol, 0)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	row.States = m.NumStates
+	res, err := synth.Synthesize(m, synth.Options{Seed: 1})
+	if err != nil {
+		if errors.Is(err, synth.ErrNoProgram) {
+			row.Template = "—"
+			row.Err = "not explainable by the template (as in the paper)"
+			if res != nil {
+				row.Candidates = res.Candidates
+				row.Time = res.Duration
+			}
+		} else {
+			row.Err = err.Error()
+		}
+		return row
+	}
+	row.Template = res.Template.String()
+	row.Time = res.Duration
+	row.Candidates = res.Candidates
+	row.Program = res.Program
+	return row
+}
+
+// RunTable5 synthesizes the full table.
+func RunTable5() []Table5Row {
+	rows := make([]Table5Row, 0, len(Table5Policies()))
+	for _, name := range Table5Policies() {
+		rows = append(rows, RunTable5Row(name))
+	}
+	return rows
+}
+
+// Table5Table renders rows in the layout of Table 5.
+func Table5Table(rows []Table5Row) *Table {
+	t := &Table{
+		Title:  "Table 5: synthesizing explanations for policies (associativity 4)",
+		Header: []string{"Policy", "States", "Template", "Execution Time", "Candidates"},
+	}
+	for _, r := range rows {
+		tpl := r.Template
+		if r.Program == nil {
+			tpl = "—"
+		}
+		t.Append(r.Policy, fmt.Sprint(r.States), tpl, fmtDuration(r.Time), fmt.Sprint(r.Candidates))
+	}
+	return t
+}

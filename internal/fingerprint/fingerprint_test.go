@@ -1,0 +1,62 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"repro/internal/polca"
+	"repro/internal/policy"
+)
+
+func TestIdentifySimulatedPolicies(t *testing.T) {
+	// Every zoo policy must be identified uniquely against the full pool
+	// when observed through a simulated cache.
+	for _, name := range []string{"FIFO", "LRU", "PLRU", "MRU", "LIP", "SRRIP-HP", "SRRIP-FP", "New1", "New2"} {
+		pr := polca.NewSimProber(policy.MustNew(name, 4))
+		res, err := Identify(pr, DefaultPool(), Options{Seed: 42})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Matches) != 1 || res.Matches[0] != name {
+			t.Errorf("%s identified as %v", name, res.Matches)
+		}
+	}
+}
+
+func TestIdentifyReportsEliminations(t *testing.T) {
+	pr := polca.NewSimProber(policy.MustNew("LRU", 4))
+	res, err := Identify(pr, []string{"LRU", "FIFO"}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Eliminated["FIFO"] == 0 {
+		t.Error("FIFO elimination trial not recorded")
+	}
+	if res.Traces == 0 {
+		t.Error("no traces recorded")
+	}
+}
+
+func TestIdentifyAmbiguousPool(t *testing.T) {
+	// BIP with its default 1/32 throttle behaves like LIP on short traces:
+	// with few, short trials both candidates survive — the "no guarantees"
+	// failure mode of fingerprinting.
+	pr := polca.NewSimProber(policy.MustNew("LIP", 4))
+	res, err := Identify(pr, []string{"LIP", "BIP"}, Options{Seed: 3, Trials: 2, Length: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) < 2 {
+		t.Errorf("expected an ambiguous result on short traces, got %v", res.Matches)
+	}
+}
+
+func TestIdentifyRejectsEmptyPool(t *testing.T) {
+	pr := polca.NewSimProber(policy.MustNew("LRU", 4))
+	if _, err := Identify(pr, []string{"PLRU"}, Options{}); err != nil {
+		t.Fatalf("PLRU instantiates at assoc 4: %v", err)
+	}
+	pr3 := polca.NewSimProber(policy.MustNew("LRU", 3))
+	if _, err := Identify(pr3, []string{"PLRU"}, Options{}); err == nil {
+		t.Error("pool with no instantiable candidates accepted")
+	}
+}

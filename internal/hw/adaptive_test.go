@@ -1,0 +1,130 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// TestDuelPolicyFollowsPSEL: a follower set's victim choice must track the
+// set-dueling counter.
+func TestDuelPolicyFollowsPSEL(t *testing.T) {
+	cpu := NewCPU(Skylake(), 3)
+	mk := func() *duelPolicy {
+		return &duelPolicy{
+			cpu: cpu,
+			a:   policy.MustNew("New2", 4),
+			b:   mustBRRIP(t, 4),
+		}
+	}
+	// Drive both copies into a state where the two policies disagree on
+	// the victim, then flip PSEL.
+	low, high := mk(), mk()
+	prep := func(p *duelPolicy) {
+		for i := 0; i < 4; i++ {
+			p.OnMiss()
+		}
+		p.OnHit(1)
+		p.OnHit(2)
+	}
+	prep(low)
+	prep(high)
+	cpu.psel = 0
+	va := low.OnMiss()
+	cpu.psel = pselMax
+	vb := high.OnMiss()
+	if va == vb {
+		t.Skip("policies agree on this state; adjust the preparation if this starts happening")
+	}
+}
+
+func mustBRRIP(t *testing.T, assoc int) policy.Policy {
+	t.Helper()
+	p, err := policy.NewBRRIP(assoc, policy.DefaultBRRIPEpsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDuelPolicyCloneSharesPSELButNotMetadata: clones must share the global
+// counter while keeping independent per-set metadata.
+func TestDuelPolicyCloneSharesPSELButNotMetadata(t *testing.T) {
+	cpu := NewCPU(Skylake(), 3)
+	p := &duelPolicy{cpu: cpu, a: policy.MustNew("New2", 4), b: mustBRRIP(t, 4)}
+	c := p.Clone().(*duelPolicy)
+	if c.cpu != p.cpu {
+		t.Error("clone does not share the CPU (and its PSEL)")
+	}
+	c.OnMiss()
+	if c.StateKey() == p.StateKey() {
+		t.Error("clone metadata tracks the original")
+	}
+}
+
+// TestNondetThrottleDiverges: the Haswell-style randomized BRRIP must
+// produce different eviction streams across replays — that is its purpose.
+func TestNondetThrottleDiverges(t *testing.T) {
+	cpu := NewCPU(Haswell(), 3)
+	p := newNondetThrottle(cpu, 4)
+	run := func() []int {
+		p.Reset()
+		var out []int
+		for i := 0; i < 64; i++ {
+			out = append(out, p.OnMiss())
+			if i%5 == 0 {
+				p.OnHit(i % 4)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("randomized throttle replayed identically")
+	}
+}
+
+// TestLeaderPolicyAssignment: the three set roles get the right policy
+// type on an adaptive L3.
+func TestLeaderPolicyAssignment(t *testing.T) {
+	cpu := NewCPU(Skylake(), 3)
+	cases := []struct {
+		set  int
+		want string
+	}{
+		{0, "New2"},     // thrashable leader (XOR formula, bit 1 clear)
+		{62, "BRRIP"},   // resistant leader
+		{5, "Adaptive"}, // follower
+	}
+	for _, c := range cases {
+		pol := cpu.newPolicyFor(L3, 0, c.set, 12)
+		name := pol.Name()
+		if len(name) < len(c.want) || name[:len(c.want)] != c.want {
+			t.Errorf("set %d: policy %q, want prefix %q", c.set, name, c.want)
+		}
+	}
+	// Non-adaptive levels always get the configured policy.
+	if pol := cpu.newPolicyFor(L2, 0, 5, 4); pol.Name() != "New1" {
+		t.Errorf("L2 policy %q", pol.Name())
+	}
+}
+
+// TestHaswellResistantLeaderIsNondeterministic: the configuration flag
+// materializes the randomized throttle on Haswell but plain BRRIP on
+// Skylake.
+func TestHaswellResistantLeaderIsNondeterministic(t *testing.T) {
+	h := NewCPU(Haswell(), 3)
+	if _, ok := h.newResistantPolicy(16).(*nondetThrottle); !ok {
+		t.Error("Haswell resistant leader is deterministic")
+	}
+	s := NewCPU(Skylake(), 3)
+	if _, ok := s.newResistantPolicy(12).(*policy.BRRIP); !ok {
+		t.Error("Skylake resistant leader is not plain BRRIP")
+	}
+}

@@ -1,0 +1,211 @@
+// Package hw simulates the silicon CPUs of the paper's hardware case study
+// (§7): a multi-level, sliced, physically-indexed cache hierarchy with
+// realistic obstacles — virtual-to-physical translation, complex-addressed
+// L3 slices, inclusive back-invalidation, latency noise, a stream
+// prefetcher, way-partitioning (Intel CAT), and the adaptive leader/follower
+// set dueling of Appendix B.
+//
+// This package is the substitution mandated by the reproduction plan
+// (DESIGN.md): a Go process cannot take cycle-accurate measurements of its
+// own host caches, so CacheQuery's backend drives this model through the
+// same abstract operations a kernel module would use on silicon — loads,
+// clflush/wbinvd, rdtsc-style latency readings, and page-table walks.
+package hw
+
+import "fmt"
+
+// LineSize is the cache line (and memory block) size in bytes.
+const LineSize = 64
+
+// PageSize is the virtual memory page size in bytes.
+const PageSize = 4096
+
+// Level identifies a cache level.
+type Level int
+
+// Cache levels.
+const (
+	L1 Level = iota
+	L2
+	L3
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string { return [...]string{"L1", "L2", "L3"}[l] }
+
+// ParseLevel parses "L1", "L2" or "L3" (case-insensitive digits allowed).
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "L1", "l1", "1":
+		return L1, nil
+	case "L2", "l2", "2":
+		return L2, nil
+	case "L3", "l3", "3":
+		return L3, nil
+	}
+	return 0, fmt.Errorf("hw: unknown cache level %q", s)
+}
+
+// LeaderKind classifies a cache set's role in an adaptive last-level cache.
+type LeaderKind int
+
+// Adaptive set roles (Appendix B).
+const (
+	// Follower sets switch policies dynamically according to the PSEL
+	// set-dueling counter.
+	Follower LeaderKind = iota
+	// LeaderThrashable sets run the fixed thrash-susceptible policy
+	// (New2 on Skylake/Kaby Lake).
+	LeaderThrashable
+	// LeaderResistant sets run the fixed thrash-resistant policy.
+	LeaderResistant
+)
+
+// LevelConfig describes one cache level of a CPU model (Table 3).
+type LevelConfig struct {
+	Assoc        int
+	Slices       int
+	SetsPerSlice int
+	// Policy names the replacement policy of every set of the level.
+	// Ignored for an adaptive L3 (see CPUConfig.L3Adaptive), where the
+	// leader rule decides per set.
+	Policy string
+	// HitLatency is the mean load-to-use latency in cycles for a hit at
+	// this level.
+	HitLatency float64
+	// LatencySigma is the standard deviation of the latency noise.
+	LatencySigma float64
+}
+
+// CPUConfig is a full processor model.
+type CPUConfig struct {
+	Name string // e.g. "i7-6500 (Skylake)"
+	Arch string // microarchitecture name
+	L1   LevelConfig
+	L2   LevelConfig
+	L3   LevelConfig
+	// MemLatency/MemSigma model a DRAM access.
+	MemLatency float64
+	MemSigma   float64
+	// L3Adaptive enables leader/follower set dueling on the L3.
+	L3Adaptive bool
+	// LeaderRule classifies L3 sets when L3Adaptive is set.
+	LeaderRule func(slice, set int) LeaderKind
+	// ThrashablePolicy and ResistantPolicy name the two dueling policies.
+	ThrashablePolicy string
+	ResistantPolicy  string
+	// ResistantNondet makes the thrash-resistant leader policy use a
+	// randomized insertion throttle, reproducing the nondeterministic
+	// leader group observed on Haswell.
+	ResistantNondet bool
+	// SupportsCAT enables Intel Cache Allocation Technology way masking on
+	// the L3 (absent on Haswell).
+	SupportsCAT bool
+}
+
+// skylakeLeaderRule implements the Appendix B set-selection formulas for
+// Skylake and Kaby Lake: sets with ((set>>5 & 0x1f) ^ (set & 0x1f)) == 0 and
+// bit 1 clear are thrash-susceptible leaders; the complementary group (XOR
+// pattern 0x1f with bit 1 set) are the second leader group. The rule applies
+// in every slice.
+func skylakeLeaderRule(_, set int) LeaderKind {
+	x := ((set & 0x3e0) >> 5) ^ (set & 0x1f)
+	switch {
+	case x == 0x00 && set&0x2 == 0x0:
+		return LeaderThrashable
+	case x == 0x1f && set&0x2 == 0x2:
+		return LeaderResistant
+	default:
+		return Follower
+	}
+}
+
+// haswellLeaderRule implements the Haswell observation: leader ranges live
+// only in slice 0, selected by comparing index bits 6..10 with fixed
+// constants — sets 512-575 are thrash-susceptible, sets 768-831 thrash
+// resistant.
+func haswellLeaderRule(slice, set int) LeaderKind {
+	if slice != 0 {
+		return Follower
+	}
+	switch (set & 0x7c0) >> 6 {
+	case 0x8:
+		return LeaderThrashable
+	case 0xc:
+		return LeaderResistant
+	default:
+		return Follower
+	}
+}
+
+// Haswell returns the i7-4790 model of Table 3.
+func Haswell() CPUConfig {
+	return CPUConfig{
+		Name:             "i7-4790 (Haswell)",
+		Arch:             "Haswell",
+		L1:               LevelConfig{Assoc: 8, Slices: 1, SetsPerSlice: 64, Policy: "PLRU", HitLatency: 4, LatencySigma: 0.5},
+		L2:               LevelConfig{Assoc: 8, Slices: 1, SetsPerSlice: 512, Policy: "PLRU", HitLatency: 12, LatencySigma: 1},
+		L3:               LevelConfig{Assoc: 16, Slices: 4, SetsPerSlice: 2048, HitLatency: 42, LatencySigma: 3},
+		MemLatency:       200,
+		MemSigma:         15,
+		L3Adaptive:       true,
+		LeaderRule:       haswellLeaderRule,
+		ThrashablePolicy: "New2",
+		ResistantPolicy:  "BRRIP",
+		ResistantNondet:  true,
+		SupportsCAT:      false,
+	}
+}
+
+// Skylake returns the i5-6500 model of Table 3.
+func Skylake() CPUConfig {
+	return CPUConfig{
+		Name:             "i5-6500 (Skylake)",
+		Arch:             "Skylake",
+		L1:               LevelConfig{Assoc: 8, Slices: 1, SetsPerSlice: 64, Policy: "PLRU", HitLatency: 4, LatencySigma: 0.5},
+		L2:               LevelConfig{Assoc: 4, Slices: 1, SetsPerSlice: 1024, Policy: "New1", HitLatency: 12, LatencySigma: 1},
+		L3:               LevelConfig{Assoc: 12, Slices: 8, SetsPerSlice: 1024, HitLatency: 40, LatencySigma: 3},
+		MemLatency:       190,
+		MemSigma:         15,
+		L3Adaptive:       true,
+		LeaderRule:       skylakeLeaderRule,
+		ThrashablePolicy: "New2",
+		ResistantPolicy:  "BRRIP",
+		SupportsCAT:      true,
+	}
+}
+
+// KabyLake returns the i7-8550U model of Table 3.
+func KabyLake() CPUConfig {
+	return CPUConfig{
+		Name:             "i7-8550U (Kaby Lake)",
+		Arch:             "Kaby Lake",
+		L1:               LevelConfig{Assoc: 8, Slices: 1, SetsPerSlice: 64, Policy: "PLRU", HitLatency: 4, LatencySigma: 0.5},
+		L2:               LevelConfig{Assoc: 4, Slices: 1, SetsPerSlice: 1024, Policy: "New1", HitLatency: 12, LatencySigma: 1},
+		L3:               LevelConfig{Assoc: 16, Slices: 8, SetsPerSlice: 1024, HitLatency: 44, LatencySigma: 3},
+		MemLatency:       210,
+		MemSigma:         15,
+		L3Adaptive:       true,
+		LeaderRule:       skylakeLeaderRule,
+		ThrashablePolicy: "New2",
+		ResistantPolicy:  "BRRIP",
+		SupportsCAT:      true,
+	}
+}
+
+// Models returns the three evaluated CPU models in the paper's order.
+func Models() []CPUConfig {
+	return []CPUConfig{Haswell(), Skylake(), KabyLake()}
+}
+
+// Config retrieves the level configuration for a Level.
+func (c CPUConfig) Config(l Level) LevelConfig {
+	switch l {
+	case L1:
+		return c.L1
+	case L2:
+		return c.L2
+	default:
+		return c.L3
+	}
+}

@@ -1,0 +1,401 @@
+package hw
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/blocks"
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+// Addr is a virtual or physical byte address.
+type Addr uint64
+
+// physBits is the size of the simulated physical address space (16 GiB),
+// enough to exercise the high bits of the slice hash.
+const physBits = 34
+
+// sliceHashMasks are the XOR-reduction masks of the complex slice-addressing
+// function reverse-engineered by Maurice et al. [27]; slice bit i is the
+// parity of the physical address masked with masks[i].
+var sliceHashMasks = [3]uint64{0x1b5f575440, 0x2eb5faa880, 0x3cccc93100}
+
+// CPU is one simulated processor. It is not safe for concurrent use, like
+// the single hardware thread CacheQuery pins itself to.
+type CPU struct {
+	cfg CPUConfig
+	rng *rand.Rand
+
+	pages    map[uint64]uint64 // virtual page -> physical page
+	usedPhys map[uint64]bool
+	nextVirt Addr               // bump allocator for AllocBuffer
+	lines    map[Addr]*lineInfo // per-line memo: name, set mapping per level
+
+	levels [3]*cacheLevel
+	psel   int // set-dueling counter, 0..pselMax
+
+	prefetchOn bool
+	lowNoise   bool
+	lastLine   Addr
+	streak     int
+
+	tsc       uint64
+	loadCount uint64
+}
+
+const (
+	pselMax  = 1023
+	pselInit = 512
+)
+
+// cacheLevel is one level of the hierarchy with lazily materialized sets.
+type cacheLevel struct {
+	lvl      Level
+	cfg      LevelConfig
+	sets     map[uint32]*cache.Set // key: slice<<20 | set
+	catAssoc int                   // 0 = CAT off (full associativity)
+}
+
+// NewCPU builds a simulated processor. The seed fixes the page-frame
+// assignment, latency noise and the randomized components of the adaptive
+// L3, making whole experiments reproducible.
+func NewCPU(cfg CPUConfig, seed int64) *CPU {
+	c := &CPU{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+		pages:    make(map[uint64]uint64),
+		usedPhys: make(map[uint64]bool),
+		nextVirt: PageSize, // keep the zero page unmapped
+		lines:    make(map[Addr]*lineInfo),
+		psel:     pselInit,
+	}
+	for _, l := range []Level{L1, L2, L3} {
+		c.levels[l] = &cacheLevel{lvl: l, cfg: cfg.Config(l), sets: make(map[uint32]*cache.Set)}
+	}
+	return c
+}
+
+// Config returns the processor model.
+func (c *CPU) Config() CPUConfig { return c.cfg }
+
+// AllocBuffer reserves n contiguous virtual pages and returns the base
+// address. Physical frames are assigned on first touch.
+func (c *CPU) AllocBuffer(n int) Addr {
+	base := c.nextVirt
+	c.nextVirt += Addr(n) * PageSize
+	return base
+}
+
+// TranslateToPhys walks the simulated page table, allocating a frame on
+// first touch — the privileged API a kernel-module backend relies on.
+func (c *CPU) TranslateToPhys(va Addr) Addr {
+	vpage := uint64(va) / PageSize
+	ppage, ok := c.pages[vpage]
+	if !ok {
+		// Deterministic pseudo-random frame assignment with collision
+		// probing, seeded by the CPU's RNG state at first touch.
+		ppage = c.rng.Uint64() & (1<<(physBits-12) - 1)
+		for c.usedPhys[ppage] {
+			ppage = (ppage + 1) & (1<<(physBits-12) - 1)
+		}
+		c.usedPhys[ppage] = true
+		c.pages[vpage] = ppage
+	}
+	return Addr(ppage*PageSize + uint64(va)%PageSize)
+}
+
+// SetIndex returns the (slice, set) pair a physical address maps to at a
+// level. This mapping knowledge is what CacheQuery is parametric on (§4.3).
+func (c *CPU) SetIndex(l Level, pa Addr) (slice, set int) {
+	cfg := c.cfg.Config(l)
+	set = int(uint64(pa) / LineSize % uint64(cfg.SetsPerSlice))
+	if cfg.Slices == 1 {
+		return 0, set
+	}
+	k := bits.TrailingZeros(uint(cfg.Slices))
+	for i := 0; i < k; i++ {
+		if bits.OnesCount64(uint64(pa)&sliceHashMasks[i])%2 == 1 {
+			slice |= 1 << i
+		}
+	}
+	return slice, set
+}
+
+// blockName is the cache-internal name of the line containing pa.
+func blockName(pa Addr) blocks.Block {
+	return "H" + strconv.FormatUint(uint64(pa)/LineSize, 16)
+}
+
+// lineInfo caches everything the load path needs per cache line: the block
+// name and the (slice, set) mapping at every level. Computing the slice
+// hash and formatting block names dominated the simulator's profile before
+// this memo.
+type lineInfo struct {
+	name blocks.Block
+	key  [3]uint32 // slice<<20 | set, per level
+}
+
+func (c *CPU) lineInfo(pa Addr) *lineInfo {
+	line := pa &^ (LineSize - 1)
+	if li, ok := c.lines[line]; ok {
+		return li
+	}
+	li := &lineInfo{name: blockName(line)}
+	for _, l := range []Level{L1, L2, L3} {
+		slice, set := c.SetIndex(l, line)
+		li.key[l] = uint32(slice)<<20 | uint32(set)
+	}
+	c.lines[line] = li
+	return li
+}
+
+// lineName returns the memoized block name of pa's line.
+func (c *CPU) lineName(pa Addr) blocks.Block { return c.lineInfo(pa).name }
+
+// effectiveAssoc returns the associativity visible at a level, accounting
+// for CAT way masking.
+func (lv *cacheLevel) effectiveAssoc() int {
+	if lv.catAssoc > 0 {
+		return lv.catAssoc
+	}
+	return lv.cfg.Assoc
+}
+
+// setFor materializes the cache set a physical address maps to.
+func (c *CPU) setFor(l Level, pa Addr) *cache.Set {
+	return c.setForKey(l, c.lineInfo(pa).key[l])
+}
+
+func (c *CPU) setForKey(l Level, key uint32) *cache.Set {
+	lv := c.levels[l]
+	if s, ok := lv.sets[key]; ok {
+		return s
+	}
+	slice, set := int(key>>20), int(key&(1<<20-1))
+	s := cache.NewEmptySet(c.newPolicyFor(l, slice, set, lv.effectiveAssoc()))
+	lv.sets[key] = s
+	return s
+}
+
+// newPolicyFor instantiates the replacement policy of one set.
+func (c *CPU) newPolicyFor(l Level, slice, set, assoc int) policy.Policy {
+	cfg := c.cfg.Config(l)
+	if l != L3 || !c.cfg.L3Adaptive {
+		return policy.MustNew(cfg.Policy, assoc)
+	}
+	switch c.cfg.LeaderRule(slice, set) {
+	case LeaderThrashable:
+		return policy.MustNew(c.cfg.ThrashablePolicy, assoc)
+	case LeaderResistant:
+		return c.newResistantPolicy(assoc)
+	default:
+		return &duelPolicy{
+			cpu: c,
+			a:   policy.MustNew(c.cfg.ThrashablePolicy, assoc),
+			b:   c.newResistantPolicy(assoc),
+		}
+	}
+}
+
+func (c *CPU) newResistantPolicy(assoc int) policy.Policy {
+	if c.cfg.ResistantNondet {
+		return newNondetThrottle(c, assoc)
+	}
+	p, err := policy.NewBRRIP(assoc, policy.DefaultBRRIPEpsilon)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// LeaderKindOf classifies an L3 set, mirroring the configuration rule.
+func (c *CPU) LeaderKindOf(slice, set int) LeaderKind {
+	if !c.cfg.L3Adaptive {
+		return Follower
+	}
+	return c.cfg.LeaderRule(slice, set)
+}
+
+// accessSet performs one access at a level and returns the outcome plus the
+// name of any evicted block.
+func accessSet(s *cache.Set, b blocks.Block) (cache.Outcome, blocks.Block) {
+	oc, _, evicted := s.AccessEvicted(b)
+	return oc, evicted
+}
+
+// Load performs one memory load and returns the measured latency in cycles,
+// as an rdtsc-based profiler would observe it.
+func (c *CPU) Load(va Addr) float64 {
+	pa := c.TranslateToPhys(va)
+	li := c.lineInfo(pa)
+	b := li.name
+	c.loadCount++
+
+	var base float64
+	if oc, _ := accessSet(c.setForKey(L1, li.key[L1]), b); oc == cache.Hit {
+		base = c.cfg.L1.HitLatency + c.noise(c.cfg.L1.LatencySigma)
+	} else if oc, _ := accessSet(c.setForKey(L2, li.key[L2]), b); oc == cache.Hit {
+		base = c.cfg.L2.HitLatency + c.noise(c.cfg.L2.LatencySigma)
+	} else if oc, ev := c.accessL3(li, b); oc == cache.Hit {
+		base = c.cfg.L3.HitLatency + c.noise(c.cfg.L3.LatencySigma)
+		_ = ev
+	} else {
+		base = c.cfg.MemLatency + c.noise(c.cfg.MemSigma)
+	}
+	if base < 1 {
+		base = 1
+	}
+	c.tsc += uint64(base)
+	if c.prefetchOn {
+		c.maybePrefetch(pa)
+	}
+	return base
+}
+
+// accessL3 accesses the (possibly adaptive) L3, maintaining the set-dueling
+// counter and the inclusive-hierarchy back-invalidation.
+func (c *CPU) accessL3(li *lineInfo, b blocks.Block) (cache.Outcome, blocks.Block) {
+	slice, set := int(li.key[L3]>>20), int(li.key[L3]&(1<<20-1))
+	s := c.setForKey(L3, li.key[L3])
+	oc, evicted := accessSet(s, b)
+	if oc == cache.Miss && c.cfg.L3Adaptive {
+		// Misses in leader sets steer PSEL towards the other policy.
+		switch c.cfg.LeaderRule(slice, set) {
+		case LeaderThrashable:
+			if c.psel < pselMax {
+				c.psel++
+			}
+		case LeaderResistant:
+			if c.psel > 0 {
+				c.psel--
+			}
+		}
+	}
+	if evicted != "" {
+		// Inclusive LLC: evicting a line invalidates it in L1 and L2.
+		c.invalidateAbove(evicted)
+	}
+	return oc, evicted
+}
+
+// invalidateAbove removes a block from L1 and L2 (back-invalidation).
+func (c *CPU) invalidateAbove(b blocks.Block) {
+	pa, err := strconv.ParseUint(string(b[1:]), 16, 64)
+	if err != nil {
+		return
+	}
+	line := Addr(pa * LineSize)
+	c.setFor(L1, line).FlushBlock(b)
+	c.setFor(L2, line).FlushBlock(b)
+}
+
+// noise draws latency noise: Gaussian jitter plus rare large outliers
+// standing in for interrupts and SMM excursions. CacheQuery's low-noise
+// environment setup (§4.3) suppresses most outliers.
+func (c *CPU) noise(sigma float64) float64 {
+	n := c.rng.NormFloat64() * sigma
+	outlierP := 1.0 / 200
+	if c.lowNoise {
+		outlierP = 1.0 / 20000
+	} else {
+		n *= 3
+	}
+	if c.rng.Float64() < outlierP {
+		n += 150 + c.rng.Float64()*300
+	}
+	return n
+}
+
+// maybePrefetch implements a stream prefetcher: after two consecutive
+// +1-line strides it pulls the next line into L2 (and L3 on the way).
+func (c *CPU) maybePrefetch(pa Addr) {
+	line := pa / LineSize
+	if line == c.lastLine+1 {
+		c.streak++
+	} else if line != c.lastLine {
+		c.streak = 0
+	}
+	c.lastLine = line
+	if c.streak >= 2 {
+		next := (line + 1) * LineSize
+		li := c.lineInfo(next)
+		if oc, _ := c.accessL3(li, li.name); oc == cache.Miss || oc == cache.Hit {
+			accessSet(c.setForKey(L2, li.key[L2]), li.name)
+		}
+	}
+}
+
+// CLFlush invalidates the line containing va throughout the hierarchy.
+func (c *CPU) CLFlush(va Addr) {
+	pa := c.TranslateToPhys(va)
+	b := c.lineName(pa)
+	for _, l := range []Level{L1, L2, L3} {
+		c.setFor(l, pa).FlushBlock(b)
+	}
+	c.tsc += 120
+}
+
+// WBInvd invalidates every cache line on the processor. As on silicon, the
+// replacement metadata is not reset — only the data is gone.
+func (c *CPU) WBInvd() {
+	for _, lv := range c.levels {
+		for _, s := range lv.sets {
+			s.Flush()
+		}
+	}
+	c.tsc += 20000
+}
+
+// SetPrefetcher enables or disables the hardware prefetcher (the MSR pokes
+// of §4.3).
+func (c *CPU) SetPrefetcher(on bool) { c.prefetchOn = on; c.streak = 0 }
+
+// SetLowNoise models disabling hyper-threading, frequency scaling, other
+// cores and interrupts around measurements.
+func (c *CPU) SetLowNoise(on bool) { c.lowNoise = on }
+
+// SetCATWays restricts the L3 fill mask to the given number of ways
+// (virtually reducing associativity, §7.1). It drops all materialized L3
+// sets, like reprogramming the class-of-service masks after a wbinvd.
+// Passing 0 restores full associativity.
+func (c *CPU) SetCATWays(ways int) error {
+	if !c.cfg.SupportsCAT && ways != 0 {
+		return fmt.Errorf("hw: %s does not support CAT", c.cfg.Name)
+	}
+	if ways < 0 || ways > c.cfg.L3.Assoc {
+		return fmt.Errorf("hw: CAT ways %d out of range 0..%d", ways, c.cfg.L3.Assoc)
+	}
+	c.levels[L3].catAssoc = ways
+	c.levels[L3].sets = make(map[uint32]*cache.Set)
+	return nil
+}
+
+// EffectiveAssoc returns the associativity visible at a level, accounting
+// for CAT way masking on the L3.
+func (c *CPU) EffectiveAssoc(l Level) int { return c.levels[l].effectiveAssoc() }
+
+// RDTSC returns the timestamp counter.
+func (c *CPU) RDTSC() uint64 { return c.tsc }
+
+// LoadCount returns the number of loads issued (a performance-counter
+// stand-in used by the cost experiments).
+func (c *CPU) LoadCount() uint64 { return c.loadCount }
+
+// PSEL exposes the set-dueling counter for the Appendix B experiments.
+func (c *CPU) PSEL() int { return c.psel }
+
+// ResidentLevel reports the lowest level holding va's line, or -1 when
+// uncached — a white-box hook for tests only.
+func (c *CPU) ResidentLevel(va Addr) int {
+	pa := c.TranslateToPhys(va)
+	b := c.lineName(pa)
+	for _, l := range []Level{L1, L2, L3} {
+		if c.setFor(l, pa).Lookup(b) >= 0 {
+			return int(l)
+		}
+	}
+	return -1
+}

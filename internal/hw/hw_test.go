@@ -1,0 +1,365 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func skylake(t *testing.T) *CPU {
+	t.Helper()
+	c := NewCPU(Skylake(), 1)
+	c.SetLowNoise(true)
+	return c
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"L1": L1, "l2": L2, "3": L3} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("L4"); err == nil {
+		t.Error("ParseLevel(L4) succeeded")
+	}
+}
+
+func TestTranslationIsStableAndInjective(t *testing.T) {
+	c := skylake(t)
+	base := c.AllocBuffer(64)
+	seen := make(map[Addr]bool)
+	for i := 0; i < 64; i++ {
+		va := base + Addr(i)*PageSize
+		pa := c.TranslateToPhys(va)
+		if pa2 := c.TranslateToPhys(va); pa2 != pa {
+			t.Fatalf("translation of %#x changed: %#x vs %#x", va, pa, pa2)
+		}
+		page := pa &^ (PageSize - 1)
+		if seen[page] {
+			t.Fatalf("physical page %#x assigned twice", page)
+		}
+		seen[page] = true
+		if pa%PageSize != va%PageSize {
+			t.Fatalf("page offset not preserved: va %#x -> pa %#x", va, pa)
+		}
+	}
+}
+
+func TestSetIndexProperties(t *testing.T) {
+	c := skylake(t)
+	cfg := c.Config()
+	// Two addresses one line apart land in adjacent L1 sets modulo the
+	// set count; same line offset within a page shares the L1 set.
+	pa := Addr(0x12340)
+	s0, i0 := c.SetIndex(L1, pa)
+	s1, i1 := c.SetIndex(L1, pa+LineSize)
+	if s0 != 0 || s1 != 0 {
+		t.Errorf("L1 has one slice, got slices %d/%d", s0, s1)
+	}
+	if (i0+1)%cfg.L1.SetsPerSlice != i1 {
+		t.Errorf("adjacent lines in L1 sets %d and %d", i0, i1)
+	}
+	// The L3 slice is within range and depends only on the physical
+	// address.
+	for _, p := range []Addr{0, 0x40, 0x123456780, 0x3ffffffc0} {
+		slice, set := c.SetIndex(L3, p)
+		if slice < 0 || slice >= cfg.L3.Slices {
+			t.Errorf("slice %d out of range for %#x", slice, p)
+		}
+		if set < 0 || set >= cfg.L3.SetsPerSlice {
+			t.Errorf("set %d out of range for %#x", set, p)
+		}
+	}
+}
+
+func TestLoadLatencyClasses(t *testing.T) {
+	c := skylake(t)
+	va := c.AllocBuffer(1)
+	cold := c.Load(va)
+	warm := c.Load(va)
+	if cold < 100 {
+		t.Errorf("cold load took %.1f cycles, expected a DRAM-class latency", cold)
+	}
+	if warm > 20 {
+		t.Errorf("warm load took %.1f cycles, expected an L1 hit", warm)
+	}
+	if got := c.ResidentLevel(va); got != 0 {
+		t.Errorf("line resident at level %d, want L1", got)
+	}
+}
+
+func TestCLFlushEvictsEverywhere(t *testing.T) {
+	c := skylake(t)
+	va := c.AllocBuffer(1)
+	c.Load(va)
+	c.CLFlush(va)
+	if got := c.ResidentLevel(va); got != -1 {
+		t.Errorf("line still resident at level %d after clflush", got)
+	}
+	if lat := c.Load(va); lat < 100 {
+		t.Errorf("load after clflush took %.1f cycles, expected DRAM", lat)
+	}
+}
+
+func TestWBInvdFlushesButKeepsTranslations(t *testing.T) {
+	c := skylake(t)
+	va := c.AllocBuffer(1)
+	pa := c.TranslateToPhys(va)
+	c.Load(va)
+	c.WBInvd()
+	if got := c.ResidentLevel(va); got != -1 {
+		t.Errorf("resident level %d after wbinvd", got)
+	}
+	if c.TranslateToPhys(va) != pa {
+		t.Error("wbinvd changed the page mapping")
+	}
+}
+
+// congruentL3 returns n virtual addresses mapping to the same L3 slice/set.
+func congruentL3(c *CPU, n int) []Addr {
+	base := c.AllocBuffer(4096)
+	ref := c.TranslateToPhys(base)
+	slice, set := c.SetIndex(L3, ref)
+	out := []Addr{base}
+	for off := Addr(1); len(out) < n; off++ {
+		va := base + off*LineSize
+		s, i := c.SetIndex(L3, c.TranslateToPhys(va))
+		if s == slice && i == set {
+			out = append(out, va)
+		}
+	}
+	return out
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	c := skylake(t)
+	// Fill one L3 set beyond capacity; the evicted victims must vanish
+	// from L1/L2 as well.
+	addrs := congruentL3(c, c.Config().L3.Assoc+4)
+	for _, va := range addrs {
+		c.Load(va)
+	}
+	evicted := 0
+	for _, va := range addrs {
+		lvl := c.ResidentLevel(va)
+		if lvl == -1 {
+			evicted++
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("overfilling an L3 set evicted nothing")
+	}
+	// No evicted line may survive in a higher level: ResidentLevel
+	// returning -1 already proves that, so just double-check one present
+	// line is still coherent.
+	if c.ResidentLevel(addrs[len(addrs)-1]) == -1 {
+		t.Error("most recently loaded line was evicted")
+	}
+}
+
+func TestCATRestrictsAssociativity(t *testing.T) {
+	c := skylake(t)
+	if err := c.SetCATWays(4); err != nil {
+		t.Fatal(err)
+	}
+	addrs := congruentL3(c, 5)
+	for _, va := range addrs {
+		c.Load(va)
+	}
+	// With 4 ways, loading 5 congruent lines must have evicted one.
+	resident := 0
+	for _, va := range addrs {
+		if c.ResidentLevel(va) != -1 {
+			resident++
+		}
+	}
+	if resident > 4 {
+		t.Errorf("%d of 5 congruent lines resident under a 4-way mask", resident)
+	}
+
+	h := NewCPU(Haswell(), 1)
+	if err := h.SetCATWays(4); err == nil {
+		t.Error("Haswell accepted CAT configuration")
+	}
+	if err := c.SetCATWays(99); err == nil {
+		t.Error("out-of-range way count accepted")
+	}
+}
+
+func TestPrefetcherPullsNextLine(t *testing.T) {
+	c := skylake(t)
+	c.SetPrefetcher(true)
+	base := c.AllocBuffer(1)
+	for i := 0; i < 3; i++ {
+		c.Load(base + Addr(i)*LineSize)
+	}
+	if got := c.ResidentLevel(base + 3*LineSize); got == -1 {
+		t.Error("stream prefetcher did not pull the next line")
+	}
+	c.SetPrefetcher(false)
+	base2 := c.AllocBuffer(1)
+	for i := 0; i < 3; i++ {
+		c.Load(base2 + Addr(i)*LineSize)
+	}
+	if got := c.ResidentLevel(base2 + 3*LineSize); got != -1 {
+		t.Error("disabled prefetcher still prefetched")
+	}
+}
+
+func TestSkylakeLeaderRuleMatchesAppendixB(t *testing.T) {
+	// Set 0 satisfies the thrash-susceptible formula; the paper's Table 4
+	// lists 0, 33, 132, 165, ... as analyzed leader sets.
+	for _, set := range []int{0, 33, 132, 165, 264, 297, 396, 429, 528, 561, 660, 693, 792, 825, 924, 957} {
+		if got := skylakeLeaderRule(0, set); got != LeaderThrashable {
+			t.Errorf("set %d classified %v, want LeaderThrashable", set, got)
+		}
+	}
+	// Count the groups over one slice of 1024 sets.
+	counts := map[LeaderKind]int{}
+	for set := 0; set < 1024; set++ {
+		counts[skylakeLeaderRule(0, set)]++
+	}
+	if counts[LeaderThrashable] != 16 || counts[LeaderResistant] != 16 {
+		t.Errorf("leader group sizes %v, want 16/16", counts)
+	}
+}
+
+func TestHaswellLeaderRuleRanges(t *testing.T) {
+	for set := 0; set < 2048; set++ {
+		want := Follower
+		if set >= 512 && set < 576 {
+			want = LeaderThrashable
+		}
+		if set >= 768 && set < 832 {
+			want = LeaderResistant
+		}
+		if got := haswellLeaderRule(0, set); got != want {
+			t.Fatalf("slice 0 set %d: %v, want %v", set, got, want)
+		}
+		if got := haswellLeaderRule(1, set); got != Follower {
+			t.Fatalf("slice 1 set %d: %v, want Follower", set, got)
+		}
+	}
+}
+
+func TestPSELRespondsToLeaderTraffic(t *testing.T) {
+	c := skylake(t)
+	before := c.PSEL()
+	// Thrash a thrash-susceptible leader set: misses there push PSEL up.
+	addrs := congruentLeader(c, LeaderThrashable, c.Config().L3.Assoc*2)
+	for pass := 0; pass < 4; pass++ {
+		for _, va := range addrs {
+			c.Load(va)
+		}
+	}
+	if c.PSEL() <= before {
+		t.Errorf("PSEL %d -> %d after thrashing a leader set", before, c.PSEL())
+	}
+}
+
+// congruentLeader finds n addresses in some L3 set of the given leader kind.
+func congruentLeader(c *CPU, kind LeaderKind, n int) []Addr {
+	base := c.AllocBuffer(16384)
+	var ref Addr
+	var slice, set int
+	found := false
+	for off := Addr(0); !found; off++ {
+		va := base + off*LineSize
+		pa := c.TranslateToPhys(va)
+		s, i := c.SetIndex(L3, pa)
+		if c.LeaderKindOf(s, i) == kind {
+			ref, slice, set, found = va, s, i, true
+		}
+	}
+	out := []Addr{ref}
+	for off := Addr(1); len(out) < n; off++ {
+		va := ref + off*LineSize
+		s, i := c.SetIndex(L3, c.TranslateToPhys(va))
+		if s == slice && i == set {
+			out = append(out, va)
+		}
+	}
+	return out
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []float64 {
+		c := NewCPU(KabyLake(), 42)
+		c.SetLowNoise(true)
+		base := c.AllocBuffer(8)
+		var lats []float64
+		for i := 0; i < 50; i++ {
+			lats = append(lats, c.Load(base+Addr(i%8)*PageSize))
+		}
+		return lats
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at load %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestModelsMatchTableThree(t *testing.T) {
+	m := Models()
+	if len(m) != 3 {
+		t.Fatalf("%d models", len(m))
+	}
+	checks := []struct {
+		idx                 int
+		lvl                 Level
+		assoc, slices, sets int
+	}{
+		{0, L1, 8, 1, 64}, {0, L2, 8, 1, 512}, {0, L3, 16, 4, 2048},
+		{1, L1, 8, 1, 64}, {1, L2, 4, 1, 1024}, {1, L3, 12, 8, 1024},
+		{2, L1, 8, 1, 64}, {2, L2, 4, 1, 1024}, {2, L3, 16, 8, 1024},
+	}
+	for _, c := range checks {
+		cfg := m[c.idx].Config(c.lvl)
+		if cfg.Assoc != c.assoc || cfg.Slices != c.slices || cfg.SetsPerSlice != c.sets {
+			t.Errorf("%s %v: assoc/slices/sets = %d/%d/%d, want %d/%d/%d",
+				m[c.idx].Name, c.lvl, cfg.Assoc, cfg.Slices, cfg.SetsPerSlice, c.assoc, c.slices, c.sets)
+		}
+	}
+	if m[0].SupportsCAT || !m[1].SupportsCAT || !m[2].SupportsCAT {
+		t.Error("CAT support flags wrong")
+	}
+}
+
+func TestFollowerSetsShareDuelState(t *testing.T) {
+	c := skylake(t)
+	addrs := congruentLeader(c, Follower, 2)
+	pa := c.TranslateToPhys(addrs[0])
+	s := c.setFor(L3, pa)
+	if _, ok := s.Policy().(*duelPolicy); !ok {
+		t.Errorf("follower set runs %T, want duelPolicy", s.Policy())
+	}
+	// Leader sets run fixed policies.
+	la := congruentLeader(c, LeaderThrashable, 1)
+	lp := c.setFor(L3, c.TranslateToPhys(la[0])).Policy()
+	if lp.Name() != "New2" {
+		t.Errorf("thrashable leader runs %s, want New2", lp.Name())
+	}
+}
+
+func TestCacheOutcomeSanity(t *testing.T) {
+	// Guard the blockName/parse pair used by back-invalidation.
+	c := skylake(t)
+	va := c.AllocBuffer(1)
+	pa := c.TranslateToPhys(va)
+	b := blockName(pa)
+	c.Load(va)
+	if c.setFor(L1, pa).Lookup(b) < 0 {
+		t.Error("loaded block not found in its L1 set")
+	}
+	c.invalidateAbove(b)
+	if c.setFor(L1, pa).Lookup(b) >= 0 {
+		t.Error("invalidateAbove left the block in L1")
+	}
+	if c.setFor(L3, pa).Lookup(b) < 0 {
+		t.Error("invalidateAbove touched the L3 copy")
+	}
+	_ = cache.Hit // keep the import honest in case assertions above change
+}

@@ -1,0 +1,236 @@
+package learn
+
+import (
+	"math/rand"
+
+	"repro/internal/mealy"
+)
+
+// This file implements the equivalence-query approximations of §3.3: the
+// W-method [23] conformance suite of depth k, and the random-walk
+// alternative the paper mentions for deeper counterexample exploration.
+//
+// The W-method suite for a hypothesis H and depth k is
+//
+//	T · Σ^{≤k} · W
+//
+// where T is a transition cover of H (a shortest access word for every state
+// followed by every input), and W a characterizing set of H. The suite is
+// (|H|+k)-complete: any machine with at most |H|+k states that agrees with H
+// on all test words is trace-equivalent to H (Theorem 3.3).
+
+// wMethodCE runs the W-method suite against the teacher and returns a
+// trimmed counterexample, or nil if the suite passes.
+func (l *learner) wMethodCE(hyp *mealy.Machine) ([]int, error) {
+	access := hyp.AccessSequences()
+	w := hyp.CharacterizingSet()
+
+	// Transition cover: every access sequence, bare and extended by every
+	// input symbol.
+	var cover [][]int
+	for _, u := range access {
+		cover = append(cover, u)
+		for a := 0; a < l.numIn; a++ {
+			cover = append(cover, append(append([]int(nil), u...), a))
+		}
+	}
+
+	middles := enumerateWords(l.numIn, l.opt.Depth)
+
+	seen := make(map[string]bool)
+	for _, u := range cover {
+		for _, m := range middles {
+			for _, suf := range w {
+				test := make([]int, 0, len(u)+len(m)+len(suf))
+				test = append(test, u...)
+				test = append(test, m...)
+				test = append(test, suf...)
+				if len(test) == 0 {
+					continue
+				}
+				key := wordKey(test)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				l.stats.TestWords++
+				ce, err := l.checkWord(hyp, test)
+				if err != nil {
+					return nil, err
+				}
+				if ce != nil {
+					return ce, nil
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// wpMethodCE runs the Wp-method suite against the teacher. Phase 1 applies
+// the full characterizing set W after the state cover; phase 2 applies only
+// the identification set of the reached state after the remaining
+// transition-cover words. The suite is (|H|+k)-complete like the W-method
+// but substantially smaller, which is why the paper uses it.
+func (l *learner) wpMethodCE(hyp *mealy.Machine) ([]int, error) {
+	access := hyp.AccessSequences()
+	w := hyp.CharacterizingSet()
+	ident := identificationSets(hyp, w)
+	middles := enumerateWords(l.numIn, l.opt.Depth)
+
+	seen := make(map[string]bool)
+	check := func(test []int) ([]int, error) {
+		if len(test) == 0 {
+			return nil, nil
+		}
+		key := wordKey(test)
+		if seen[key] {
+			return nil, nil
+		}
+		seen[key] = true
+		l.stats.TestWords++
+		return l.checkWord(hyp, test)
+	}
+
+	// Phase 1: state cover x middles x W.
+	for _, u := range access {
+		for _, m := range middles {
+			for _, suf := range w {
+				test := concatWords(u, m, suf)
+				if ce, err := check(test); ce != nil || err != nil {
+					return ce, err
+				}
+			}
+		}
+	}
+	// Phase 2: transition cover x middles x identification set of the
+	// state the hypothesis predicts.
+	for _, u := range access {
+		for a := 0; a < l.numIn; a++ {
+			ua := concatWords(u, []int{a})
+			for _, m := range middles {
+				r := concatWords(ua, m)
+				s := hyp.StateAfter(r)
+				for _, suf := range ident[s] {
+					test := concatWords(r, suf)
+					if ce, err := check(test); ce != nil || err != nil {
+						return ce, err
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// identificationSets computes, per state, a minimal-ish subset of W whose
+// output signature is unique to that state (greedy cover).
+func identificationSets(hyp *mealy.Machine, w [][]int) [][][]int {
+	sig := func(s int, word []int) string { return wordKey(hyp.RunFrom(s, word)) }
+	out := make([][][]int, hyp.NumStates)
+	for s := 0; s < hyp.NumStates; s++ {
+		alive := make(map[int]bool, hyp.NumStates-1)
+		for t := 0; t < hyp.NumStates; t++ {
+			if t != s {
+				alive[t] = true
+			}
+		}
+		var set [][]int
+		for _, word := range w {
+			if len(alive) == 0 {
+				break
+			}
+			split := false
+			mine := sig(s, word)
+			for t := range alive {
+				if sig(t, word) != mine {
+					delete(alive, t)
+					split = true
+				}
+			}
+			if split {
+				set = append(set, word)
+			}
+		}
+		// States that remain equal under all of W are trace-equivalent in
+		// a non-minimal hypothesis; the learner's hypotheses are reduced,
+		// so alive is empty here.
+		out[s] = set
+	}
+	return out
+}
+
+func concatWords(parts ...[]int) []int {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]int, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// enumerateWords returns all words over inputs 0..numIn-1 of length 0..k,
+// in deterministic order.
+func enumerateWords(numIn, k int) [][]int {
+	words := [][]int{{}}
+	level := [][]int{{}}
+	for d := 0; d < k; d++ {
+		var next [][]int
+		for _, w := range level {
+			for a := 0; a < numIn; a++ {
+				next = append(next, append(append([]int(nil), w...), a))
+			}
+		}
+		words = append(words, next...)
+		level = next
+	}
+	return words
+}
+
+// randomWalkCE samples random words until the step budget is exhausted.
+// Unlike the W-method it gives no completeness guarantee, but explores much
+// deeper traces per query.
+func (l *learner) randomWalkCE(hyp *mealy.Machine) ([]int, error) {
+	steps := l.opt.RandomWalkSteps
+	if steps <= 0 {
+		steps = 10000
+	}
+	rng := rand.New(rand.NewSource(l.opt.RandomWalkSeed + int64(l.stats.Rounds)))
+	spent := 0
+	for spent < steps {
+		n := 2 + rng.Intn(3*hyp.NumStates+4)
+		if n > steps-spent {
+			n = steps - spent
+		}
+		if n == 0 {
+			break
+		}
+		word := make([]int, n)
+		for i := range word {
+			word[i] = rng.Intn(l.numIn)
+		}
+		spent += n
+		l.stats.TestWords++
+		ce, err := l.checkWord(hyp, word)
+		if err != nil {
+			return nil, err
+		}
+		if ce != nil {
+			return ce, nil
+		}
+	}
+	return nil, nil
+}
+
+// MachineTeacher adapts an explicit Mealy machine into a Teacher, used to
+// test the learner in isolation and to re-learn already-learned models.
+type MachineTeacher struct{ M *mealy.Machine }
+
+// NumInputs implements Teacher.
+func (t MachineTeacher) NumInputs() int { return t.M.NumInputs }
+
+// OutputQuery implements Teacher.
+func (t MachineTeacher) OutputQuery(word []int) ([]int, error) { return t.M.Run(word), nil }

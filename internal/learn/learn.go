@@ -1,0 +1,321 @@
+// Package learn implements active automata learning for Mealy machines in
+// the student–teacher paradigm of Angluin [6], as extended to Mealy machines
+// by Niese [29]. It plays the role LearnLib plays in the paper: the student
+// asks output queries through a Teacher (Polca in the full pipeline) and
+// approximates equivalence queries by W-method conformance testing of a
+// configurable depth k, yielding the relative completeness guarantee of
+// Corollary 3.4: a returned hypothesis H is either trace-equivalent to the
+// policy under learning, or the policy has more than |H| + k states.
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/mealy"
+)
+
+// Teacher answers output queries for the system under learning. Polca's
+// Oracle implements it; software-simulated machines can implement it
+// directly via MachineTeacher.
+type Teacher interface {
+	// NumInputs returns the input alphabet size; inputs are 0..NumInputs-1.
+	NumInputs() int
+	// OutputQuery returns the output word produced by the input word.
+	OutputQuery(word []int) ([]int, error)
+}
+
+// ErrStateBudget is returned when the hypothesis grows beyond
+// Options.MaxStates, the in-process analog of the paper's 36 h timeout.
+var ErrStateBudget = errors.New("learn: hypothesis exceeds the state budget")
+
+// Suite selects the conformance-testing method used to approximate
+// equivalence queries.
+type Suite int
+
+// Conformance suites.
+const (
+	// SuiteWp is the Wp-method [23] the paper uses: full characterizing
+	// sets on the state cover, per-state identification sets on the
+	// remaining transition cover. Same (|H|+k)-completeness as the
+	// W-method with a smaller suite.
+	SuiteWp Suite = iota
+	// SuiteW is the classic W-method: the full characterizing set on the
+	// whole transition cover.
+	SuiteW
+)
+
+// Options configures the learning loop.
+type Options struct {
+	// Depth is the conformance-testing depth k (§3.4); the test suite is
+	// (|H|+k)-complete. The paper uses k = 1 throughout.
+	Depth int
+	// Suite selects the conformance method (default: Wp-method).
+	Suite Suite
+	// MaxStates aborts learning when the hypothesis exceeds this many
+	// states; 0 means unlimited.
+	MaxStates int
+	// RandomWalk switches the equivalence oracle to random-walk testing
+	// with RandomWalkSteps total symbols (an alternative the paper
+	// mentions but does not default to). It overrides Suite.
+	RandomWalk      bool
+	RandomWalkSteps int
+	RandomWalkSeed  int64
+	// MaxQueries aborts learning after this many distinct output queries;
+	// 0 means unlimited.
+	MaxQueries int
+}
+
+// Stats aggregates learner-side cost counters.
+type Stats struct {
+	OutputQueries  int           // distinct output queries sent to the teacher
+	QuerySymbols   int           // total symbols across those queries
+	Rounds         int           // hypothesis refinement rounds
+	TestWords      int           // conformance test words executed
+	Counterexample int           // counterexamples processed
+	Duration       time.Duration // wall-clock learning time
+}
+
+// Result is a successful learning outcome.
+type Result struct {
+	Machine *mealy.Machine
+	Stats   Stats
+}
+
+// Learn runs the L* learning loop against the teacher until the conformance
+// suite of depth Options.Depth finds no counterexample, and returns the
+// final hypothesis.
+func Learn(t Teacher, opt Options) (*Result, error) {
+	if opt.Depth < 0 {
+		return nil, fmt.Errorf("learn: negative depth %d", opt.Depth)
+	}
+	l := &learner{
+		teacher: t,
+		opt:     opt,
+		numIn:   t.NumInputs(),
+		queries: make(map[string][]int),
+	}
+	if l.numIn < 1 {
+		return nil, fmt.Errorf("learn: teacher has an empty input alphabet")
+	}
+	start := time.Now()
+	m, err := l.run()
+	l.stats.Duration = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Machine: m, Stats: l.stats}, nil
+}
+
+// learner holds the observation-table state. The table is kept reduced:
+// every short prefix in P has a distinct row, so the hypothesis is
+// well-defined without a separate consistency phase, and counterexamples are
+// processed by adding all their suffixes to S (Maler–Pnueli).
+type learner struct {
+	teacher Teacher
+	opt     Options
+	numIn   int
+
+	prefixes [][]int // P, prefix-closed, pairwise distinct rows
+	suffixes [][]int // S, suffix set (non-empty words)
+	sufSeen  map[string]bool
+
+	queries map[string][]int // output-query memo
+	stats   Stats
+}
+
+func wordKey(w []int) string {
+	var sb strings.Builder
+	for i, a := range w {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(a))
+	}
+	return sb.String()
+}
+
+// query returns the teacher's output word for w, memoized.
+func (l *learner) query(w []int) ([]int, error) {
+	key := wordKey(w)
+	if out, ok := l.queries[key]; ok {
+		return out, nil
+	}
+	if l.opt.MaxQueries > 0 && l.stats.OutputQueries >= l.opt.MaxQueries {
+		return nil, fmt.Errorf("learn: query budget of %d exhausted", l.opt.MaxQueries)
+	}
+	out, err := l.teacher.OutputQuery(w)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != len(w) {
+		return nil, fmt.Errorf("learn: teacher returned %d outputs for %d inputs", len(out), len(w))
+	}
+	l.stats.OutputQueries++
+	l.stats.QuerySymbols += len(w)
+	l.queries[key] = out
+	return out, nil
+}
+
+// cell returns the output word of suffix s observed after prefix u.
+func (l *learner) cell(u, s []int) ([]int, error) {
+	full := make([]int, 0, len(u)+len(s))
+	full = append(full, u...)
+	full = append(full, s...)
+	out, err := l.query(full)
+	if err != nil {
+		return nil, err
+	}
+	return out[len(u):], nil
+}
+
+// rowKey computes the row signature of prefix u over the current suffixes.
+func (l *learner) rowKey(u []int) (string, error) {
+	var sb strings.Builder
+	for _, s := range l.suffixes {
+		c, err := l.cell(u, s)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(wordKey(c))
+		sb.WriteByte(';')
+	}
+	return sb.String(), nil
+}
+
+func (l *learner) addSuffix(s []int) {
+	key := wordKey(s)
+	if len(s) == 0 || l.sufSeen[key] {
+		return
+	}
+	l.sufSeen[key] = true
+	l.suffixes = append(l.suffixes, append([]int(nil), s...))
+}
+
+func (l *learner) run() (*mealy.Machine, error) {
+	l.prefixes = [][]int{{}}
+	l.sufSeen = make(map[string]bool)
+	for a := 0; a < l.numIn; a++ {
+		l.addSuffix([]int{a})
+	}
+
+	for {
+		l.stats.Rounds++
+		hyp, err := l.closeAndBuild()
+		if err != nil {
+			return nil, err
+		}
+		ce, err := l.findCounterexample(hyp)
+		if err != nil {
+			return nil, err
+		}
+		if ce == nil {
+			return hyp, nil
+		}
+		l.stats.Counterexample++
+		// Maler–Pnueli: every suffix of the (trimmed) counterexample
+		// becomes a distinguishing suffix.
+		for i := 0; i < len(ce); i++ {
+			l.addSuffix(ce[i:])
+		}
+	}
+}
+
+// closeAndBuild restores table closedness and constructs the hypothesis.
+func (l *learner) closeAndBuild() (*mealy.Machine, error) {
+	for {
+		rows := make(map[string]int, len(l.prefixes))
+		for i, u := range l.prefixes {
+			k, err := l.rowKey(u)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := rows[k]; dup {
+				// Two short prefixes became equal; keep the table reduced
+				// by dropping the later one. This cannot happen with a
+				// deterministic teacher because rows only split, but guard
+				// against it to fail loudly rather than mis-build.
+				return nil, fmt.Errorf("learn: duplicate rows in reduced table (prefixes %v and %v)", l.prefixes[rows[k]], u)
+			}
+			rows[k] = i
+		}
+
+		closed := true
+		for i := 0; closed && i < len(l.prefixes); i++ {
+			for a := 0; a < l.numIn; a++ {
+				ext := append(append([]int(nil), l.prefixes[i]...), a)
+				k, err := l.rowKey(ext)
+				if err != nil {
+					return nil, err
+				}
+				if _, ok := rows[k]; !ok {
+					if l.opt.MaxStates > 0 && len(l.prefixes) >= l.opt.MaxStates {
+						return nil, fmt.Errorf("%w: more than %d states", ErrStateBudget, l.opt.MaxStates)
+					}
+					l.prefixes = append(l.prefixes, ext)
+					closed = false
+					break
+				}
+			}
+		}
+		if !closed {
+			continue
+		}
+
+		// Build the hypothesis from the closed, reduced table.
+		m := mealy.New(len(l.prefixes), l.numIn)
+		m.Init = 0
+		for i, u := range l.prefixes {
+			for a := 0; a < l.numIn; a++ {
+				ext := append(append([]int(nil), u...), a)
+				k, err := l.rowKey(ext)
+				if err != nil {
+					return nil, err
+				}
+				j, ok := rows[k]
+				if !ok {
+					return nil, fmt.Errorf("learn: table not closed after closing pass")
+				}
+				m.Next[i][a] = j
+				c, err := l.cell(u, []int{a})
+				if err != nil {
+					return nil, err
+				}
+				m.Out[i][a] = c[0]
+			}
+		}
+		return m, nil
+	}
+}
+
+// findCounterexample approximates the equivalence query. It returns nil when
+// the conformance suite agrees with the hypothesis everywhere, and otherwise
+// a shortest failing prefix of some failing test word.
+func (l *learner) findCounterexample(hyp *mealy.Machine) ([]int, error) {
+	if l.opt.RandomWalk {
+		return l.randomWalkCE(hyp)
+	}
+	if l.opt.Suite == SuiteW {
+		return l.wMethodCE(hyp)
+	}
+	return l.wpMethodCE(hyp)
+}
+
+// checkWord compares teacher and hypothesis on one word, returning the
+// failing prefix or nil.
+func (l *learner) checkWord(hyp *mealy.Machine, w []int) ([]int, error) {
+	got, err := l.query(w)
+	if err != nil {
+		return nil, err
+	}
+	want := hyp.Run(w)
+	for i := range w {
+		if got[i] != want[i] {
+			return w[:i+1], nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,281 @@
+// Package mbl implements MemBlockLang (MBL), the domain-specific language
+// CacheQuery uses to specify cache queries (§4.1 and Appendix A of the
+// paper).
+//
+// A query is a sequence of memory operations: a block name, optionally
+// decorated with the tag '?' (profile the access) or '!' (invalidate the
+// block, e.g. via clflush). An MBL expression denotes a *set* of queries and
+// is built from:
+//
+//	A..Z, A1..   block literals
+//	@            expansion macro: associativity-many blocks in order
+//	_            wildcard macro: associativity-many single-block queries
+//	s1 s2        concatenation (the paper's s1 ◦ s2), by juxtaposition
+//	{s1, .., sk} union of expansions
+//	[s]          choice: one single-block query per block occurring in s;
+//	             postfix use (s1)[s2] is the paper's extension macro
+//	(s)k         power: k-fold repetition
+//	(s)? (s)!    tag every block of every query in s
+//
+// Example (associativity 4): "@ X _?" expands to the four queries
+// A B C D X A?, ..., A B C D X D? — the findEvicted probe of Algorithm 1.
+package mbl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/blocks"
+)
+
+// Tag decorates a memory operation.
+type Tag byte
+
+// Tags.
+const (
+	TagNone    Tag = 0
+	TagProfile Tag = '?'
+	TagFlush   Tag = '!'
+)
+
+// Op is one memory operation of a query.
+type Op struct {
+	Block blocks.Block
+	Tag   Tag
+}
+
+// String renders the operation in MBL syntax.
+func (o Op) String() string {
+	if o.Tag == TagNone {
+		return o.Block
+	}
+	return o.Block + string(o.Tag)
+}
+
+// Query is a sequence of memory operations.
+type Query []Op
+
+// String renders the query in MBL syntax.
+func (q Query) String() string {
+	parts := make([]string, len(q))
+	for i, o := range q {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Blocks returns the distinct blocks of q in first-occurrence order.
+func (q Query) Blocks() []blocks.Block {
+	var out []blocks.Block
+	seen := make(map[blocks.Block]bool)
+	for _, o := range q {
+		if !seen[o.Block] {
+			seen[o.Block] = true
+			out = append(out, o.Block)
+		}
+	}
+	return out
+}
+
+// ProfiledCount returns the number of '?'-tagged operations.
+func (q Query) ProfiledCount() int {
+	n := 0
+	for _, o := range q {
+		if o.Tag == TagProfile {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxQueries bounds the expansion of a single MBL expression, guarding
+// against accidental combinatorial blowups of nested choice macros.
+const MaxQueries = 1 << 16
+
+// Expand parses src and expands it into its set of queries for the given
+// associativity.
+func Expand(src string, assoc int) ([]Query, error) {
+	expr, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return expr.Expand(assoc)
+}
+
+// Expr is a parsed MBL expression.
+type Expr interface {
+	// Expand computes the query-set semantics for an associativity.
+	Expand(assoc int) ([]Query, error)
+	// String renders the expression in MBL syntax.
+	String() string
+}
+
+// blockExpr is a single block literal with an optional tag.
+type blockExpr struct {
+	block blocks.Block
+	tag   Tag
+}
+
+func (e blockExpr) Expand(int) ([]Query, error) {
+	return []Query{{Op{Block: e.block, Tag: e.tag}}}, nil
+}
+
+func (e blockExpr) String() string { return Op{Block: e.block, Tag: e.tag}.String() }
+
+// fillExpr is the '@' macro.
+type fillExpr struct{}
+
+func (fillExpr) Expand(assoc int) ([]Query, error) {
+	q := make(Query, assoc)
+	for i := range q {
+		q[i] = Op{Block: blocks.Name(i)}
+	}
+	return []Query{q}, nil
+}
+
+func (fillExpr) String() string { return "@" }
+
+// wildcardExpr is the '_' macro.
+type wildcardExpr struct{}
+
+func (wildcardExpr) Expand(assoc int) ([]Query, error) {
+	qs := make([]Query, assoc)
+	for i := range qs {
+		qs[i] = Query{Op{Block: blocks.Name(i)}}
+	}
+	return qs, nil
+}
+
+func (wildcardExpr) String() string { return "_" }
+
+// concatExpr is juxtaposition: the ◦ macro.
+type concatExpr struct{ parts []Expr }
+
+func (e concatExpr) Expand(assoc int) ([]Query, error) {
+	result := []Query{{}}
+	for _, p := range e.parts {
+		qs, err := p.Expand(assoc)
+		if err != nil {
+			return nil, err
+		}
+		if len(result)*len(qs) > MaxQueries {
+			return nil, fmt.Errorf("mbl: expansion exceeds %d queries", MaxQueries)
+		}
+		next := make([]Query, 0, len(result)*len(qs))
+		for _, a := range result {
+			for _, b := range qs {
+				q := make(Query, 0, len(a)+len(b))
+				q = append(q, a...)
+				q = append(q, b...)
+				next = append(next, q)
+			}
+		}
+		result = next
+	}
+	return result, nil
+}
+
+func (e concatExpr) String() string {
+	parts := make([]string, len(e.parts))
+	for i, p := range e.parts {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// setExpr is the {s1, ..., sk} union.
+type setExpr struct{ alts []Expr }
+
+func (e setExpr) Expand(assoc int) ([]Query, error) {
+	var out []Query
+	for _, a := range e.alts {
+		qs, err := a.Expand(assoc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, qs...)
+		if len(out) > MaxQueries {
+			return nil, fmt.Errorf("mbl: expansion exceeds %d queries", MaxQueries)
+		}
+	}
+	return out, nil
+}
+
+func (e setExpr) String() string {
+	parts := make([]string, len(e.alts))
+	for i, a := range e.alts {
+		parts[i] = a.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// choiceExpr is [s]: one single-block query per block occurring in the
+// expansion of s, in first-occurrence order. The paper's extension macro
+// s1[s2] is parsed as s1 ◦ [s2].
+type choiceExpr struct{ inner Expr }
+
+func (e choiceExpr) Expand(assoc int) ([]Query, error) {
+	qs, err := e.inner.Expand(assoc)
+	if err != nil {
+		return nil, err
+	}
+	var out []Query
+	seen := make(map[blocks.Block]bool)
+	for _, q := range qs {
+		for _, b := range q.Blocks() {
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, Query{Op{Block: b}})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mbl: empty choice []")
+	}
+	return out, nil
+}
+
+func (e choiceExpr) String() string { return "[" + e.inner.String() + "]" }
+
+// powerExpr is (s)^k.
+type powerExpr struct {
+	inner Expr
+	k     int
+}
+
+func (e powerExpr) Expand(assoc int) ([]Query, error) {
+	parts := make([]Expr, e.k)
+	for i := range parts {
+		parts[i] = e.inner
+	}
+	return concatExpr{parts: parts}.Expand(assoc)
+}
+
+func (e powerExpr) String() string { return fmt.Sprintf("(%s)%d", e.inner.String(), e.k) }
+
+// tagExpr applies a tag to every block of every query of s.
+type tagExpr struct {
+	inner Expr
+	tag   Tag
+}
+
+func (e tagExpr) Expand(assoc int) ([]Query, error) {
+	qs, err := e.inner.Expand(assoc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Query, len(qs))
+	for i, q := range qs {
+		nq := make(Query, len(q))
+		for j, o := range q {
+			if o.Tag != TagNone {
+				return nil, fmt.Errorf("mbl: tag %c applied to already-tagged block %s", e.tag, o)
+			}
+			nq[j] = Op{Block: o.Block, Tag: e.tag}
+		}
+		out[i] = nq
+	}
+	return out, nil
+}
+
+func (e tagExpr) String() string { return "(" + e.inner.String() + ")" + string(e.tag) }

@@ -1,0 +1,183 @@
+package mbl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// expandStrings is a test helper rendering the expansion of src.
+func expandStrings(t *testing.T, src string, assoc int) []string {
+	t.Helper()
+	qs, err := Expand(src, assoc)
+	if err != nil {
+		t.Fatalf("Expand(%q, %d): %v", src, assoc, err)
+	}
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.String()
+	}
+	return out
+}
+
+func assertExpansion(t *testing.T, src string, assoc int, want ...string) {
+	t.Helper()
+	got := expandStrings(t, src, assoc)
+	if len(got) != len(want) {
+		t.Fatalf("Expand(%q) = %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Expand(%q)[%d] = %q, want %q", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestFillMacro(t *testing.T) {
+	assertExpansion(t, "@", 8, "A B C D E F G H")
+	assertExpansion(t, "@", 2, "A B")
+}
+
+func TestWildcardMacro(t *testing.T) {
+	assertExpansion(t, "_", 4, "A", "B", "C", "D")
+}
+
+func TestPaperExample41(t *testing.T) {
+	// "@ X _?" for associativity 4 is the findEvicted query.
+	assertExpansion(t, "@ X _?", 4,
+		"A B C D X A?",
+		"A B C D X B?",
+		"A B C D X C?",
+		"A B C D X D?")
+}
+
+func TestExtensionMacro(t *testing.T) {
+	// (A B C D)[E F] from §4.1.
+	assertExpansion(t, "(A B C D)[E F]", 4,
+		"A B C D E",
+		"A B C D F")
+}
+
+func TestPowerMacro(t *testing.T) {
+	// (A B C)3 from §4.1.
+	assertExpansion(t, "(A B C)3", 4, "A B C A B C A B C")
+}
+
+func TestTagDistributes(t *testing.T) {
+	// (A B)? expands to A? B? (§4.1).
+	assertExpansion(t, "(A B)?", 4, "A? B?")
+	assertExpansion(t, "(A B)!", 4, "A! B!")
+}
+
+func TestSetUnion(t *testing.T) {
+	assertExpansion(t, "{A B, C}", 4, "A B", "C")
+	assertExpansion(t, "{A, B} X", 4, "A X", "B X")
+}
+
+func TestConcatDistributesOverSets(t *testing.T) {
+	// The ◦ macro concatenates each query of q1 with each of q2.
+	assertExpansion(t, "{A, B} {C, D}", 4, "A C", "A D", "B C", "B D")
+}
+
+func TestStandaloneChoice(t *testing.T) {
+	assertExpansion(t, "[A B C D]?", 4, "A?", "B?", "C?", "D?")
+	// _ is the same as [@].
+	assertExpansion(t, "[@]", 4, "A", "B", "C", "D")
+}
+
+func TestThrashingQuery(t *testing.T) {
+	// A working set larger than the associativity, as used by the leader
+	// set detection scans (Appendix B): @ M a M? on associativity 2.
+	assertExpansion(t, "@ M A M?", 2, "A B M A M?")
+}
+
+func TestNumberedBlocks(t *testing.T) {
+	assertExpansion(t, "A1 B2 A1?", 4, "A1 B2 A1?")
+}
+
+func TestInvalidSyntax(t *testing.T) {
+	for _, bad := range []string{
+		"", "   ", "(", ")", "(A", "A)", "{A", "{A,}", "[]", "a b",
+		"A??", "(A?)?", "@0", "A 0", "}", "A,B", "(A)99999",
+	} {
+		if _, err := Expand(bad, 4); err == nil {
+			t.Errorf("Expand(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestExpansionBlowupGuard(t *testing.T) {
+	// 17 nested wildcards would expand to 4^17 queries.
+	src := strings.TrimSpace(strings.Repeat("_ ", 17))
+	if _, err := Expand(src, 4); err == nil {
+		t.Error("combinatorial expansion not rejected")
+	}
+}
+
+func TestQueryHelpers(t *testing.T) {
+	qs, err := Expand("A B A C?", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs[0]
+	if got := q.ProfiledCount(); got != 1 {
+		t.Errorf("ProfiledCount = %d", got)
+	}
+	bs := q.Blocks()
+	if len(bs) != 3 || bs[0] != "A" || bs[1] != "B" || bs[2] != "C" {
+		t.Errorf("Blocks = %v", bs)
+	}
+}
+
+// TestParseStringRoundTrip: rendering a parsed expression and re-parsing it
+// preserves the expansion.
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"@ X _?", "(A B C)3", "{A B, C D}", "(A B C D)[E F]", "[A B]!",
+		"@ @", "D C B A @", "(@)2 M? _",
+	} {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", e.String(), err)
+		}
+		a, err1 := e.Expand(4)
+		b, err2 := again.Expand(4)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("expand: %v / %v", err1, err2)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%q: round trip changed expansion size", src)
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Errorf("%q: query %d changed: %q vs %q", src, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestExpansionDeterministic: expansion is a pure function of (src, assoc).
+func TestExpansionDeterministic(t *testing.T) {
+	f := func(seed uint8) bool {
+		srcs := []string{"@ X _?", "_ _", "{A, B C}2", "(A B)[C D]?"}
+		src := srcs[int(seed)%len(srcs)]
+		a := expandStrings(t, src, 4)
+		b := expandStrings(t, src, 4)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

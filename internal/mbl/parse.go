@@ -1,0 +1,266 @@
+package mbl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/blocks"
+)
+
+// This file contains the MBL lexer and recursive-descent parser.
+//
+// Grammar (whitespace separates tokens; juxtaposition concatenates):
+//
+//	expr    := term+
+//	term    := atom postfix*
+//	postfix := '?' | '!' | NUMBER | '[' expr ']'
+//	atom    := BLOCK | '@' | '_' | '(' expr ')' | '[' expr ']' |
+//	           '{' expr (',' expr)* '}'
+//
+// A postfix NUMBER is the power macro, a postfix bracket group the extension
+// macro (s1)[s2] ≡ s1 ◦ [s2], and a leading bracket group a plain choice.
+
+type tokenKind int
+
+const (
+	tokBlock tokenKind = iota
+	tokAt
+	tokWildcard
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokQuestion
+	tokBang
+	tokNumber
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '@':
+			toks = append(toks, token{tokAt, "@", i})
+			i++
+		case c == '_':
+			toks = append(toks, token{tokWildcard, "_", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '?':
+			toks = append(toks, token{tokQuestion, "?", i})
+			i++
+		case c == '!':
+			toks = append(toks, token{tokBang, "!", i})
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case c >= 'A' && c <= 'Z':
+			j := i + 1
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokBlock, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("mbl: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("mbl: expected %s, found %s at position %d", what, t, t.pos)
+	}
+	return t, nil
+}
+
+// Parse parses an MBL expression.
+func Parse(src string) (Expr, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, fmt.Errorf("mbl: empty expression")
+	}
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("mbl: trailing input %s at position %d", t, t.pos)
+	}
+	return e, nil
+}
+
+// parseExpr parses a juxtaposition of terms up to a closing delimiter.
+func (p *parser) parseExpr() (Expr, error) {
+	var parts []Expr
+	for {
+		switch p.peek().kind {
+		case tokEOF, tokRParen, tokRBracket, tokRBrace, tokComma:
+			switch len(parts) {
+			case 0:
+				return nil, fmt.Errorf("mbl: empty expression at position %d", p.peek().pos)
+			case 1:
+				return parts[0], nil
+			default:
+				return concatExpr{parts: parts}, nil
+			}
+		}
+		term, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, term)
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokQuestion:
+			p.next()
+			e = tagExpr{inner: e, tag: TagProfile}
+		case tokBang:
+			p.next()
+			e = tagExpr{inner: e, tag: TagFlush}
+		case tokNumber:
+			t := p.next()
+			k := 0
+			for _, c := range t.text {
+				k = k*10 + int(c-'0')
+			}
+			if k < 1 || k > 4096 {
+				return nil, fmt.Errorf("mbl: power %d out of range at position %d", k, t.pos)
+			}
+			e = powerExpr{inner: e, k: k}
+		case tokLBracket:
+			// Extension macro: s[t] ≡ s ◦ [t].
+			p.next()
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			e = concatExpr{parts: []Expr{e, choiceExpr{inner: inner}}}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokBlock:
+		if !blocks.IsValid(t.text) {
+			return nil, fmt.Errorf("mbl: invalid block name %q at position %d", t.text, t.pos)
+		}
+		return blockExpr{block: t.text}, nil
+	case tokAt:
+		return fillExpr{}, nil
+	case tokWildcard:
+		return wildcardExpr{}, nil
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLBracket:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		return choiceExpr{inner: e}, nil
+	case tokLBrace:
+		var alts []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			alts = append(alts, e)
+			sep := p.next()
+			if sep.kind == tokRBrace {
+				return setExpr{alts: alts}, nil
+			}
+			if sep.kind != tokComma {
+				return nil, fmt.Errorf("mbl: expected ',' or '}', found %s at position %d", sep, sep.pos)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("mbl: unexpected %s at position %d", t, t.pos)
+	}
+}

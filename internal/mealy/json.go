@@ -1,0 +1,84 @@
+package mealy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// machineJSON is the serialized form of a Machine: the repository's analog
+// of the learned-model artifacts the paper publishes alongside its tools.
+type machineJSON struct {
+	NumStates  int      `json:"states"`
+	NumInputs  int      `json:"inputs"`
+	Init       int      `json:"init"`
+	Next       [][]int  `json:"next"`
+	Out        [][]int  `json:"out"`
+	StateNames []string `json:"stateNames,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Machine) MarshalJSON() ([]byte, error) {
+	return json.Marshal(machineJSON{
+		NumStates:  m.NumStates,
+		NumInputs:  m.NumInputs,
+		Init:       m.Init,
+		Next:       m.Next,
+		Out:        m.Out,
+		StateNames: m.StateNames,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the transition
+// structure.
+func (m *Machine) UnmarshalJSON(data []byte) error {
+	var raw machineJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.NumStates < 1 || raw.NumInputs < 1 {
+		return fmt.Errorf("mealy: machine must have at least one state and one input")
+	}
+	if raw.Init < 0 || raw.Init >= raw.NumStates {
+		return fmt.Errorf("mealy: initial state %d out of range", raw.Init)
+	}
+	if len(raw.Next) != raw.NumStates || len(raw.Out) != raw.NumStates {
+		return fmt.Errorf("mealy: transition tables have %d/%d rows, want %d", len(raw.Next), len(raw.Out), raw.NumStates)
+	}
+	for s := 0; s < raw.NumStates; s++ {
+		if len(raw.Next[s]) != raw.NumInputs || len(raw.Out[s]) != raw.NumInputs {
+			return fmt.Errorf("mealy: state %d has malformed rows", s)
+		}
+		for a := 0; a < raw.NumInputs; a++ {
+			if t := raw.Next[s][a]; t < 0 || t >= raw.NumStates {
+				return fmt.Errorf("mealy: transition %d --%d--> %d out of range", s, a, t)
+			}
+		}
+	}
+	if raw.StateNames != nil && len(raw.StateNames) != raw.NumStates {
+		return fmt.Errorf("mealy: %d state names for %d states", len(raw.StateNames), raw.NumStates)
+	}
+	m.NumStates = raw.NumStates
+	m.NumInputs = raw.NumInputs
+	m.Init = raw.Init
+	m.Next = raw.Next
+	m.Out = raw.Out
+	m.StateNames = raw.StateNames
+	return nil
+}
+
+// Save writes the machine as indented JSON.
+func (m *Machine) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m)
+}
+
+// Load reads a machine from JSON.
+func Load(r io.Reader) (*Machine, error) {
+	var m Machine
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,48 @@
+package mealy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, name := range []string{"LRU", "PLRU", "New1"} {
+		orig, _ := FromPolicy(policy.MustNew(name, 4), 0)
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.NumStates != orig.NumStates || back.NumInputs != orig.NumInputs {
+			t.Fatalf("%s: dimensions changed", name)
+		}
+		if eq, ce := back.Equivalent(orig); !eq {
+			t.Fatalf("%s: round trip changed the machine, ce=%v", name, ce)
+		}
+		if back.StateNames == nil || back.StateNames[0] != orig.StateNames[0] {
+			t.Errorf("%s: state names lost", name)
+		}
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"states":0,"inputs":3,"init":0,"next":[],"out":[]}`,
+		`{"states":1,"inputs":2,"init":5,"next":[[0,0]],"out":[[0,0]]}`,
+		`{"states":1,"inputs":2,"init":0,"next":[[0]],"out":[[0,0]]}`,
+		`{"states":1,"inputs":2,"init":0,"next":[[0,7]],"out":[[0,0]]}`,
+		`{"states":2,"inputs":1,"init":0,"next":[[0],[1]],"out":[[0],[0]],"stateNames":["a"]}`,
+	}
+	for _, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("malformed machine accepted: %s", src)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package mealy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+)
+
+// tableTwoCounts pins the state counts of Table 2 (and §7/§8 for New1/New2):
+// they are intrinsic properties of the policies, so the extraction must
+// reproduce them exactly.
+var tableTwoCounts = []struct {
+	name   string
+	assoc  int
+	states int
+}{
+	{"FIFO", 2, 2}, {"FIFO", 8, 8}, {"FIFO", 16, 16},
+	{"LRU", 2, 2}, {"LRU", 4, 24}, {"LRU", 6, 720},
+	{"PLRU", 2, 2}, {"PLRU", 4, 8}, {"PLRU", 8, 128},
+	{"MRU", 2, 2}, {"MRU", 4, 14}, {"MRU", 6, 62}, {"MRU", 8, 254},
+	{"LIP", 2, 2}, {"LIP", 4, 24}, {"LIP", 6, 720},
+	{"SRRIP-HP", 2, 12}, {"SRRIP-HP", 4, 178},
+	{"SRRIP-FP", 2, 16}, {"SRRIP-FP", 4, 256},
+	{"New1", 4, 160},
+	{"New2", 4, 175},
+}
+
+func TestFromPolicyReproducesPaperStateCounts(t *testing.T) {
+	for _, c := range tableTwoCounts {
+		m, err := FromPolicy(policy.MustNew(c.name, c.assoc), 0)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", c.name, c.assoc, err)
+		}
+		if m.NumStates != c.states {
+			t.Errorf("%s assoc %d: %d reachable states, paper reports %d", c.name, c.assoc, m.NumStates, c.states)
+		}
+		if min := m.Minimize(); min.NumStates != c.states {
+			t.Errorf("%s assoc %d: minimized to %d states, want %d", c.name, c.assoc, min.NumStates, c.states)
+		}
+	}
+}
+
+func TestFromPolicyRespectsBudget(t *testing.T) {
+	if _, err := FromPolicy(policy.MustNew("LRU", 6), 100); err == nil {
+		t.Error("FromPolicy with tight budget succeeded")
+	}
+}
+
+func TestFromPolicyMatchesDirectExecution(t *testing.T) {
+	for _, name := range []string{"FIFO", "LRU", "PLRU", "MRU", "LIP", "SRRIP-HP", "SRRIP-FP", "New1", "New2"} {
+		p := policy.MustNew(name, 4)
+		m, err := FromPolicy(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(raw []uint8) bool {
+			q := p.Clone()
+			q.Reset()
+			word := make([]int, len(raw))
+			for i, r := range raw {
+				word[i] = int(r) % m.NumInputs
+			}
+			got := m.Run(word)
+			for i, in := range word {
+				if got[i] != policy.Apply(q, in) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: machine disagrees with policy: %v", name, err)
+		}
+	}
+}
+
+func TestLRUAssocTwoMatchesExample22(t *testing.T) {
+	// Example 2.2: two states; in cs_i, Evct outputs i and loops on the
+	// "refreshing" access.
+	m, err := FromPolicy(policy.MustNew("LRU", 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates != 2 {
+		t.Fatalf("LRU-2 has %d states, want 2", m.NumStates)
+	}
+	evct := 2
+	s0 := m.Init
+	v0 := m.Out[s0][evct]
+	s1 := m.Next[s0][evct]
+	if s1 == s0 {
+		t.Fatal("Evct must change the LRU-2 state")
+	}
+	if v1 := m.Out[s1][evct]; v1 == v0 {
+		t.Errorf("both states evict line %d", v0)
+	}
+	// Accessing the line that is next to be evicted flips the state;
+	// accessing the other line keeps it.
+	if m.Next[s0][v0] != s1 {
+		t.Error("touching the pending victim must flip the state")
+	}
+	if m.Next[s0][1-v0] != s0 {
+		t.Error("touching the protected line must keep the state")
+	}
+}
+
+func TestEquivalentSelfAndDistinct(t *testing.T) {
+	lru, _ := FromPolicy(policy.MustNew("LRU", 4), 0)
+	fifo, _ := FromPolicy(policy.MustNew("FIFO", 4), 0)
+	if eq, _ := lru.Equivalent(lru); !eq {
+		t.Error("LRU not equivalent to itself")
+	}
+	eq, ce := lru.Equivalent(fifo)
+	if eq {
+		t.Fatal("LRU reported equivalent to FIFO")
+	}
+	if ce == nil {
+		t.Fatal("no counterexample returned")
+	}
+	a, b := lru.Run(ce), fifo.Run(ce)
+	if a[len(a)-1] == b[len(b)-1] {
+		t.Errorf("counterexample %v does not distinguish: %v vs %v", ce, a, b)
+	}
+	// The counterexample is shortest: the prefix must agree.
+	for i := 0; i < len(ce)-1; i++ {
+		if a[i] != b[i] {
+			t.Errorf("counterexample not minimal: differs at %d < %d", i, len(ce)-1)
+		}
+	}
+}
+
+func TestEquivalenceIsUpToTraceNotStructure(t *testing.T) {
+	// A padded machine with duplicated states must stay equivalent to the
+	// original and minimize back to it.
+	orig, _ := FromPolicy(policy.MustNew("PLRU", 4), 0)
+	padded := New(orig.NumStates*2, orig.NumInputs)
+	padded.Init = orig.Init
+	for s := 0; s < orig.NumStates; s++ {
+		for a := 0; a < orig.NumInputs; a++ {
+			// Duplicate every state; odd copies point into even ones and
+			// vice versa, preserving the trace semantics.
+			padded.Next[s][a] = orig.Next[s][a] + orig.NumStates
+			padded.Out[s][a] = orig.Out[s][a]
+			padded.Next[s+orig.NumStates][a] = orig.Next[s][a]
+			padded.Out[s+orig.NumStates][a] = orig.Out[s][a]
+		}
+	}
+	if eq, ce := orig.Equivalent(padded); !eq {
+		t.Fatalf("padded machine not equivalent, ce=%v", ce)
+	}
+	min := padded.Minimize()
+	if min.NumStates != orig.NumStates {
+		t.Errorf("Minimize: %d states, want %d", min.NumStates, orig.NumStates)
+	}
+	if eq, _ := min.Equivalent(orig); !eq {
+		t.Error("minimized machine lost equivalence")
+	}
+}
+
+func TestAccessSequencesReachTheirStates(t *testing.T) {
+	m, _ := FromPolicy(policy.MustNew("MRU", 4), 0)
+	seqs := m.AccessSequences()
+	if len(seqs) != m.NumStates {
+		t.Fatalf("%d access sequences for %d states", len(seqs), m.NumStates)
+	}
+	for s, w := range seqs {
+		if w == nil {
+			t.Fatalf("state %d unreachable", s)
+		}
+		if got := m.StateAfter(w); got != s {
+			t.Errorf("access sequence of state %d leads to %d", s, got)
+		}
+	}
+}
+
+func TestCharacterizingSetSeparatesAllStates(t *testing.T) {
+	for _, name := range []string{"FIFO", "LRU", "PLRU", "MRU", "SRRIP-HP", "New1", "New2"} {
+		m, _ := FromPolicy(policy.MustNew(name, 4), 0)
+		w := m.CharacterizingSet()
+		if len(w) == 0 {
+			t.Fatalf("%s: empty characterizing set", name)
+		}
+		sigs := make(map[string]int)
+		for s := 0; s < m.NumStates; s++ {
+			var sb strings.Builder
+			for _, word := range w {
+				for _, o := range m.RunFrom(s, word) {
+					sb.WriteByte(byte('0' + 2 + o)) // -1 -> '1', 0 -> '2', ...
+				}
+				sb.WriteByte('|')
+			}
+			if prev, dup := sigs[sb.String()]; dup {
+				t.Fatalf("%s: states %d and %d share the W-signature", name, prev, s)
+			}
+			sigs[sb.String()] = s
+		}
+	}
+}
+
+func TestDistinguishingWordNilForEquivalentStates(t *testing.T) {
+	m, _ := FromPolicy(policy.MustNew("LRU", 2), 0)
+	if w := m.DistinguishingWord(0, 0); w != nil {
+		t.Errorf("self-distinguishing word %v", w)
+	}
+	if w := m.DistinguishingWord(0, 1); w == nil {
+		t.Error("no distinguishing word for distinct LRU-2 states")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	m, _ := FromPolicy(policy.MustNew("LRU", 2), 0)
+	dot := m.DOT("lru2")
+	for _, want := range []string{"digraph", "Evct", "Ln(0)", "⊥", "__start"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestRunFromRandomStates(t *testing.T) {
+	m, _ := FromPolicy(policy.MustNew("SRRIP-FP", 4), 0)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		s := rng.Intn(m.NumStates)
+		word := make([]int, 1+rng.Intn(20))
+		for j := range word {
+			word[j] = rng.Intn(m.NumInputs)
+		}
+		out := m.RunFrom(s, word)
+		if len(out) != len(word) {
+			t.Fatalf("RunFrom output length %d for word length %d", len(out), len(word))
+		}
+		// Outputs for Ln inputs are ⊥, for Evct a valid line.
+		for j, a := range word {
+			if a < m.NumInputs-1 && out[j] != policy.Bottom {
+				t.Fatalf("Ln input produced output %d", out[j])
+			}
+			if a == m.NumInputs-1 && (out[j] < 0 || out[j] >= m.NumInputs-1) {
+				t.Fatalf("Evct produced output %d", out[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package mealy
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// TestModelArtifacts verifies the published model files in models/ stay
+// trace-equivalent to the policy implementations they were extracted from.
+func TestModelArtifacts(t *testing.T) {
+	specs := []struct {
+		name  string
+		assoc int
+	}{
+		{"FIFO", 4}, {"LRU", 4}, {"PLRU", 4}, {"PLRU", 8}, {"MRU", 4},
+		{"LIP", 4}, {"SRRIP-HP", 4}, {"SRRIP-FP", 4}, {"New1", 4}, {"New2", 4},
+	}
+	for _, s := range specs {
+		path := filepath.Join("..", "..", "models", fmt.Sprintf("%s-%d.json", s.name, s.assoc))
+		fh, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with mealy.FromPolicy + Save)", path, err)
+		}
+		m, err := Load(fh)
+		fh.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		truth, err := FromPolicy(policy.MustNew(s.name, s.assoc), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq, ce := m.Equivalent(truth); !eq {
+			t.Errorf("%s: stale artifact, ce=%v", path, ce)
+		}
+	}
+}

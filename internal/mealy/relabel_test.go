@@ -1,0 +1,80 @@
+package mealy
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestRelabelLinesRoundTrip(t *testing.T) {
+	m, _ := FromPolicy(policy.MustNew("SRRIP-HP", 4), 0)
+	perm := []int{2, 0, 3, 1}
+	inv := make([]int, 4)
+	for i, p := range perm {
+		inv[p] = i
+	}
+	relabeled := m.RelabelLines(perm)
+	if eq, _ := relabeled.Equivalent(m); eq {
+		t.Fatal("a non-trivial relabeling kept the machine equivalent")
+	}
+	back := relabeled.RelabelLines(inv)
+	if eq, ce := back.Equivalent(m); !eq {
+		t.Fatalf("relabel round trip changed the machine, ce=%v", ce)
+	}
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	m, _ := FromPolicy(policy.MustNew("LRU", 4), 0)
+	id := []int{0, 1, 2, 3}
+	if eq, _ := m.RelabelLines(id).Equivalent(m); !eq {
+		t.Fatal("identity relabeling changed the machine")
+	}
+}
+
+func TestRelabelRejectsBadPermutation(t *testing.T) {
+	m, _ := FromPolicy(policy.MustNew("LRU", 2), 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("short permutation accepted")
+		}
+	}()
+	m.RelabelLines([]int{0})
+}
+
+func TestShortestEvictionWord(t *testing.T) {
+	// On LRU-4 from the initial fill state, line 0 is evicted by a bare
+	// Evct, while evicting line 3 (the most recently used one) requires
+	// first refreshing the other lines.
+	m, _ := FromPolicy(policy.MustNew("LRU", 4), 0)
+	w := m.ShortestEvictionWord(m.Init, 0)
+	if len(w) != 1 || w[0] != 4 {
+		t.Errorf("eviction word for line 0 = %v, want [Evct]", w)
+	}
+	w3 := m.ShortestEvictionWord(m.Init, 3)
+	if w3 == nil {
+		t.Fatal("no eviction word for line 3")
+	}
+	if len(w3) < 4 {
+		t.Errorf("evicting the MRU line took only %d inputs: %v", len(w3), w3)
+	}
+	// Execute the strategy and confirm the final output.
+	out := m.Run(w3)
+	if out[len(out)-1] != 3 {
+		t.Errorf("strategy %v evicts line %d, want 3", w3, out[len(out)-1])
+	}
+	// Every line of every policy must be evictable from the initial state.
+	for _, name := range []string{"FIFO", "PLRU", "MRU", "SRRIP-HP", "New1", "New2"} {
+		pm, _ := FromPolicy(policy.MustNew(name, 4), 0)
+		for line := 0; line < 4; line++ {
+			w := pm.ShortestEvictionWord(pm.Init, line)
+			if w == nil {
+				t.Errorf("%s: line %d not evictable", name, line)
+				continue
+			}
+			out := pm.Run(w)
+			if out[len(out)-1] != line {
+				t.Errorf("%s: strategy for line %d evicts %d", name, line, out[len(out)-1])
+			}
+		}
+	}
+}

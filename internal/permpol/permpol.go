@@ -1,0 +1,273 @@
+// Package permpol implements a measurement-based inference of
+// permutation-based replacement policies in the spirit of Abel and Reineke
+// [1] — the prior-art baseline the paper compares against in §6.
+//
+// A permutation policy maintains a total order of the cached blocks by
+// "position"; position n-1 is the next victim. A miss evicts position n-1
+// and re-inserts at position 0 (with the survivors shifting towards the
+// victim end), followed by a fixed miss permutation; a hit at position p
+// applies a per-position permutation Π_p. FIFO (all Π_p the identity),
+// LRU (Π_p rotates p to the front) and tree-PLRU are permutation-based;
+// MRU, LIP-style insertion policies, the RRIP family and the undocumented
+// New1/New2 are not — which is exactly the scope limitation of the baseline
+// that motivates the paper's automata-learning approach ("prior approaches
+// for permutation-based policies can learn only FIFO, LRU, and PLRU from
+// our experimental setup", §6).
+//
+// Inference measures eviction ranks: the position of a block is read off
+// by counting how many fresh misses it survives. Policies outside the
+// class either produce non-permutation measurements (detected during
+// inference) or fail the final equivalence validation.
+package permpol
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blocks"
+	"repro/internal/mealy"
+	"repro/internal/polca"
+	"repro/internal/policy"
+)
+
+// ErrNotPermutation is returned when the measurements are inconsistent with
+// any permutation-based policy.
+var ErrNotPermutation = errors.New("permpol: policy is not permutation-based")
+
+// Model is an inferred permutation policy.
+type Model struct {
+	N int
+	// HitPerm[p][q] is the new position of the block previously at
+	// position q after a hit on position p.
+	HitPerm [][]int
+	// MissPerm[q] is the new position of the block previously at position
+	// q after a miss (q = n-1 is the victim slot, re-populated by the
+	// incoming block).
+	MissPerm []int
+	// InitPos[line] is the position of cache line `line` after the reset
+	// fill.
+	InitPos []int
+}
+
+// ranks measures, for every block resident after setup, how many fresh
+// misses it survives: rank 1 is evicted first. A block surviving n misses
+// has no rank, which disqualifies the permutation model.
+func ranks(pr polca.Prober, setup []blocks.Block) (map[blocks.Block]int, error) {
+	n := pr.Assoc()
+	// Distinct resident blocks after setup, by probing.
+	var resident []blocks.Block
+	seen := map[blocks.Block]bool{}
+	for _, b := range setup {
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		oc, err := pr.Probe(append(append([]blocks.Block{}, setup...), b))
+		if err != nil {
+			return nil, err
+		}
+		if oc {
+			resident = append(resident, b)
+		}
+	}
+	if len(resident) != n {
+		return nil, fmt.Errorf("%w: %d resident blocks after setup, want %d", ErrNotPermutation, len(resident), n)
+	}
+	// Fresh filler blocks disjoint from the setup.
+	taken := append([]blocks.Block{}, setup...)
+	fresh := make([]blocks.Block, n)
+	for i := range fresh {
+		fresh[i] = blocks.Fresh(taken)
+		taken = append(taken, fresh[i])
+	}
+	out := make(map[blocks.Block]int, n)
+	for k := 1; k <= n; k++ {
+		prefix := append(append([]blocks.Block{}, setup...), fresh[:k]...)
+		for _, b := range resident {
+			if _, done := out[b]; done {
+				continue
+			}
+			oc, err := pr.Probe(append(append([]blocks.Block{}, prefix...), b))
+			if err != nil {
+				return nil, err
+			}
+			if !bool(oc) { // evicted within k misses
+				out[b] = k
+			}
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("%w: some blocks survive %d consecutive misses", ErrNotPermutation, n)
+	}
+	// Ranks must be a permutation of 1..n.
+	seenRank := make([]bool, n+1)
+	for _, r := range out {
+		if seenRank[r] {
+			return nil, fmt.Errorf("%w: two blocks share eviction rank %d", ErrNotPermutation, r)
+		}
+		seenRank[r] = true
+	}
+	return out, nil
+}
+
+// positions converts ranks to positions: rank 1 (evicted first) is position
+// n-1.
+func positions(r map[blocks.Block]int, n int) map[blocks.Block]int {
+	out := make(map[blocks.Block]int, len(r))
+	for b, k := range r {
+		out[b] = n - k
+	}
+	return out
+}
+
+// Infer measures the permutation model of the policy behind pr. The
+// prober's reset must fill the set with pr.InitialContent() in line order
+// (the Flush+Refill contract).
+func Infer(pr polca.Prober) (*Model, error) {
+	n := pr.Assoc()
+	fill := pr.InitialContent()
+	base, err := ranks(pr, fill)
+	if err != nil {
+		return nil, err
+	}
+	basePos := positions(base, n)
+
+	m := &Model{N: n, HitPerm: make([][]int, n), MissPerm: make([]int, n), InitPos: make([]int, n)}
+	for line, b := range fill {
+		m.InitPos[line] = basePos[b]
+	}
+	// Blocks indexed by their base position.
+	atPos := make([]blocks.Block, n)
+	for b, p := range basePos {
+		atPos[p] = b
+	}
+
+	// Hit permutations: touch the block at position p, re-measure.
+	for p := 0; p < n; p++ {
+		setup := append(append([]blocks.Block{}, fill...), atPos[p])
+		after, err := ranks(pr, setup)
+		if err != nil {
+			return nil, err
+		}
+		pos := positions(after, n)
+		perm := make([]int, n)
+		for q := 0; q < n; q++ {
+			np, ok := pos[atPos[q]]
+			if !ok {
+				return nil, fmt.Errorf("%w: hit on position %d evicted a block", ErrNotPermutation, p)
+			}
+			perm[q] = np
+		}
+		m.HitPerm[p] = perm
+	}
+
+	// Miss permutation: insert a fresh block, re-measure; the victim slot
+	// (old position n-1) is taken over by the incoming block.
+	x := blocks.Fresh(fill)
+	setup := append(append([]blocks.Block{}, fill...), x)
+	after, err := ranks(pr, setup)
+	if err != nil {
+		return nil, err
+	}
+	pos := positions(after, n)
+	for q := 0; q < n-1; q++ {
+		np, ok := pos[atPos[q]]
+		if !ok {
+			return nil, fmt.Errorf("%w: miss evicted the block at position %d, not the victim", ErrNotPermutation, q)
+		}
+		m.MissPerm[q] = np
+	}
+	xp, ok := pos[x]
+	if !ok {
+		return nil, fmt.Errorf("%w: freshly inserted block immediately evicted", ErrNotPermutation)
+	}
+	m.MissPerm[n-1] = xp
+	return m, nil
+}
+
+// Policy returns an executable policy implementing the model, suitable for
+// equivalence checks against learned machines and for installation in the
+// cache simulator.
+func (m *Model) Policy() policy.Policy {
+	p := &permPolicy{model: m, lineAt: make([]int, m.N)}
+	p.Reset()
+	return p
+}
+
+// permPolicy executes a permutation model; the control state is the mapping
+// position -> cache line.
+type permPolicy struct {
+	model  *Model
+	lineAt []int // lineAt[pos] = cache line holding that position
+}
+
+// Name implements policy.Policy.
+func (p *permPolicy) Name() string { return "Permutation" }
+
+// Assoc implements policy.Policy.
+func (p *permPolicy) Assoc() int { return p.model.N }
+
+func (p *permPolicy) apply(perm []int) {
+	next := make([]int, p.model.N)
+	for q, line := range p.lineAt {
+		next[perm[q]] = line
+	}
+	copy(p.lineAt, next)
+}
+
+// OnHit implements policy.Policy.
+func (p *permPolicy) OnHit(line int) {
+	for pos, l := range p.lineAt {
+		if l == line {
+			p.apply(p.model.HitPerm[pos])
+			return
+		}
+	}
+	panic("permpol: hit on unknown line")
+}
+
+// OnMiss implements policy.Policy.
+func (p *permPolicy) OnMiss() int {
+	victim := p.lineAt[p.model.N-1]
+	// The victim's line is re-populated by the incoming block and moves
+	// per the miss permutation.
+	p.apply(p.model.MissPerm)
+	return victim
+}
+
+// Reset implements policy.Policy.
+func (p *permPolicy) Reset() {
+	for line, pos := range p.model.InitPos {
+		p.lineAt[pos] = line
+	}
+}
+
+// StateKey implements policy.Policy.
+func (p *permPolicy) StateKey() string { return fmt.Sprint(p.lineAt) }
+
+// Clone implements policy.Policy.
+func (p *permPolicy) Clone() policy.Policy {
+	c := &permPolicy{model: p.model, lineAt: make([]int, p.model.N)}
+	copy(c.lineAt, p.lineAt)
+	return c
+}
+
+// InferAndValidate infers a model and verifies it is exactly
+// trace-equivalent to the policy behind the prober, using the supplied
+// ground-truth machine. It returns ErrNotPermutation when inference
+// succeeds numerically but the model mispredicts (a policy outside the
+// class that happens to yield permutation-shaped measurements).
+func InferAndValidate(pr polca.Prober, truth *mealy.Machine) (*Model, error) {
+	m, err := Infer(pr)
+	if err != nil {
+		return nil, err
+	}
+	cand, err := mealy.FromPolicyState(m.Policy(), 0)
+	if err != nil {
+		return nil, err
+	}
+	if eq, ce := truth.Equivalent(cand); !eq {
+		return nil, fmt.Errorf("%w: model mispredicts on %v", ErrNotPermutation, ce)
+	}
+	return m, nil
+}

@@ -1,0 +1,118 @@
+package permpol
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mealy"
+	"repro/internal/polca"
+	"repro/internal/policy"
+)
+
+func proberFor(name string, assoc int) *polca.SimProber {
+	return polca.NewSimProber(policy.MustNew(name, assoc))
+}
+
+func truthFor(t *testing.T, name string, assoc int) *mealy.Machine {
+	t.Helper()
+	m, err := mealy.FromPolicy(policy.MustNew(name, assoc), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestBaselineScopeMatchesPaper: the permutation baseline handles exactly
+// the policies §6 credits to it — FIFO, LRU, PLRU — and rejects the rest.
+func TestBaselineScopeMatchesPaper(t *testing.T) {
+	inScope := []string{"FIFO", "LRU", "PLRU"}
+	for _, name := range inScope {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := InferAndValidate(proberFor(name, 4), truthFor(t, name, 4))
+			if err != nil {
+				t.Fatalf("baseline failed on %s: %v", name, err)
+			}
+			if m.N != 4 || len(m.HitPerm) != 4 {
+				t.Errorf("malformed model %+v", m)
+			}
+		})
+	}
+	outOfScope := []string{"MRU", "LIP", "SRRIP-HP", "SRRIP-FP", "New1", "New2"}
+	for _, name := range outOfScope {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			_, err := InferAndValidate(proberFor(name, 4), truthFor(t, name, 4))
+			if !errors.Is(err, ErrNotPermutation) {
+				t.Fatalf("baseline unexpectedly handled %s: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestInferredLRUPermutations(t *testing.T) {
+	m, err := Infer(proberFor("LRU", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hit on the victim position 3 must rotate it to position 0 and
+	// shift the others down; a hit on position 0 is the identity.
+	if got := m.HitPerm[3]; got[3] != 0 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("HitPerm[3] = %v", got)
+	}
+	for q, np := range m.HitPerm[0] {
+		if np != q {
+			t.Errorf("HitPerm[0] not identity: %v", m.HitPerm[0])
+		}
+	}
+	// A miss inserts at position 0: the incoming block (victim slot) maps
+	// to 0 and everyone else shifts by one.
+	if m.MissPerm[3] != 0 || m.MissPerm[0] != 1 {
+		t.Errorf("MissPerm = %v", m.MissPerm)
+	}
+}
+
+func TestInferredFIFOHitsAreIdentity(t *testing.T) {
+	m, err := Infer(proberFor("FIFO", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		for q, np := range m.HitPerm[p] {
+			if np != q {
+				t.Fatalf("FIFO HitPerm[%d] = %v, want identity", p, m.HitPerm[p])
+			}
+		}
+	}
+}
+
+func TestModelPolicyIsDeterministicAndResets(t *testing.T) {
+	m, err := Infer(proberFor("PLRU", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Policy()
+	before := p.StateKey()
+	p.OnMiss()
+	p.OnHit(2)
+	p.Reset()
+	if p.StateKey() != before {
+		t.Error("Reset did not restore the initial state")
+	}
+	c := p.Clone()
+	c.OnMiss()
+	if p.StateKey() != before {
+		t.Error("clone mutation leaked")
+	}
+}
+
+func TestBaselineScalesToAssocEight(t *testing.T) {
+	// [1] learned PLRU-8 from hardware; our baseline handles the
+	// simulated equivalent.
+	if _, err := InferAndValidate(proberFor("PLRU", 8), truthFor(t, "PLRU", 8)); err != nil {
+		t.Fatalf("PLRU-8: %v", err)
+	}
+	if _, err := InferAndValidate(proberFor("LRU", 6), truthFor(t, "LRU", 6)); err != nil {
+		t.Fatalf("LRU-6: %v", err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package polca implements Polca (Algorithm 1 of the paper): a membership
+// and output oracle for a cache's replacement policy, given only black-box
+// access to the cache's trace semantics.
+//
+// Polca translates policy-level inputs — Ln(i) "access line i" and Evct
+// "free a line" — into sequences of memory blocks, by keeping track of the
+// blocks currently stored in the cache. A hit on line i becomes an access to
+// the block stored there; an eviction request becomes an access to a block
+// that is not cached; and the identity of the evicted line is recovered by
+// re-probing the cache with each previously cached block (findEvicted).
+// This inversion of the cache's transition rules (Figure 2) exposes the
+// policy's data-independence symmetry to the learner and is what makes
+// automata learning scale to hardware caches.
+package polca
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/blocks"
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+// ErrNondeterministic is returned when the cache under observation behaves
+// inconsistently with any deterministic replacement policy — for example
+// when an access that must hit misses, or when the eviction probes identify
+// zero or several evicted lines. On real hardware this is the symptom of an
+// incorrect reset sequence or of an adaptive/randomized policy (§7).
+var ErrNondeterministic = errors.New("polca: cache behaves nondeterministically")
+
+// Prober is the abstract interface to a cache's trace semantics JCK.
+// Every Probe conceptually starts from the cache's fixed initial state:
+// implementations reset the cache (replaying the reset sequence on
+// hardware), access all blocks of q in order, and report whether the last
+// access hit.
+type Prober interface {
+	// Assoc returns the associativity of the probed cache set.
+	Assoc() int
+	// InitialContent returns cc0: the blocks resident after a reset,
+	// indexed by cache line.
+	InitialContent() []blocks.Block
+	// Probe runs q from the initial state and returns the last outcome.
+	Probe(q []blocks.Block) (cache.Outcome, error)
+}
+
+// TraceProber is an optional Prober extension returning the full hit/miss
+// trace of a probe rather than only the final outcome. CacheQuery supports
+// it by tagging every access for profiling; the fingerprinting baseline
+// (internal/fingerprint) depends on it.
+type TraceProber interface {
+	Prober
+	ProbeTrace(q []blocks.Block) ([]cache.Outcome, error)
+}
+
+// Session is an incremental probing session rooted at the cache's initial
+// state, used by the fast oracle path on software-simulated caches.
+type Session interface {
+	// Access feeds one block and returns its outcome.
+	Access(b blocks.Block) (cache.Outcome, error)
+	// Fork returns an independent session in the same cache state.
+	Fork() (Session, error)
+}
+
+// ForkingProber is an optional Prober extension for caches that support
+// cheap state snapshots (software simulators). Polca exploits it to avoid
+// the quadratic prefix replay of the plain Probe interface; the observable
+// behaviour is identical for deterministic caches.
+type ForkingProber interface {
+	Prober
+	NewSession() (Session, error)
+}
+
+// Stats aggregates the cost counters of an oracle.
+type Stats struct {
+	OutputQueries int // policy-level output queries answered
+	Symbols       int // policy input symbols processed
+	Probes        int // reset-rooted cache probes issued (after memoization)
+	MemoHits      int // probes answered from the memo table
+	Accesses      int // total block accesses issued to the cache
+}
+
+// Oracle answers membership and output queries for the replacement policy of
+// the cache behind a Prober. It is the paper's Polca plus the probe
+// memoization that the real tool delegates to LevelDB (§4.2).
+type Oracle struct {
+	prober  Prober
+	cc0     []blocks.Block
+	memo    map[string]cache.Outcome
+	stats   Stats
+	recheck int // re-run every recheck-th query to detect nondeterminism
+}
+
+// Option configures an Oracle.
+type Option func(*Oracle)
+
+// WithoutMemo disables probe memoization (for the ablation benchmarks).
+func WithoutMemo() Option {
+	return func(o *Oracle) { o.memo = nil }
+}
+
+// WithDeterminismChecks re-executes every n-th output query and compares the
+// answers, converting silent cross-query nondeterminism (the symptom of an
+// incorrect reset sequence or an adaptive policy, §7.1) into
+// ErrNondeterministic instead of an ever-growing hypothesis.
+func WithDeterminismChecks(n int) Option {
+	return func(o *Oracle) { o.recheck = n }
+}
+
+// NewOracle builds a Polca oracle over the given cache interface.
+func NewOracle(p Prober, opts ...Option) *Oracle {
+	o := &Oracle{
+		prober: p,
+		cc0:    append([]blocks.Block(nil), p.InitialContent()...),
+		memo:   make(map[string]cache.Outcome),
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if len(o.cc0) != p.Assoc() {
+		panic(fmt.Sprintf("polca: initial content has %d lines, associativity is %d", len(o.cc0), p.Assoc()))
+	}
+	for _, b := range o.cc0 {
+		if b == "" {
+			panic("polca: initial content has invalid lines; the reset must fill the set")
+		}
+	}
+	return o
+}
+
+// NumInputs implements learn.Teacher: the policy alphabet Ln(0..n-1), Evct.
+func (o *Oracle) NumInputs() int { return policy.NumInputs(o.prober.Assoc()) }
+
+// Stats returns a copy of the accumulated cost counters.
+func (o *Oracle) Stats() Stats { return o.stats }
+
+// probe issues one reset-rooted probe, via the memo table when enabled.
+func (o *Oracle) probe(q []blocks.Block) (cache.Outcome, error) {
+	var key string
+	if o.memo != nil {
+		key = strings.Join(q, " ")
+		if oc, ok := o.memo[key]; ok {
+			o.stats.MemoHits++
+			return oc, nil
+		}
+	}
+	oc, err := o.prober.Probe(q)
+	if err != nil {
+		return Missed(), err
+	}
+	o.stats.Probes++
+	o.stats.Accesses += len(q)
+	if o.memo != nil {
+		o.memo[key] = oc
+	}
+	return oc, nil
+}
+
+// Missed is a zero Outcome helper used on error paths.
+func Missed() cache.Outcome { return cache.Miss }
+
+// OutputQuery runs the policy-input word (encoded as in package policy:
+// 0..n-1 are Ln(i), n is Evct) against the cache and returns the policy
+// output word: policy.Bottom for every Ln input and the evicted line for
+// every Evct input. This is the oracle the learner consumes; Membership
+// (Algorithm 1 verbatim) is a comparison on top of it.
+func (o *Oracle) OutputQuery(word []int) ([]int, error) {
+	o.stats.OutputQueries++
+	o.stats.Symbols += len(word)
+	out, err := o.outputQueryOnce(word)
+	if err != nil {
+		return nil, err
+	}
+	if o.recheck > 0 && o.stats.OutputQueries%o.recheck == 0 && len(word) > 0 {
+		// Determinism audit: memoization must be bypassed, otherwise the
+		// first answer would simply be replayed.
+		saved := o.memo
+		o.memo = nil
+		again, err := o.outputQueryOnce(word)
+		o.memo = saved
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			if out[i] != again[i] {
+				return nil, fmt.Errorf("%w: repeated query diverged at position %d (%d vs %d)",
+					ErrNondeterministic, i, out[i], again[i])
+			}
+		}
+	}
+	return out, nil
+}
+
+func (o *Oracle) outputQueryOnce(word []int) ([]int, error) {
+	if fp, ok := o.prober.(ForkingProber); ok {
+		return o.outputQuerySessions(fp, word)
+	}
+	return o.outputQueryProbes(word)
+}
+
+// outputQueryProbes is the faithful Algorithm 1 loop over reset-rooted
+// probes, used against hardware-style probers.
+func (o *Oracle) outputQueryProbes(word []int) ([]int, error) {
+	n := o.prober.Assoc()
+	cc := append([]blocks.Block(nil), o.cc0...)
+	ic := make([]blocks.Block, 0, len(word))
+	out := make([]int, len(word))
+
+	for i, ip := range word {
+		b, err := mapInput(ip, cc, n)
+		if err != nil {
+			return nil, err
+		}
+		ic = append(ic, b)
+		oc, err := o.probe(ic)
+		if err != nil {
+			return nil, err
+		}
+		op, err := o.mapOutputProbes(ip, oc, ic, cc)
+		if err != nil {
+			return nil, err
+		}
+		if op != policy.Bottom {
+			cc[op] = b
+		}
+		out[i] = op
+	}
+	return out, nil
+}
+
+// mapOutputProbes maps a cache outcome back to a policy output, issuing the
+// findEvicted probes on a miss.
+func (o *Oracle) mapOutputProbes(ip int, oc cache.Outcome, ic []blocks.Block, cc []blocks.Block) (int, error) {
+	n := o.prober.Assoc()
+	if ip < n { // Ln(i): the block is cached, the access must hit
+		if oc != cache.Hit {
+			return 0, fmt.Errorf("%w: access to cached block %s missed", ErrNondeterministic, ic[len(ic)-1])
+		}
+		return policy.Bottom, nil
+	}
+	// Evct: the access must miss, and exactly one resident block must have
+	// been displaced.
+	if oc != cache.Miss {
+		return 0, fmt.Errorf("%w: access to fresh block %s hit", ErrNondeterministic, ic[len(ic)-1])
+	}
+	evicted := -1
+	for i := 0; i < n; i++ {
+		probe := append(append([]blocks.Block(nil), ic...), cc[i])
+		poc, err := o.probe(probe)
+		if err != nil {
+			return 0, err
+		}
+		if poc == cache.Miss {
+			if evicted != -1 {
+				return 0, fmt.Errorf("%w: blocks %s and %s both evicted by one miss", ErrNondeterministic, cc[evicted], cc[i])
+			}
+			evicted = i
+		}
+	}
+	if evicted == -1 {
+		return 0, fmt.Errorf("%w: no resident block evicted by a miss", ErrNondeterministic)
+	}
+	return evicted, nil
+}
+
+// outputQuerySessions is the session-based fast path: one incremental walk
+// down the trace, forking at each miss for the eviction probes.
+func (o *Oracle) outputQuerySessions(fp ForkingProber, word []int) ([]int, error) {
+	n := fp.Assoc()
+	cc := append([]blocks.Block(nil), o.cc0...)
+	out := make([]int, len(word))
+
+	sess, err := fp.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	o.stats.Probes++
+	for i, ip := range word {
+		b, err := mapInput(ip, cc, n)
+		if err != nil {
+			return nil, err
+		}
+		oc, err := sess.Access(b)
+		if err != nil {
+			return nil, err
+		}
+		o.stats.Accesses++
+		if ip < n {
+			if oc != cache.Hit {
+				return nil, fmt.Errorf("%w: access to cached block %s missed", ErrNondeterministic, b)
+			}
+			out[i] = policy.Bottom
+			continue
+		}
+		if oc != cache.Miss {
+			return nil, fmt.Errorf("%w: access to fresh block %s hit", ErrNondeterministic, b)
+		}
+		evicted := -1
+		for j := 0; j < n; j++ {
+			fork, err := sess.Fork()
+			if err != nil {
+				return nil, err
+			}
+			poc, err := fork.Access(cc[j])
+			if err != nil {
+				return nil, err
+			}
+			o.stats.Accesses++
+			if poc == cache.Miss {
+				if evicted != -1 {
+					return nil, fmt.Errorf("%w: blocks %s and %s both evicted by one miss", ErrNondeterministic, cc[evicted], cc[j])
+				}
+				evicted = j
+			}
+		}
+		if evicted == -1 {
+			return nil, fmt.Errorf("%w: no resident block evicted by a miss", ErrNondeterministic)
+		}
+		cc[evicted] = b
+		out[i] = evicted
+	}
+	return out, nil
+}
+
+// mapInput maps a policy input to a memory block given the tracked content
+// (the paper's mapInput).
+func mapInput(ip int, cc []blocks.Block, n int) (blocks.Block, error) {
+	if ip < 0 || ip > n {
+		return "", fmt.Errorf("polca: input %d out of range for associativity %d", ip, n)
+	}
+	if ip < n {
+		return cc[ip], nil
+	}
+	return blocks.Fresh(cc), nil
+}
+
+// Pair is one input/output pair of a policy trace.
+type Pair struct {
+	In  int // 0..n-1 for Ln(i), n for Evct
+	Out int // policy.Bottom or a line index
+}
+
+// Membership decides whether the trace belongs to the policy's trace
+// semantics JPK — Algorithm 1 verbatim. A nondeterminism error is
+// propagated; a mere output mismatch yields false.
+func (o *Oracle) Membership(t []Pair) (bool, error) {
+	word := make([]int, len(t))
+	for i, p := range t {
+		word[i] = p.In
+	}
+	got, err := o.OutputQuery(word)
+	if err != nil {
+		return false, err
+	}
+	for i, p := range t {
+		if got[i] != p.Out {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,203 @@
+package polca
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/mealy"
+	"repro/internal/policy"
+)
+
+var learnedPolicies = []string{"FIFO", "LRU", "PLRU", "MRU", "LIP", "SRRIP-HP", "SRRIP-FP", "New1", "New2"}
+
+// TestTheorem31: Polca's output queries coincide with the policy's own
+// semantics — for every input word, the outputs recovered from hit/miss
+// probing equal direct execution of the (hidden) policy. This is the
+// computational content of Theorem 3.1.
+func TestTheorem31(t *testing.T) {
+	for _, name := range learnedPolicies {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pol := policy.MustNew(name, 4)
+			truth, err := mealy.FromPolicy(pol, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := NewOracle(NewSimProber(policy.MustNew(name, 4)))
+			f := func(raw []uint8) bool {
+				word := make([]int, len(raw))
+				for i, r := range raw {
+					word[i] = int(r) % truth.NumInputs
+				}
+				got, err := oracle.OutputQuery(word)
+				if err != nil {
+					t.Fatalf("oracle error: %v", err)
+				}
+				want := truth.Run(word)
+				for i := range want {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSlowAndFastPathsAgree: the faithful reset-rooted probe path and the
+// session-based fast path produce identical answers.
+func TestSlowAndFastPathsAgree(t *testing.T) {
+	for _, name := range []string{"LRU", "PLRU", "New1"} {
+		fast := NewOracle(NewSimProber(policy.MustNew(name, 4)))
+		slow := NewOracle(SlowProber{P: NewSimProber(policy.MustNew(name, 4))})
+		rng := rand.New(rand.NewSource(21))
+		for i := 0; i < 60; i++ {
+			word := make([]int, 1+rng.Intn(12))
+			for j := range word {
+				word[j] = rng.Intn(5)
+			}
+			a, err1 := fast.OutputQuery(word)
+			b, err2 := slow.OutputQuery(word)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: errors %v / %v", name, err1, err2)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("%s: paths disagree on %v: %v vs %v", name, word, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestMembershipAlgorithmOne(t *testing.T) {
+	// For LRU-2 the first Evct frees line 0 (Example 2.2).
+	oracle := NewOracle(NewSimProber(policy.MustNew("LRU", 2)))
+	ok, err := oracle.Membership([]Pair{
+		{In: 2, Out: 0},             // Evct -> line 0
+		{In: 2, Out: 1},             // Evct -> line 1
+		{In: 0, Out: policy.Bottom}, // Ln(0) -> ⊥
+		{In: 2, Out: 1},             // line 0 was just refreshed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("valid trace rejected")
+	}
+	ok, err = oracle.Membership([]Pair{{In: 2, Out: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	prober := SlowProber{P: NewSimProber(policy.MustNew("LRU", 4))}
+	oracle := NewOracle(prober)
+	word := []int{4, 0, 4, 1, 4}
+	if _, err := oracle.OutputQuery(word); err != nil {
+		t.Fatal(err)
+	}
+	first := oracle.Stats()
+	if _, err := oracle.OutputQuery(word); err != nil {
+		t.Fatal(err)
+	}
+	second := oracle.Stats()
+	if second.Probes != first.Probes {
+		t.Errorf("repeated query issued %d new probes", second.Probes-first.Probes)
+	}
+	if second.MemoHits <= first.MemoHits {
+		t.Error("repeated query did not hit the memo table")
+	}
+
+	bare := NewOracle(SlowProber{P: NewSimProber(policy.MustNew("LRU", 4))}, WithoutMemo())
+	if _, err := bare.OutputQuery(word); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.OutputQuery(word); err != nil {
+		t.Fatal(err)
+	}
+	if bare.Stats().MemoHits != 0 {
+		t.Error("WithoutMemo still memoizes")
+	}
+}
+
+func TestNondeterminismDetection(t *testing.T) {
+	// A randomly evicting policy must be flagged, not silently mislearned
+	// (this is how the Haswell L3 failure of Table 4 manifests). Two
+	// detection channels exist: the determinism audit on the session fast
+	// path, and the inherent cross-probe checks of the reset-rooted path.
+	t.Run("audit", func(t *testing.T) {
+		oracle := NewOracle(NewSimProber(policy.NewRandom(4, 99)), WithDeterminismChecks(1))
+		if !detectsNondeterminism(t, oracle) {
+			t.Error("determinism audit never fired")
+		}
+	})
+	t.Run("probes", func(t *testing.T) {
+		oracle := NewOracle(SlowProber{P: NewSimProber(policy.NewRandom(4, 17))}, WithoutMemo())
+		if !detectsNondeterminism(t, oracle) {
+			t.Error("reset-rooted probing never detected the inconsistency")
+		}
+	})
+}
+
+func detectsNondeterminism(t *testing.T, oracle *Oracle) bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		word := make([]int, 6)
+		for j := range word {
+			word[j] = rng.Intn(5)
+		}
+		if _, err := oracle.OutputQuery(word); err != nil {
+			if !errors.Is(err, ErrNondeterministic) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func TestOracleStatsAccounting(t *testing.T) {
+	oracle := NewOracle(NewSimProber(policy.MustNew("PLRU", 4)))
+	if _, err := oracle.OutputQuery([]int{4, 4, 0}); err != nil {
+		t.Fatal(err)
+	}
+	st := oracle.Stats()
+	if st.OutputQueries != 1 || st.Symbols != 3 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.Accesses == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+func TestOracleRejectsBadInput(t *testing.T) {
+	oracle := NewOracle(NewSimProber(policy.MustNew("LRU", 4)))
+	if _, err := oracle.OutputQuery([]int{7}); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+}
+
+func TestSimProberProbe(t *testing.T) {
+	p := NewSimProber(policy.MustNew("LRU", 2))
+	oc, err := p.Probe([]string{"A", "B", "C", "A"})
+	if err != nil || oc != cache.Miss {
+		t.Errorf("A B C A? = %v, want Miss", oc)
+	}
+	oc, _ = p.Probe([]string{"A", "B", "C", "B"})
+	if oc != cache.Hit {
+		t.Errorf("A B C B? = %v, want Hit", oc)
+	}
+}

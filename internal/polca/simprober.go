@@ -1,0 +1,79 @@
+package polca
+
+import (
+	"repro/internal/blocks"
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+// SimProber adapts a software-simulated cache set (internal/cache) to the
+// Prober interface used for the §6 case study: every probe replays the query
+// from the set's idealized reset state. It also implements ForkingProber, so
+// the oracle can use incremental sessions; the plain quadratic Probe path is
+// kept for the ablation benchmarks.
+type SimProber struct {
+	set *cache.Set
+}
+
+// NewSimProber wraps a fresh cache set governed by pol.
+func NewSimProber(pol policy.Policy) *SimProber {
+	return &SimProber{set: cache.NewSet(pol)}
+}
+
+// Assoc implements Prober.
+func (p *SimProber) Assoc() int { return p.set.Assoc() }
+
+// InitialContent implements Prober: the reset fills lines 0..n-1 with the
+// first n blocks.
+func (p *SimProber) InitialContent() []blocks.Block {
+	return blocks.Ordered(p.set.Assoc())
+}
+
+// Probe implements Prober.
+func (p *SimProber) Probe(q []blocks.Block) (cache.Outcome, error) {
+	p.set.Reset()
+	var last cache.Outcome
+	for _, b := range q {
+		last, _ = p.set.Access(b)
+	}
+	return last, nil
+}
+
+// ProbeTrace implements TraceProber: the full hit/miss trace of one
+// reset-rooted run.
+func (p *SimProber) ProbeTrace(q []blocks.Block) ([]cache.Outcome, error) {
+	p.set.Reset()
+	return p.set.AccessAll(q), nil
+}
+
+// NewSession implements ForkingProber.
+func (p *SimProber) NewSession() (Session, error) {
+	s := p.set.Clone()
+	s.Reset()
+	return &simSession{set: s}, nil
+}
+
+type simSession struct{ set *cache.Set }
+
+func (s *simSession) Access(b blocks.Block) (cache.Outcome, error) {
+	oc, _ := s.set.Access(b)
+	return oc, nil
+}
+
+func (s *simSession) Fork() (Session, error) {
+	return &simSession{set: s.set.Clone()}, nil
+}
+
+// SlowProber wraps a ForkingProber and hides its session support, forcing
+// the oracle onto the faithful reset-rooted probe path. Used by the
+// ablation benchmarks that quantify the cost of the quadratic prefix replay.
+type SlowProber struct{ P Prober }
+
+// Assoc implements Prober.
+func (p SlowProber) Assoc() int { return p.P.Assoc() }
+
+// InitialContent implements Prober.
+func (p SlowProber) InitialContent() []blocks.Block { return p.P.InitialContent() }
+
+// Probe implements Prober.
+func (p SlowProber) Probe(q []blocks.Block) (cache.Outcome, error) { return p.P.Probe(q) }

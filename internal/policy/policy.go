@@ -1,0 +1,147 @@
+// Package policy implements deterministic cache replacement policies as
+// Mealy machines, following Definition 2.1 of the CacheQuery paper.
+//
+// A replacement policy of associativity n accepts the inputs Ln(0), ...,
+// Ln(n-1) (a hit on cache line i) and Evct (a request to free a line). On
+// Ln(i) it outputs ⊥ and only updates its control state; on Evct it outputs
+// the index of the line to be freed. The package provides an imperative
+// interface (OnHit/OnMiss) plus the canonical state encoding (StateKey) that
+// lets internal/mealy extract the explicit Mealy machine by exhaustive
+// state-space exploration.
+//
+// The zoo covers every policy used in the paper's evaluation: FIFO, LRU,
+// PLRU, MRU, LIP, SRRIP-HP, SRRIP-FP (§6), and the two previously
+// undocumented Intel policies New1 and New2 (§8), plus BIP and BRRIP which
+// the simulated adaptive last-level cache (Appendix B) uses as its
+// thrash-resistant dueling candidates.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bottom is the policy output ⊥ produced by every Ln(i) input.
+const Bottom = -1
+
+// Policy is a deterministic replacement policy for a single cache set.
+//
+// Implementations must be deterministic: two policies with equal StateKey
+// react identically to every input. Clone must return an independent deep
+// copy, and Reset must restore the initial control state cs0.
+type Policy interface {
+	// Name returns the canonical policy name, e.g. "LRU" or "SRRIP-HP".
+	Name() string
+	// Assoc returns the associativity n the policy instance was built for.
+	Assoc() int
+	// OnHit processes input Ln(line). The output is always ⊥.
+	OnHit(line int)
+	// OnMiss processes input Evct and returns the index of the freed line.
+	OnMiss() int
+	// Reset restores the initial control state cs0.
+	Reset()
+	// StateKey returns a canonical encoding of the current control state.
+	StateKey() string
+	// Clone returns an independent copy in the same control state.
+	Clone() Policy
+}
+
+// EvctInput returns the integer encoding of the Evct input for associativity
+// n. Inputs 0..n-1 encode Ln(0)..Ln(n-1); input n encodes Evct.
+func EvctInput(n int) int { return n }
+
+// NumInputs returns the size of the policy input alphabet for associativity n.
+func NumInputs(n int) int { return n + 1 }
+
+// InputString renders an encoded policy input (see EvctInput) for display.
+func InputString(n, in int) string {
+	if in == n {
+		return "Evct"
+	}
+	return fmt.Sprintf("Ln(%d)", in)
+}
+
+// OutputString renders an encoded policy output for display.
+func OutputString(out int) string {
+	if out == Bottom {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d", out)
+}
+
+// Apply feeds one encoded input to p and returns the encoded output.
+func Apply(p Policy, in int) int {
+	if in == p.Assoc() {
+		return p.OnMiss()
+	}
+	p.OnHit(in)
+	return Bottom
+}
+
+// Factory builds a policy instance of a given associativity.
+type Factory func(assoc int) (Policy, error)
+
+var registry = map[string]Factory{}
+
+// Register adds a named policy constructor to the global registry. It is
+// called from the init functions of the concrete policies and panics on
+// duplicate names; names are case-insensitive.
+func Register(name string, f Factory) {
+	key := strings.ToLower(name)
+	if _, dup := registry[key]; dup {
+		panic("policy: duplicate registration of " + name)
+	}
+	registry[key] = f
+}
+
+// New builds a registered policy by name (case-insensitive).
+func New(name string, assoc int) (Policy, error) {
+	f, ok := registry[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	if assoc < 1 {
+		return nil, fmt.Errorf("policy: associativity must be >= 1, got %d", assoc)
+	}
+	return f(assoc)
+}
+
+// MustNew is New for known-good arguments; it panics on error.
+func MustNew(name string, assoc int) Policy {
+	p, err := New(name, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns the sorted list of registered policy names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// agesKey encodes an int slice control state canonically, e.g. "[3 1 0 2]".
+func agesKey(ages []int) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, a := range ages {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", a)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func checkLine(n, line int) {
+	if line < 0 || line >= n {
+		panic(fmt.Sprintf("policy: line %d out of range for associativity %d", line, n))
+	}
+}

@@ -1,0 +1,359 @@
+package policy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// allPolicies instantiates every deterministic registered policy at the
+// given associativity (skipping those with associativity constraints).
+func allPolicies(t *testing.T, assoc int) []Policy {
+	t.Helper()
+	var out []Policy
+	for _, name := range Names() {
+		p, err := New(name, assoc)
+		if err != nil {
+			if strings.EqualFold(name, "plru") {
+				continue // associativity constraint, tested separately
+			}
+			t.Fatalf("New(%s, %d): %v", name, assoc, err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{"bip", "brrip", "fifo", "lip", "lru", "mru", "new1", "new2", "plru", "srrip-fp", "srrip-hp"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := New("nope", 4); err == nil {
+		t.Error("New(nope) succeeded")
+	}
+	if _, err := New("lru", 0); err == nil {
+		t.Error("New(lru, 0) succeeded")
+	}
+	if p, err := New("LRU", 4); err != nil || p == nil {
+		t.Error("registry lookup is not case-insensitive")
+	}
+	if MustNew("Lru", 4) == nil {
+		t.Error("MustNew failed for mixed-case name")
+	}
+}
+
+func TestInputOutputStrings(t *testing.T) {
+	if got := InputString(4, 2); got != "Ln(2)" {
+		t.Errorf("InputString = %q", got)
+	}
+	if got := InputString(4, 4); got != "Evct" {
+		t.Errorf("InputString(Evct) = %q", got)
+	}
+	if got := OutputString(Bottom); got != "⊥" {
+		t.Errorf("OutputString(⊥) = %q", got)
+	}
+	if got := OutputString(3); got != "3" {
+		t.Errorf("OutputString(3) = %q", got)
+	}
+}
+
+// TestDeterminism: equal control states react identically to every input
+// word. This is the assumption the whole learning pipeline rests on.
+func TestDeterminism(t *testing.T) {
+	for _, p := range allPolicies(t, 4) {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			f := func(raw []uint8) bool {
+				a, b := p.Clone(), p.Clone()
+				a.Reset()
+				b.Reset()
+				for _, r := range raw {
+					in := int(r) % NumInputs(4)
+					if Apply(a, in) != Apply(b, in) {
+						return false
+					}
+					if a.StateKey() != b.StateKey() {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestCloneIndependence: mutating a clone must not affect the original.
+func TestCloneIndependence(t *testing.T) {
+	for _, p := range allPolicies(t, 4) {
+		p.Reset()
+		before := p.StateKey()
+		c := p.Clone()
+		for i := 0; i < 10; i++ {
+			c.OnMiss()
+			c.OnHit(i % 4)
+		}
+		if p.StateKey() != before {
+			t.Errorf("%s: clone mutation leaked into original", p.Name())
+		}
+	}
+}
+
+// TestResetReproducible: Reset always lands in the same control state.
+func TestResetReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range allPolicies(t, 4) {
+		p.Reset()
+		initial := p.StateKey()
+		for i := 0; i < 25; i++ {
+			Apply(p, rng.Intn(NumInputs(4)))
+		}
+		p.Reset()
+		if p.StateKey() != initial {
+			t.Errorf("%s: Reset not reproducible: %s vs %s", p.Name(), p.StateKey(), initial)
+		}
+	}
+}
+
+// TestEvictOutputsInRange: Evct must output a line in 0..n-1 (Def 2.1a).
+func TestEvictOutputsInRange(t *testing.T) {
+	for _, assoc := range []int{2, 4, 8} {
+		for _, p := range allPolicies(t, assoc) {
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 200; i++ {
+				if rng.Intn(2) == 0 {
+					p.OnHit(rng.Intn(assoc))
+				} else if v := p.OnMiss(); v < 0 || v >= assoc {
+					t.Fatalf("%s assoc %d: OnMiss returned %d", p.Name(), assoc, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFIFOBehaviour(t *testing.T) {
+	p := NewFIFO(4)
+	// Hits never change the eviction order.
+	p.OnHit(3)
+	p.OnHit(2)
+	for want := 0; want < 4; want++ {
+		if got := p.OnMiss(); got != want {
+			t.Errorf("FIFO eviction %d: got line %d", want, got)
+		}
+	}
+	if got := p.OnMiss(); got != 0 {
+		t.Errorf("FIFO wrap-around: got %d, want 0", got)
+	}
+}
+
+func TestLRUBehaviour(t *testing.T) {
+	p := NewLRU(4)
+	// After the initial fill, line 0 is least recently used.
+	if got := p.OnMiss(); got != 0 {
+		t.Fatalf("first LRU eviction: got %d, want 0", got)
+	}
+	// Touch line 1; the next victims are 2, 3, then 1... no: after
+	// evicting 0 the inserted block is MRU, so order is 1,2,3. Touching 1
+	// makes the order 2,3,0(new),1.
+	p.OnHit(1)
+	if got := p.OnMiss(); got != 2 {
+		t.Errorf("eviction after touch: got %d, want 2", got)
+	}
+	if got := p.OnMiss(); got != 3 {
+		t.Errorf("next eviction: got %d, want 3", got)
+	}
+}
+
+func TestLIPKeepsVictimUntilHit(t *testing.T) {
+	p := NewLIP(4)
+	v := p.OnMiss()
+	for i := 0; i < 5; i++ {
+		if got := p.OnMiss(); got != v {
+			t.Fatalf("LIP victim changed from %d to %d without a hit", v, got)
+		}
+	}
+	p.OnHit(v) // promote: some other line becomes LRU
+	if got := p.OnMiss(); got == v {
+		t.Errorf("LIP victim unchanged after promotion of line %d", v)
+	}
+}
+
+func TestBIPEpsilonOneIsLRU(t *testing.T) {
+	b, err := NewBIP(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLRU(4)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		in := rng.Intn(NumInputs(4))
+		if Apply(b, in) != Apply(l, in) {
+			t.Fatalf("BIP(eps=1) diverged from LRU at step %d", i)
+		}
+	}
+}
+
+func TestBIPRejectsBadEpsilon(t *testing.T) {
+	if _, err := NewBIP(4, 0); err == nil {
+		t.Error("NewBIP(4, 0) succeeded")
+	}
+	if _, err := NewBRRIP(4, 0); err == nil {
+		t.Error("NewBRRIP(4, 0) succeeded")
+	}
+}
+
+func TestPLRURejectsNonPowerOfTwo(t *testing.T) {
+	for _, bad := range []int{1, 3, 6, 12} {
+		if _, err := NewPLRU(bad); err == nil {
+			t.Errorf("NewPLRU(%d) succeeded", bad)
+		}
+	}
+}
+
+func TestPLRUAssocTwoTracksLastAccess(t *testing.T) {
+	// With two ways, PLRU is exactly LRU: the victim is the line not
+	// accessed most recently.
+	p, err := NewPLRU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.OnHit(0)
+	if got := p.OnMiss(); got != 1 {
+		t.Errorf("victim after touching 0: got %d, want 1", got)
+	}
+	// The miss inserted into line 1 and touched it; victim is now 0.
+	if got := p.OnMiss(); got != 0 {
+		t.Errorf("next victim: got %d, want 0", got)
+	}
+}
+
+func TestMRUBitsInvariant(t *testing.T) {
+	p := NewMRU(6)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		Apply(p, rng.Intn(NumInputs(6)))
+		key := p.StateKey()
+		if !strings.Contains(key, "0") || !strings.Contains(key, "1") {
+			t.Fatalf("MRU state %q is saturated between accesses", key)
+		}
+	}
+}
+
+func TestSRRIPInsertionAndPromotion(t *testing.T) {
+	hp := NewSRRIPHP(4)
+	// Power-on: all RRPV 3; the first victim is line 0, inserted at 2.
+	if got := hp.OnMiss(); got != 0 {
+		t.Fatalf("first SRRIP victim: got %d, want 0", got)
+	}
+	if key := hp.StateKey(); key != "[2 3 3 3]" {
+		t.Errorf("state after first miss: %s, want [2 3 3 3]", key)
+	}
+	hp.OnHit(0)
+	if key := hp.StateKey(); key != "[0 3 3 3]" {
+		t.Errorf("HP promotion: %s, want [0 3 3 3]", key)
+	}
+
+	fp := NewSRRIPFP(4)
+	fp.OnMiss()
+	fp.OnHit(0)
+	if key := fp.StateKey(); key != "[1 3 3 3]" {
+		t.Errorf("FP promotion: %s, want [1 3 3 3]", key)
+	}
+	fp.OnHit(0)
+	fp.OnHit(0) // saturates at 0
+	if key := fp.StateKey(); key != "[0 3 3 3]" {
+		t.Errorf("FP saturation: %s, want [0 3 3 3]", key)
+	}
+}
+
+func TestNew1MatchesPaperDescription(t *testing.T) {
+	// From the fill state, hitting the youngest line must reach the
+	// paper's initial control state {3,3,3,0} (§8).
+	p := NewNew1(4)
+	if key := p.StateKey(); key != "[3 3 3 1]" {
+		t.Fatalf("New1 fill state: %s, want [3 3 3 1]", key)
+	}
+	p.OnHit(3)
+	if key := p.StateKey(); key != "[3 3 3 0]" {
+		t.Errorf("New1 after hit on line 3: %s, want the paper's s0 [3 3 3 0]", key)
+	}
+	// Eviction picks the leftmost distant line and inserts at age 1.
+	if got := p.OnMiss(); got != 0 {
+		t.Errorf("New1 eviction: got line %d, want 0", got)
+	}
+	if key := p.StateKey(); key != "[1 3 3 0]" {
+		t.Errorf("New1 after miss: %s, want [1 3 3 0]", key)
+	}
+}
+
+func TestNew2MatchesPaperDescription(t *testing.T) {
+	p := NewNew2(4)
+	// The fill converges to the paper's initial control state {3,3,3,3}:
+	// the last insert leaves no distant line, so global normalization ages
+	// everything back to 3.
+	if key := p.StateKey(); key != "[3 3 3 3]" {
+		t.Fatalf("New2 fill state: %s, want the paper's s0 [3 3 3 3]", key)
+	}
+	// Promotion: age 3 -> 1 (the "otherwise" branch).
+	p.OnHit(0)
+	if key := p.StateKey(); key != "[1 3 3 3]" {
+		t.Errorf("New2 hit on age-3 line: %s, want [1 3 3 3]", key)
+	}
+	// Promotion: age 1 -> 0.
+	p.OnHit(0)
+	if key := p.StateKey(); key != "[0 3 3 3]" {
+		t.Errorf("New2 hit on age-1 line: %s, want [0 3 3 3]", key)
+	}
+	// Two misses consume the distant lines 1 and 2.
+	if v := p.OnMiss(); v != 1 {
+		t.Errorf("New2 eviction: line %d, want 1", v)
+	}
+	p.OnMiss()
+	if key := p.StateKey(); key != "[0 1 1 3]" {
+		t.Errorf("New2 after two misses: %s, want [0 1 1 3]", key)
+	}
+	// Promoting the only distant line triggers global normalization,
+	// which also ages the just-promoted line.
+	p.OnHit(3)
+	if key := p.StateKey(); key != "[2 3 3 3]" {
+		t.Errorf("New2 hit on distant line: %s, want [2 3 3 3]", key)
+	}
+}
+
+func TestAgesStayBounded(t *testing.T) {
+	for _, name := range []string{"New1", "New2", "SRRIP-HP", "SRRIP-FP"} {
+		p := MustNew(name, 4)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 2000; i++ {
+			Apply(p, rng.Intn(NumInputs(4)))
+			key := p.StateKey()
+			for _, c := range key {
+				if c >= '4' && c <= '9' {
+					t.Fatalf("%s: age out of 0..3 range in state %s", name, key)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomPolicyIsNondeterministic(t *testing.T) {
+	p := NewRandom(4, 42)
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		p.Reset()
+		seen[p.OnMiss()] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("Random policy evicted only %v across resets", seen)
+	}
+}

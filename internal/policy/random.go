@@ -1,0 +1,50 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random evicts a pseudo-random line on every miss. It deliberately violates
+// the determinism assumption of the learning pipeline: the paper observed a
+// nondeterministic thrash-resistant policy on one of Haswell's L3 leader-set
+// groups (Table 4, Appendix B), and this policy plays that role in the
+// simulated hardware so that the failure mode — Polca detecting inconsistent
+// eviction behaviour — is reproducible.
+//
+// Random is intentionally not in the registry used for learning experiments;
+// construct it explicitly.
+type Random struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random policy seeded deterministically (the sequence
+// of evictions is reproducible, but does not depend on the access pattern,
+// so it looks nondeterministic to a learner that replays prefixes).
+func NewRandom(assoc int, seed int64) *Random {
+	return &Random{n: assoc, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *Random) Name() string { return "Random" }
+
+// Assoc implements Policy.
+func (p *Random) Assoc() int { return p.n }
+
+// OnHit implements Policy.
+func (p *Random) OnHit(line int) { checkLine(p.n, line) }
+
+// OnMiss implements Policy.
+func (p *Random) OnMiss() int { return p.rng.Intn(p.n) }
+
+// Reset implements Policy. The RNG stream is deliberately not rewound:
+// replaying a prefix after Reset yields different evictions, which is what
+// makes the policy observationally nondeterministic.
+func (p *Random) Reset() {}
+
+// StateKey implements Policy. Random has no meaningful control state.
+func (p *Random) StateKey() string { return fmt.Sprintf("rng@%p", p.rng) }
+
+// Clone implements Policy. The clone shares the RNG stream.
+func (p *Random) Clone() Policy { return &Random{n: p.n, rng: p.rng} }

@@ -1,0 +1,333 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/mealy"
+	"repro/internal/policy"
+)
+
+// Template selects the synthesis search space, mirroring Table 5: the
+// Simple template fixes normalization to the identity; the Extended
+// template searches the full rule grammar.
+type Template int
+
+// Templates.
+const (
+	// TemplateAuto tries Simple first and falls back to Extended, which is
+	// the procedure of §8.1.
+	TemplateAuto Template = iota
+	TemplateSimple
+	TemplateExtended
+)
+
+// String implements fmt.Stringer.
+func (t Template) String() string {
+	return [...]string{"Auto", "Simple", "Extended"}[t]
+}
+
+// ErrNoProgram is returned when the search space is exhausted: the machine
+// has no explanation in the rule grammar. PLRU lands here, as in the paper
+// (its tree-shaped global state is not expressible with per-line ages).
+var ErrNoProgram = errors.New("synth: no program in the template explains the machine")
+
+// Options configure the synthesis search.
+type Options struct {
+	Template Template
+	// Seed drives the random witness traces of the CEGIS prefilter.
+	Seed int64
+	// SeedWitnesses is the number of random witness traces the CEGIS
+	// prefilter starts with; -1 disables seeding entirely so that every
+	// surviving candidate must be rejected by a full product check (the
+	// ablation benchmarks use this). 0 means the default of 40.
+	SeedWitnesses int
+	// MaxCandidates aborts the search early (0 = exhaustive).
+	MaxCandidates int
+}
+
+// Result is a successful synthesis outcome.
+type Result struct {
+	Program    *Program
+	Template   Template // the template that produced the program
+	Candidates int      // candidates examined across both passes
+	Duration   time.Duration
+}
+
+// Synthesize searches the rule grammar for a program that is exactly
+// trace-equivalent to the policy machine m (inputs Ln(0..n-1), Evct).
+func Synthesize(m *mealy.Machine, opt Options) (*Result, error) {
+	n := m.NumInputs - 1
+	if n < 2 {
+		return nil, fmt.Errorf("synth: machine with %d inputs is not a policy of associativity >= 2", m.NumInputs)
+	}
+	start := time.Now()
+	s := newSearcher(m, n, opt)
+
+	templates := []Template{TemplateSimple, TemplateExtended}
+	switch opt.Template {
+	case TemplateSimple:
+		templates = []Template{TemplateSimple}
+	case TemplateExtended:
+		templates = []Template{TemplateExtended}
+	}
+	for _, tpl := range templates {
+		prog, err := s.search(tpl)
+		if err != nil {
+			return nil, err
+		}
+		if prog != nil {
+			return &Result{
+				Program:    prog,
+				Template:   tpl,
+				Candidates: s.candidates,
+				Duration:   time.Since(start),
+			}, nil
+		}
+	}
+	// Exhausted: return the search statistics alongside the error so
+	// harnesses can report the cost of proving inexplainability (the
+	// paper's PLRU row).
+	return &Result{Candidates: s.candidates, Duration: time.Since(start)},
+		fmt.Errorf("%w (%d candidates examined)", ErrNoProgram, s.candidates)
+}
+
+// witness is one input word with the machine's expected outputs.
+type witness struct {
+	word []int
+	want []int
+}
+
+type searcher struct {
+	m          *mealy.Machine
+	n          int
+	opt        Options
+	missOnly   witness   // Evct^k — the stage-1 filter
+	traces     []witness // CEGIS witness set (grows with counterexamples)
+	candidates int
+}
+
+func newSearcher(m *mealy.Machine, n int, opt Options) *searcher {
+	s := &searcher{m: m, n: n, opt: opt}
+	// Stage-1 witness: a long eviction-only word, which constrains the
+	// evict/insert/normalize rules and the initial state independently of
+	// the promotion rule.
+	evct := policy.EvctInput(n)
+	word := make([]int, 4*n+4)
+	for i := range word {
+		word[i] = evct
+	}
+	s.missOnly = witness{word: word, want: m.Run(word)}
+
+	// Seed witnesses: deterministic structured words plus random ones.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	add := func(w []int) {
+		s.traces = append(s.traces, witness{word: w, want: m.Run(w)})
+	}
+	for line := 0; line < n; line++ {
+		w := []int{line, evct, line, evct, evct, line, evct}
+		add(w)
+	}
+	seeds := opt.SeedWitnesses
+	switch {
+	case seeds < 0:
+		s.traces = nil // pure CEGIS: learn witnesses from counterexamples only
+		seeds = 0
+	case seeds == 0:
+		seeds = 40
+	}
+	for i := 0; i < seeds; i++ {
+		w := make([]int, 2*n+rng.Intn(3*n))
+		for j := range w {
+			w[j] = rng.Intn(n + 1)
+		}
+		add(w)
+	}
+	return s
+}
+
+// matches runs the candidate program on a witness.
+func matches(prog *Program, w witness) bool {
+	ages := append([]int(nil), prog.Init...)
+	for i, in := range w.word {
+		if in < prog.Assoc {
+			prog.Hit(ages, in)
+			if w.want[i] != policy.Bottom {
+				return false
+			}
+			continue
+		}
+		if prog.Miss(ages) != w.want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// verify performs the exact product-equivalence check; on failure the
+// counterexample joins the witness set.
+func (s *searcher) verify(prog *Program) bool {
+	cand, err := mealy.FromPolicyState(NewRulePolicy(prog), 4*s.m.NumStates+64)
+	if err != nil {
+		return false // candidate has a larger state space than the target
+	}
+	eq, ce := s.m.Equivalent(cand)
+	if eq {
+		return true
+	}
+	s.traces = append(s.traces, witness{word: ce, want: s.m.Run(ce)})
+	return false
+}
+
+// enumerateSelf lists the self-update grammar.
+func enumerateSelf() []SelfUpdate {
+	out := []SelfUpdate{{Kind: SelfKeep}, {Kind: SelfDecr}}
+	for c := 0; c <= MaxAge; c++ {
+		out = append(out, SelfUpdate{Kind: SelfSet, C1: c})
+	}
+	for c1 := 0; c1 <= MaxAge; c1++ {
+		for c2 := 0; c2 <= MaxAge; c2++ {
+			for c3 := 0; c3 <= MaxAge; c3++ {
+				if c2 == c3 {
+					continue // degenerate: equals SelfSet
+				}
+				out = append(out, SelfUpdate{Kind: SelfIfEq, C1: c1, C2: c2, C3: c3})
+			}
+		}
+	}
+	return out
+}
+
+var othersKinds = []OthersKind{OthersKeep, OthersIncrAll, OthersIncrLess}
+
+func enumerateEvict() []EvictRule {
+	out := []EvictRule{{Kind: EvictMaxLeft}, {Kind: EvictMinLeft}}
+	for c := 0; c <= MaxAge; c++ {
+		out = append(out, EvictRule{Kind: EvictFirstEq, C: c})
+	}
+	return out
+}
+
+func enumerateNorm(tpl Template) []NormRule {
+	out := []NormRule{{Kind: NormIdentity}}
+	if tpl == TemplateSimple {
+		return out
+	}
+	for _, kind := range []NormKind{NormAgeUntil, NormResetUnless} {
+		for c := 0; c <= MaxAge; c++ {
+			for _, except := range []bool{false, true} {
+				for flags := 1; flags < 8; flags++ {
+					out = append(out, NormRule{
+						Kind:          kind,
+						C:             c,
+						ExceptTouched: except,
+						AfterHit:      flags&1 != 0,
+						BeforeEvict:   flags&2 != 0,
+						AfterMiss:     flags&4 != 0,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// enumerateInits lists every age vector of length n.
+func enumerateInits(n int) [][]int {
+	var out [][]int
+	cur := make([]int, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for a := 0; a <= MaxAge; a++ {
+			cur[i] = a
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// missSkeleton is a promotion-independent candidate prefix: everything the
+// eviction-only witness can constrain.
+type missSkeleton struct {
+	init   []int
+	evict  EvictRule
+	insert InsertRule
+	norm   NormRule
+}
+
+// search runs the two-stage enumeration for one template.
+func (s *searcher) search(tpl Template) (*Program, error) {
+	selves := enumerateSelf()
+	evicts := enumerateEvict()
+	norms := enumerateNorm(tpl)
+	inits := enumerateInits(s.n)
+
+	// Stage 1: find all (init, evict, insert, normalize) skeletons
+	// consistent with the eviction-only witness. The promotion rule plays
+	// no role on a hit-free word.
+	var skeletons []missSkeleton
+	probe := &Program{Assoc: s.n}
+	for _, ev := range evicts {
+		for _, insSelf := range selves {
+			if insSelf.Kind == SelfIfEq {
+				continue // insertion with a conditional self-update is
+				// outside the paper's insertion grammar
+			}
+			for _, insOthers := range othersKinds {
+				for _, nr := range norms {
+					for _, init := range inits {
+						probe.Init = init
+						probe.Evict = ev
+						probe.Insert = InsertRule{Self: insSelf, Others: insOthers}
+						probe.Normalize = nr
+						if matches(probe, s.missOnly) {
+							skeletons = append(skeletons, missSkeleton{
+								init: init, evict: ev,
+								insert: probe.Insert, norm: nr,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Stage 2: extend surviving skeletons with promotion rules, prefilter
+	// on the witness set, and verify exactly.
+	for _, sk := range skeletons {
+		for _, proSelf := range selves {
+			for _, proOthers := range othersKinds {
+				s.candidates++
+				if s.opt.MaxCandidates > 0 && s.candidates > s.opt.MaxCandidates {
+					return nil, fmt.Errorf("synth: candidate budget of %d exhausted", s.opt.MaxCandidates)
+				}
+				prog := &Program{
+					Assoc:     s.n,
+					Init:      sk.init,
+					Promote:   PromoteRule{Self: proSelf, Others: proOthers},
+					Evict:     sk.evict,
+					Insert:    sk.insert,
+					Normalize: sk.norm,
+				}
+				ok := true
+				for _, w := range s.traces {
+					if !matches(prog, w) {
+						ok = false
+						break
+					}
+				}
+				if ok && s.verify(prog) {
+					return prog, nil
+				}
+			}
+		}
+	}
+	return nil, nil
+}

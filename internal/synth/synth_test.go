@@ -1,0 +1,197 @@
+package synth
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/mealy"
+	"repro/internal/polca"
+	"repro/internal/policy"
+)
+
+// TestTableFiveTemplates reproduces Table 5's shape at associativity 4:
+// FIFO, LRU and LIP need only the Simple template; MRU, SRRIP-HP, SRRIP-FP,
+// New1 and New2 need the Extended one; PLRU cannot be explained at all.
+func TestTableFiveTemplates(t *testing.T) {
+	cases := []struct {
+		name     string
+		template Template
+	}{
+		{"FIFO", TemplateSimple},
+		{"LRU", TemplateSimple},
+		{"LIP", TemplateSimple},
+		{"MRU", TemplateExtended},
+		{"SRRIP-HP", TemplateExtended},
+		{"SRRIP-FP", TemplateExtended},
+		{"New1", TemplateExtended},
+		{"New2", TemplateExtended},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			m, err := mealy.FromPolicy(policy.MustNew(c.name, 4), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Synthesize(m, Options{Seed: 1})
+			if err != nil {
+				t.Fatalf("Synthesize: %v", err)
+			}
+			if res.Template != c.template {
+				t.Errorf("synthesized with %v template, paper used %v", res.Template, c.template)
+			}
+			// The returned program must be *exactly* trace-equivalent.
+			cand, err := mealy.FromPolicyState(NewRulePolicy(res.Program), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eq, ce := m.Equivalent(cand); !eq {
+				t.Errorf("synthesized program diverges, ce=%v", ce)
+			}
+		})
+	}
+}
+
+func TestPLRUIsNotExplainable(t *testing.T) {
+	m, _ := mealy.FromPolicy(policy.MustNew("PLRU", 4), 0)
+	_, err := Synthesize(m, Options{Seed: 1})
+	if !errors.Is(err, ErrNoProgram) {
+		t.Errorf("err = %v, want ErrNoProgram", err)
+	}
+}
+
+func TestSimpleTemplateOnlyFailsForExtendedPolicies(t *testing.T) {
+	m, _ := mealy.FromPolicy(policy.MustNew("New2", 4), 0)
+	if _, err := Synthesize(m, Options{Template: TemplateSimple, Seed: 1}); !errors.Is(err, ErrNoProgram) {
+		t.Errorf("New2 synthesized with the Simple template: %v", err)
+	}
+}
+
+func TestCandidateBudget(t *testing.T) {
+	m, _ := mealy.FromPolicy(policy.MustNew("New2", 4), 0)
+	if _, err := Synthesize(m, Options{Seed: 1, MaxCandidates: 10}); err == nil {
+		t.Error("candidate budget not enforced")
+	}
+}
+
+func TestSynthesizedNew1MatchesPaperRules(t *testing.T) {
+	m, _ := mealy.FromPolicy(policy.MustNew("New1", 4), 0)
+	res, err := Synthesize(m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Program
+	// The exact clauses may differ from §8 in equivalent ways, but the
+	// load-bearing ones are stable: insertion at age 1 and the
+	// age-all-except-touched normalization after hits and insertions.
+	if p.Insert.Self.Kind != SelfSet || p.Insert.Self.C1 != 1 {
+		t.Errorf("insert rule %v, want set-to-1", p.Insert.Self)
+	}
+	if p.Normalize.Kind != NormAgeUntil || !p.Normalize.ExceptTouched {
+		t.Errorf("normalize rule %+v, want age-until excluding the touched line", p.Normalize)
+	}
+	if !p.Normalize.AfterHit || !p.Normalize.AfterMiss {
+		t.Errorf("normalize applies %+v, want after hit and after miss", p.Normalize)
+	}
+}
+
+func TestSynthesizedNew2MatchesPaperRules(t *testing.T) {
+	m, _ := mealy.FromPolicy(policy.MustNew("New2", 4), 0)
+	res, err := Synthesize(m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Program
+	// §8: promote 1->0 / otherwise->1; insert at 1; age-all normalization
+	// after hit and miss; initial state all-distant.
+	if p.Promote.Self.Kind != SelfIfEq || p.Promote.Self.C1 != 1 || p.Promote.Self.C2 != 0 || p.Promote.Self.C3 != 1 {
+		t.Errorf("promote rule %v, want if-age-1-then-0-else-1", p.Promote.Self)
+	}
+	if p.Normalize.Kind != NormAgeUntil || p.Normalize.ExceptTouched {
+		t.Errorf("normalize rule %+v, want age-until over all lines", p.Normalize)
+	}
+	for _, a := range p.Init {
+		if a != MaxAge {
+			t.Errorf("initial state %v, want all %d", p.Init, MaxAge)
+		}
+	}
+}
+
+// TestRulePolicyRoundTrip: a synthesized program, run as a policy inside a
+// simulated cache behind Polca, reproduces the original machine.
+func TestRulePolicyRoundTrip(t *testing.T) {
+	m, _ := mealy.FromPolicy(policy.MustNew("LRU", 4), 0)
+	res, err := Synthesize(m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := polca.NewOracle(polca.NewSimProber(NewRulePolicy(res.Program)))
+	word := []int{4, 0, 4, 2, 4, 4, 1, 4}
+	got, err := oracle.OutputQuery(word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Run(word)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round trip diverged: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	m, _ := mealy.FromPolicy(policy.MustNew("FIFO", 4), 0)
+	res, err := Synthesize(m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Program.String()
+	for _, want := range []string{"Initial control state", "Promote", "Evict", "Insert", "Normalize"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("program rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSynthesizeRejectsTinyAlphabets(t *testing.T) {
+	m := mealy.New(1, 2) // associativity 1
+	if _, err := Synthesize(m, Options{}); err == nil {
+		t.Error("associativity-1 machine accepted")
+	}
+}
+
+func TestSelfUpdateSemantics(t *testing.T) {
+	if got := (SelfUpdate{Kind: SelfDecr}).apply(0); got != 0 {
+		t.Errorf("decr at 0 = %d", got)
+	}
+	if got := (SelfUpdate{Kind: SelfSet, C1: 2}).apply(0); got != 2 {
+		t.Errorf("set = %d", got)
+	}
+	u := SelfUpdate{Kind: SelfIfEq, C1: 1, C2: 0, C3: 1}
+	if u.apply(1) != 0 || u.apply(3) != 1 {
+		t.Error("if-eq semantics wrong")
+	}
+}
+
+func TestEvictRuleFallback(t *testing.T) {
+	// FirstEq with no matching line falls back to the oldest line, so
+	// candidate programs stay total.
+	r := EvictRule{Kind: EvictFirstEq, C: 3}
+	if got := r.choose([]int{1, 2, 2, 0}); got != 1 {
+		t.Errorf("fallback chose %d, want 1 (leftmost max)", got)
+	}
+}
+
+func TestNormalizeTerminatesOnPathologicalRules(t *testing.T) {
+	// A normalization whose condition can never be met (all lines capped
+	// below C... impossible for C<=MaxAge after increments, but the
+	// except-touched variant can starve with n=1-style corner cases) must
+	// terminate via the iteration guard.
+	ages := []int{3, 3}
+	r := NormRule{Kind: NormAgeUntil, C: 0, AfterHit: true}
+	r.apply(ages, -1) // ages saturated at 3, condition "some age == 0" unreachable
+	if ages[0] != 3 || ages[1] != 3 {
+		t.Errorf("ages %v", ages)
+	}
+}
