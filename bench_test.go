@@ -81,6 +81,7 @@ func BenchmarkTable4(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				req := core.HardwareRequest{
 					CPU:              hw.NewCPU(cfg, 77),
+					NewCPU:           func() *hw.CPU { return hw.NewCPU(cfg, 77) },
 					Target:           cachequery.Target{Level: j.level, Set: 0},
 					Backend:          cachequery.DefaultBackendOptions(),
 					Resets:           core.ResetCandidatesFor(pol),
@@ -288,6 +289,31 @@ func (t *cacheTeacher) OutputQuery(word []int) ([]int, error) {
 		}
 	}
 	return out, nil
+}
+
+// BenchmarkAblationBatch quantifies the concurrent membership-query engine:
+// learning New1-4 through a serial oracle versus the batched oracle fanning
+// session probes over every available core. On a single-core machine the two
+// coincide (the learner detects a batch hint of 1 and stays exactly serial).
+func BenchmarkAblationBatch(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"batched", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oracle := polca.NewOracle(polca.NewSimProber(policy.MustNew("New1", 4)),
+					polca.WithParallelism(mode.par))
+				res, err := learn.Learn(oracle, learn.Options{Depth: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Machine.NumStates != 160 {
+					b.Fatalf("learned %d states, want 160", res.Machine.NumStates)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationDepth varies the conformance suite depth k (§3.4) while

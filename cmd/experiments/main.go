@@ -75,12 +75,13 @@ func runFig1() error {
 func runTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	full := fs.Bool("full", false, "include the large instances (hours of runtime)")
+	workers := fs.Int("workers", 1, "learn up to this many rows concurrently (1 keeps per-row times comparable to the paper)")
 	fs.Parse(args)
 	spec := experiments.Table2Default()
 	if *full {
 		spec = experiments.Table2Full()
 	}
-	rows := experiments.RunTable2(spec)
+	rows := experiments.RunTable2Concurrent(spec, *workers)
 	experiments.Table2Table(rows).Render(os.Stdout)
 	return nil
 }
@@ -88,9 +89,11 @@ func runTable2(args []string) error {
 func runTable4(args []string) error {
 	fs := flag.NewFlagSet("table4", flag.ExitOnError)
 	full := fs.Bool("full", false, "learn every CPU and level (slow)")
+	replicas := fs.Int("replicas", 1, "CPU replicas for the concurrent query engine per job (0 = all cores; 1 keeps per-row times comparable to the paper)")
 	fs.Parse(args)
 	var rows []experiments.Table4Row
 	for _, job := range experiments.Table4Jobs(!*full) {
+		job.Replicas = *replicas
 		fmt.Fprintf(os.Stderr, "learning %s %s %s ...\n", job.Model.Name, job.Level, job.Target)
 		rows = append(rows, experiments.RunTable4Job(job, cachequery.DefaultBackendOptions()))
 	}

@@ -1,0 +1,109 @@
+// Command genmodels regenerates the published Mealy-machine artifacts in
+// models/: one JSON file per policy/associativity pair of the paper's Table 2
+// subset that this repository ships models for.
+//
+// Every artifact is produced in parallel on its own goroutine. By default
+// each policy is learned through the concurrent membership-query engine
+// (learner -> batched Polca oracle -> software-simulated cache) and the
+// result is verified trace-equivalent against the machine extracted from the
+// policy implementation before anything is written; the canonical extracted
+// machine (whose state names are the policy's control states) is what lands
+// on disk. -quick skips the learning cross-check and just extracts.
+//
+//	go run repro/cmd/genmodels            # regenerate models/ in place
+//	go run repro/cmd/genmodels -out /tmp  # write elsewhere
+//	go run repro/cmd/genmodels -quick     # extraction only, no learning
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/mealy"
+	"repro/internal/policy"
+)
+
+// spec is one published artifact.
+type spec struct {
+	name  string
+	assoc int
+}
+
+// Published is the artifact list internal/mealy.TestModelArtifacts verifies.
+func published() []spec {
+	return []spec{
+		{"FIFO", 4}, {"LRU", 4}, {"PLRU", 4}, {"PLRU", 8}, {"MRU", 4},
+		{"LIP", 4}, {"SRRIP-HP", 4}, {"SRRIP-FP", 4}, {"New1", 4}, {"New2", 4},
+	}
+}
+
+func main() {
+	out := flag.String("out", "models", "output directory for the JSON artifacts")
+	quick := flag.Bool("quick", false, "skip the learning cross-check; extract the machines only")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	specs := published()
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s spec) {
+			defer wg.Done()
+			errs[i] = generate(*out, s, !*quick)
+		}(i, s)
+	}
+	wg.Wait()
+
+	failed := false
+	for i, err := range errs {
+		if err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "genmodels: %s-%d: %v\n", specs[i].name, specs[i].assoc, err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("genmodels: wrote %d artifacts to %s\n", len(specs), *out)
+}
+
+// generate extracts (and optionally learns and cross-checks) one artifact.
+func generate(dir string, s spec, verify bool) error {
+	truth, err := mealy.FromPolicy(policy.MustNew(s.name, s.assoc), 0)
+	if err != nil {
+		return err
+	}
+	if verify {
+		res, err := core.LearnSimulated(s.name, s.assoc, learn.Options{Depth: 1})
+		if err != nil {
+			return fmt.Errorf("learning: %w", err)
+		}
+		if eq, ce := res.Machine.Equivalent(truth); !eq {
+			return fmt.Errorf("learned machine differs from the extracted one, ce=%v", ce)
+		}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%d.json", s.name, s.assoc))
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := truth.Save(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genmodels:", err)
+	os.Exit(1)
+}

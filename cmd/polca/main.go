@@ -38,6 +38,7 @@ func main() {
 	set := flag.Int("set", 0, "cache set (hardware mode)")
 	cat := flag.Int("cat", 0, "CAT ways for the L3 (hardware mode)")
 	seed := flag.Int64("seed", 1, "simulator seed (hardware mode)")
+	replicas := flag.Int("replicas", 0, "CPU replicas for the concurrent query engine (hardware mode; 0 = all cores, 1 = serial)")
 	depth := flag.Int("depth", 1, "conformance test suite depth k")
 	maxStates := flag.Int("max-states", 100000, "abort when the hypothesis exceeds this many states")
 	reset := flag.String("reset", "", `reset sequence, e.g. "F+R" or "D C B A @" (hardware mode)`)
@@ -54,7 +55,7 @@ func main() {
 	case *polName != "":
 		machine, err = learnSim(*polName, *assoc, *depth, *maxStates)
 	case *hwName != "":
-		machine, err = learnHW(*hwName, *levelName, *slice, *set, *cat, *seed, *depth, *maxStates, *reset)
+		machine, err = learnHW(*hwName, *levelName, *slice, *set, *cat, *seed, *depth, *maxStates, *replicas, *reset)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -114,7 +115,7 @@ func learnSim(name string, assoc, depth, maxStates int) (*mealy.Machine, error) 
 	return res.Machine, nil
 }
 
-func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, depth, maxStates int, reset string) (*mealy.Machine, error) {
+func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, depth, maxStates, replicas int, reset string) (*mealy.Machine, error) {
 	var cfg hw.CPUConfig
 	switch strings.ToLower(cpuName) {
 	case "haswell":
@@ -134,6 +135,8 @@ func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, depth, 
 	}
 	req := core.HardwareRequest{
 		CPU:              hw.NewCPU(cfg, seed),
+		NewCPU:           func() *hw.CPU { return hw.NewCPU(cfg, seed) },
+		Replicas:         replicas,
 		Target:           cachequery.Target{Level: level, Slice: slice, Set: set},
 		Backend:          cachequery.DefaultBackendOptions(),
 		CATWays:          cat,

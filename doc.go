@@ -10,7 +10,12 @@
 // synthesis (internal/synth), end-to-end pipelines (internal/core) and the
 // table/figure harness (internal/experiments).
 //
-// See README.md for a guided tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
-// bench_test.go regenerate every table and figure of the evaluation.
+// See README.md for a guided tour and DESIGN.md for the system inventory
+// and design decisions. The benchmarks in bench_test.go regenerate every
+// table and figure of the evaluation.
+//
+// The published model artifacts under models/ are regenerated (in parallel,
+// with a learning cross-check) by cmd/genmodels:
+//
+//go:generate go run repro/cmd/genmodels -out models
 package repro

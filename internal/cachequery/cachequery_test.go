@@ -1,6 +1,7 @@
 package cachequery
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/blocks"
@@ -276,7 +277,9 @@ func TestLearnPLRUFromTinyHardware(t *testing.T) {
 
 // TestLearnNew1FromTinyHardwareL2 learns the Skylake L2 policy (New1)
 // through the filtering machinery, using the dedicated reset sequence the
-// policy requires.
+// policy requires. It runs on the concurrent membership-query engine: one
+// CPU replica per core, pooled behind a ParallelProber, with the learner
+// batching its queries through the shared result store.
 func TestLearnNew1FromTinyHardwareL2(t *testing.T) {
 	if testing.Short() {
 		t.Skip("L2 learning through filtering is expensive; run without -short")
@@ -285,9 +288,13 @@ func TestLearnNew1FromTinyHardwareL2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := NewFrontend(hw.NewCPU(tinyCPU(), 5), testOptions())
 	tgt := Target{Level: hw.L2, Set: 33}
-	pr, err := NewProber(f, tgt, Reset{FlushFirst: rr.FlushFirst, Sequence: rr.Sequence, Content: rr.Content})
+	fronts, err := NewReplicaFrontends(func() *hw.CPU { return hw.NewCPU(tinyCPU(), 5) },
+		testOptions(), tgt, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewParallelProber(fronts, tgt, Reset{FlushFirst: rr.FlushFirst, Sequence: rr.Sequence, Content: rr.Content})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,6 +315,135 @@ func TestLearnNew1FromTinyHardwareL2(t *testing.T) {
 	}
 	if res.Machine.NumStates != truth.NumStates {
 		t.Errorf("learned %d states, ground truth has %d", res.Machine.NumStates, truth.NumStates)
+	}
+}
+
+// TestProbeFreshBypassesResultCache: the determinism audit's probes must
+// reach the cache even when the result store already holds the answer —
+// otherwise the audit would replay the first answer and never fire.
+func TestProbeFreshBypassesResultCache(t *testing.T) {
+	f := NewFrontend(hw.NewCPU(tinyCPU(), 5), testOptions())
+	tgt := Target{Level: hw.L1, Set: 9}
+	pr, err := NewProber(f, tgt, FlushRefill(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []blocks.Block{"E", "A"}
+	first, err := pr.Probe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := f.Stats().Executed
+	if _, err := pr.Probe(q); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().Executed != executed {
+		t.Fatal("repeated Probe was not served from the result store")
+	}
+	fresh, err := pr.ProbeFresh(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().Executed != executed+1 {
+		t.Error("ProbeFresh did not re-execute the query")
+	}
+	if fresh != first {
+		t.Errorf("fresh probe answered %v, first answered %v (deterministic CPU)", fresh, first)
+	}
+}
+
+// TestParallelProberMatchesSerial: a replica pool must answer probes exactly
+// like a single prober over the same configuration, and concurrent probes
+// (driven through the batched Polca oracle) must stay consistent — run with
+// -race to check the shared result store.
+func TestParallelProberMatchesSerial(t *testing.T) {
+	tgt := Target{Level: hw.L1, Set: 7}
+	fronts, err := NewReplicaFrontends(func() *hw.CPU { return hw.NewCPU(tinyCPU(), 5) },
+		testOptions(), tgt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewParallelProber(fronts, tgt, FlushRefill(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Replicas() != 3 || !pp.ConcurrentProbes() {
+		t.Fatalf("pool of %d replicas, concurrent=%v", pp.Replicas(), pp.ConcurrentProbes())
+	}
+	serialF := NewFrontend(hw.NewCPU(tinyCPU(), 5), testOptions())
+	serial, err := NewProber(serialF, tgt, FlushRefill(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := [][]blocks.Block{
+		{"A"}, {"E"}, {"A", "B", "E", "A"}, {"E", "F", "G", "A"},
+		{"A", "E", "A", "E", "B"}, {"E", "A", "F", "B", "G", "C"},
+	}
+	for _, q := range seqs {
+		got, err := pp.Probe(q)
+		if err != nil {
+			t.Fatalf("probe %v: %v", q, err)
+		}
+		want, err := serial.Probe(q)
+		if err != nil {
+			t.Fatalf("serial probe %v: %v", q, err)
+		}
+		if got != want {
+			t.Errorf("probe %v: pool %v, serial %v", q, got, want)
+		}
+	}
+
+	// Shared result store: re-probing anywhere in the pool is answered from
+	// cache, never re-executed.
+	before := pp.FrontendStats()
+	for _, q := range seqs {
+		if _, err := pp.Probe(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := pp.FrontendStats()
+	if after.Executed != before.Executed {
+		t.Errorf("repeated probes re-executed %d queries", after.Executed-before.Executed)
+	}
+	if after.CacheHits <= before.CacheHits {
+		t.Error("repeated probes did not hit the shared result store")
+	}
+}
+
+// TestParallelHardwareLearningMatchesSerial learns the tiny L1 PLRU both
+// ways — single prober versus a replica pool driven by batched queries on
+// parallel goroutines — and requires the exact same machine.
+func TestParallelHardwareLearningMatchesSerial(t *testing.T) {
+	tgt := Target{Level: hw.L1, Set: 11}
+	serialF := NewFrontend(hw.NewCPU(tinyCPU(), 5), testOptions())
+	serialPr, err := NewProber(serialF, tgt, FlushRefill(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialRes, err := learn.Learn(polca.NewOracle(serialPr), learn.Options{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fronts, err := NewReplicaFrontends(func() *hw.CPU { return hw.NewCPU(tinyCPU(), 5) },
+		testOptions(), tgt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewParallelProber(fronts, tgt, FlushRefill(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := learn.Learn(polca.NewOracle(pp, polca.WithParallelism(4)), learn.Options{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ce := parRes.Machine.Equivalent(serialRes.Machine); !eq {
+		t.Fatalf("parallel learning diverged from serial, ce=%v", ce)
+	}
+	truth, _ := mealy.FromPolicy(policy.MustNew("PLRU", 4), 0)
+	if eq, ce := parRes.Machine.Equivalent(truth); !eq {
+		t.Errorf("parallel-learned machine differs from PLRU-4, ce=%v", ce)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -36,13 +37,58 @@ type FrontendStats struct {
 	Duration  time.Duration // cumulative backend execution time
 }
 
+// Add accumulates another frontend's counters (used to aggregate the
+// replicas of a parallel prober into one report).
+func (s *FrontendStats) Add(o FrontendStats) {
+	s.Expanded += o.Expanded
+	s.Executed += o.Executed
+	s.CacheHits += o.CacheHits
+	s.Duration += o.Duration
+}
+
+// ResultStore is a mutex-guarded query-result cache (the LevelDB role). One
+// store may be shared by several frontends, so a query answered on one CPU
+// replica of a parallel prober is never re-executed on another.
+type ResultStore struct {
+	mu sync.RWMutex
+	m  map[string]string // cache key -> encoded outcomes
+}
+
+// NewResultStore returns an empty shared result cache.
+func NewResultStore() *ResultStore {
+	return &ResultStore{m: make(map[string]string)}
+}
+
+func (rs *ResultStore) get(key string) (string, bool) {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	v, ok := rs.m[key]
+	return v, ok
+}
+
+func (rs *ResultStore) put(key, val string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.m[key] = val
+}
+
+// Len returns the number of cached query results.
+func (rs *ResultStore) Len() int {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	return len(rs.m)
+}
+
 // Frontend expands MBL expressions, routes them to per-set backends, and
 // caches results — the Python frontend plus LevelDB layer of the real tool.
+// A frontend drives one CPU and is not safe for concurrent use; concurrency
+// comes from pooling several frontends behind a ParallelProber, sharing one
+// ResultStore.
 type Frontend struct {
 	cpu      *hw.CPU
 	opt      BackendOptions
 	backends map[Target]*Backend
-	results  map[string]string // cache key -> encoded outcomes
+	results  *ResultStore
 	useCache bool
 	stats    FrontendStats
 }
@@ -50,11 +96,17 @@ type Frontend struct {
 // NewFrontend builds a frontend over a simulated CPU with result caching
 // enabled.
 func NewFrontend(cpu *hw.CPU, opt BackendOptions) *Frontend {
+	return NewFrontendWithStore(cpu, opt, NewResultStore())
+}
+
+// NewFrontendWithStore builds a frontend whose query-result cache is the
+// given shared store.
+func NewFrontendWithStore(cpu *hw.CPU, opt BackendOptions, store *ResultStore) *Frontend {
 	return &Frontend{
 		cpu:      cpu,
 		opt:      opt,
 		backends: make(map[Target]*Backend),
-		results:  make(map[string]string),
+		results:  store,
 		useCache: true,
 	}
 }
@@ -112,9 +164,21 @@ func decodeOutcomes(s string) []cache.Outcome {
 // RunQuery executes one already-expanded query against a target set,
 // consulting the result cache first.
 func (f *Frontend) RunQuery(tgt Target, q mbl.Query, flushFirst bool) ([]cache.Outcome, error) {
+	return f.runQuery(tgt, q, flushFirst, true)
+}
+
+// RunQueryFresh executes the query unconditionally, bypassing the result
+// cache read (the fresh result still lands in the cache). Polca's
+// determinism audit depends on it: a cached read would replay the first
+// answer and could never expose nondeterminism.
+func (f *Frontend) RunQueryFresh(tgt Target, q mbl.Query, flushFirst bool) ([]cache.Outcome, error) {
+	return f.runQuery(tgt, q, flushFirst, false)
+}
+
+func (f *Frontend) runQuery(tgt Target, q mbl.Query, flushFirst, readCache bool) ([]cache.Outcome, error) {
 	key := cacheKey(tgt, q, flushFirst)
-	if f.useCache {
-		if enc, ok := f.results[key]; ok {
+	if f.useCache && readCache {
+		if enc, ok := f.results.get(key); ok {
 			f.stats.CacheHits++
 			return decodeOutcomes(enc), nil
 		}
@@ -131,7 +195,7 @@ func (f *Frontend) RunQuery(tgt Target, q mbl.Query, flushFirst bool) ([]cache.O
 		return nil, err
 	}
 	if f.useCache {
-		f.results[key] = encodeOutcomes(ocs)
+		f.results.put(key, encodeOutcomes(ocs))
 	}
 	return ocs, nil
 }

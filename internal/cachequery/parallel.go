@@ -1,0 +1,136 @@
+package cachequery
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blocks"
+	"repro/internal/cache"
+	"repro/internal/hw"
+	"repro/internal/polca"
+)
+
+// NewReplicaFrontends builds n frontends over fresh CPU replicas sharing one
+// query-result store, and provisions each one's backend for tgt on parallel
+// goroutines (provisioning and calibration are themselves the first
+// beneficiaries of replication). Replicas built from the same configuration
+// and seed answer identically up to latency noise, which repetition voting
+// absorbs exactly as it does on a single CPU.
+func NewReplicaFrontends(newCPU func() *hw.CPU, opt BackendOptions, tgt Target, n int) ([]*Frontend, error) {
+	if n < 1 {
+		n = 1
+	}
+	store := NewResultStore()
+	fronts := make([]*Frontend, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fronts[i] = NewFrontendWithStore(newCPU(), opt, store)
+			_, errs[i] = fronts[i].Backend(tgt)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fronts, nil
+}
+
+// ParallelProber multiplexes reset-rooted probes over a pool of independent
+// CPU replicas, making Probe safe for concurrent use. A simulated CPU — like
+// the single hardware thread CacheQuery pins itself to — is strictly
+// serial, so concurrency has to come from replication: every replica is a
+// full (CPU, frontend, backend) stack built from the same configuration, and
+// all replicas share one ResultStore, so a query answered anywhere is never
+// re-executed.
+//
+// Every probe is reset-prefixed, which is what makes pooling sound: replicas
+// hold no cross-probe state beyond the shared result cache, so any free
+// replica can answer any probe. polca.Oracle detects the ConcurrentProbes
+// marker and answers batched output queries on parallel goroutines.
+type ParallelProber struct {
+	pool    chan *Prober
+	probers []*Prober
+	assoc   int
+	content []blocks.Block
+}
+
+// NewParallelProber pools one prober per replica frontend for one target set
+// and reset (build the frontends once with NewReplicaFrontends and reuse
+// them across reset candidates — the provisioned backends carry over).
+func NewParallelProber(fronts []*Frontend, tgt Target, rst Reset) (*ParallelProber, error) {
+	if len(fronts) == 0 {
+		return nil, fmt.Errorf("cachequery: parallel prober needs at least one replica")
+	}
+	probers := make([]*Prober, len(fronts))
+	for i, f := range fronts {
+		pr, err := NewProber(f, tgt, rst)
+		if err != nil {
+			return nil, err
+		}
+		probers[i] = pr
+	}
+	p := &ParallelProber{
+		pool:    make(chan *Prober, len(probers)),
+		probers: probers,
+		assoc:   probers[0].Assoc(),
+		content: probers[0].InitialContent(),
+	}
+	for i, r := range probers {
+		if r.Assoc() != p.assoc {
+			return nil, fmt.Errorf("cachequery: replica %d has associativity %d, replica 0 has %d", i, r.Assoc(), p.assoc)
+		}
+		p.pool <- r
+	}
+	return p, nil
+}
+
+// Replicas returns the pool size.
+func (p *ParallelProber) Replicas() int { return len(p.probers) }
+
+// Assoc implements polca.Prober.
+func (p *ParallelProber) Assoc() int { return p.assoc }
+
+// InitialContent implements polca.Prober.
+func (p *ParallelProber) InitialContent() []blocks.Block {
+	return append([]blocks.Block(nil), p.content...)
+}
+
+// Probe implements polca.Prober by checking a replica out of the pool for
+// the duration of one probe. It blocks while all replicas are busy.
+func (p *ParallelProber) Probe(q []blocks.Block) (cache.Outcome, error) {
+	r := <-p.pool
+	defer func() { p.pool <- r }()
+	return r.Probe(q)
+}
+
+// ProbeFresh implements polca.FreshProber: the checked-out replica
+// re-executes the probe, bypassing the shared result store's read.
+func (p *ParallelProber) ProbeFresh(q []blocks.Block) (cache.Outcome, error) {
+	r := <-p.pool
+	defer func() { p.pool <- r }()
+	return r.ProbeFresh(q)
+}
+
+// ConcurrentProbes implements polca.ConcurrentProber.
+func (p *ParallelProber) ConcurrentProbes() bool { return len(p.probers) > 1 }
+
+// FrontendStats aggregates the counters of every replica's frontend. Only
+// call it while no probes are in flight.
+func (p *ParallelProber) FrontendStats() FrontendStats {
+	var total FrontendStats
+	for _, r := range p.probers {
+		total.Add(r.f.Stats())
+	}
+	return total
+}
+
+var (
+	_ polca.ConcurrentProber = (*ParallelProber)(nil)
+	_ polca.FreshProber      = (*ParallelProber)(nil)
+)

@@ -74,11 +74,8 @@ func (p *Prober) InitialContent() []blocks.Block {
 	return append([]blocks.Block(nil), p.rst.Content...)
 }
 
-// Probe implements polca.Prober: reset ++ q with the final access profiled.
-func (p *Prober) Probe(q []blocks.Block) (cache.Outcome, error) {
-	if len(q) == 0 {
-		return cache.Miss, fmt.Errorf("cachequery: empty probe")
-	}
+// probeOps renders reset ++ q with the final access profiled.
+func (p *Prober) probeOps(q []blocks.Block) mbl.Query {
 	ops := make(mbl.Query, 0, len(p.rst.Sequence)+len(q))
 	for _, b := range p.rst.Sequence {
 		ops = append(ops, mbl.Op{Block: b})
@@ -90,7 +87,29 @@ func (p *Prober) Probe(q []blocks.Block) (cache.Outcome, error) {
 		}
 		ops = append(ops, op)
 	}
-	ocs, err := p.f.RunQuery(p.tgt, ops, p.rst.FlushFirst)
+	return ops
+}
+
+// Probe implements polca.Prober: reset ++ q with the final access profiled.
+func (p *Prober) Probe(q []blocks.Block) (cache.Outcome, error) {
+	if len(q) == 0 {
+		return cache.Miss, fmt.Errorf("cachequery: empty probe")
+	}
+	ocs, err := p.f.RunQuery(p.tgt, p.probeOps(q), p.rst.FlushFirst)
+	if err != nil {
+		return cache.Miss, err
+	}
+	return ocs[0], nil
+}
+
+// ProbeFresh implements polca.FreshProber: the probe is re-executed on the
+// cache even when the result store already holds its answer, which is what
+// lets the oracle's determinism audit observe real (mis)behaviour.
+func (p *Prober) ProbeFresh(q []blocks.Block) (cache.Outcome, error) {
+	if len(q) == 0 {
+		return cache.Miss, fmt.Errorf("cachequery: empty probe")
+	}
+	ocs, err := p.f.RunQueryFresh(p.tgt, p.probeOps(q), p.rst.FlushFirst)
 	if err != nil {
 		return cache.Miss, err
 	}
@@ -154,4 +173,8 @@ func DiscoverInitialContent(f *Frontend, tgt Target, rst Reset) ([]blocks.Block,
 	return resident, nil
 }
 
-var _ polca.Prober = (*Prober)(nil)
+var (
+	_ polca.Prober      = (*Prober)(nil)
+	_ polca.FreshProber = (*Prober)(nil)
+	_ polca.TraceProber = (*Prober)(nil)
+)

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/blocks"
 	"repro/internal/cache"
@@ -30,9 +31,12 @@ type SimResult struct {
 }
 
 // LearnSimulated learns a named policy of the given associativity from a
-// software-simulated cache (the §6 case study). The returned machine is
-// checked against nothing: callers that know the ground truth can extract
-// it with mealy.FromPolicy and compare.
+// software-simulated cache (the §6 case study). The Polca oracle implements
+// learn.BatchTeacher over forking simulator sessions, so the learner's
+// observation-table rows and conformance words are answered on parallel
+// goroutines automatically. The returned machine is checked against nothing:
+// callers that know the ground truth can extract it with mealy.FromPolicy
+// and compare.
 func LearnSimulated(policyName string, assoc int, opt learn.Options) (*SimResult, error) {
 	pol, err := policy.New(policyName, assoc)
 	if err != nil {
@@ -57,6 +61,15 @@ type HardwareRequest struct {
 	CPU     *hw.CPU
 	Target  cachequery.Target
 	Backend cachequery.BackendOptions
+	// NewCPU, when set, builds additional CPU replicas from the same
+	// configuration and enables the concurrent membership-query engine:
+	// batched output queries are answered by a pool of replicated
+	// (CPU, frontend, backend) stacks sharing one query-result store. A
+	// physical deployment would hand out one factory per reserved core.
+	NewCPU func() *hw.CPU
+	// Replicas is the parallel pool size used when NewCPU is set; 0
+	// selects runtime.GOMAXPROCS(0), 1 keeps the serial pipeline.
+	Replicas int
 	// CATWays, when non-zero, virtually reduces the L3 associativity
 	// before provisioning (requires CAT support).
 	CATWays int
@@ -83,6 +96,11 @@ type HardwareResult struct {
 // loop through Polca and CacheQuery. Candidate resets are tried in order;
 // a wrong reset manifests as nondeterminism (or a state-budget overflow)
 // and the next candidate is tried, mirroring the paper's §7.1 procedure.
+//
+// With a NewCPU factory and more than one replica, the learning loop runs
+// on the concurrent membership-query engine: the learner batches its
+// observation-table and conformance queries, Polca fans them out over
+// parallel goroutines, and each goroutine probes a pooled CPU replica.
 func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
 	if req.CATWays > 0 {
 		if err := req.CPU.SetCATWays(req.CATWays); err != nil {
@@ -101,6 +119,31 @@ func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
 	if req.Learn.Depth == 0 {
 		req.Learn.Depth = 1
 	}
+
+	// Build the CPU-replica pool once; the provisioned backends are reused
+	// by every reset candidate.
+	replicas := req.Replicas
+	if replicas == 0 {
+		replicas = runtime.GOMAXPROCS(0)
+	}
+	var fronts []*cachequery.Frontend
+	if req.NewCPU != nil && replicas > 1 {
+		mkCPU := func() *hw.CPU {
+			cpu := req.NewCPU()
+			if req.CATWays > 0 {
+				// Support was already validated on the primary CPU.
+				if err := cpu.SetCATWays(req.CATWays); err != nil {
+					panic(fmt.Sprintf("core: CAT rejected on a replica: %v", err))
+				}
+			}
+			return cpu
+		}
+		fronts, err = cachequery.NewReplicaFrontends(mkCPU, req.Backend, req.Target, replicas)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var lastErr error
 	for _, rst := range resets {
 		if len(rst.Content) == 0 {
@@ -111,14 +154,34 @@ func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
 			}
 			rst.Content = content
 		}
-		prober, err := cachequery.NewProber(f, req.Target, rst)
-		if err != nil {
-			lastErr = err
-			continue
+		var prober polca.Prober
+		frontendStats := func() cachequery.FrontendStats { return f.Stats() }
+		if fronts != nil {
+			pp, err := cachequery.NewParallelProber(fronts, req.Target, rst)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			prober = pp
+			frontendStats = func() cachequery.FrontendStats {
+				s := pp.FrontendStats()
+				s.Add(f.Stats()) // reset-content discovery runs on the primary
+				return s
+			}
+		} else {
+			pr, err := cachequery.NewProber(f, req.Target, rst)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			prober = pr
 		}
 		var opts []polca.Option
 		if req.DeterminismEvery > 0 {
 			opts = append(opts, polca.WithDeterminismChecks(req.DeterminismEvery))
+		}
+		if req.Replicas > 0 {
+			opts = append(opts, polca.WithParallelism(req.Replicas))
 		}
 		oracle := polca.NewOracle(prober, opts...)
 		res, err := learn.Learn(oracle, req.Learn)
@@ -131,7 +194,7 @@ func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
 			Reset:       rst,
 			LearnStats:  res.Stats,
 			OracleStats: oracle.Stats(),
-			Frontend:    f.Stats(),
+			Frontend:    frontendStats(),
 		}, nil
 	}
 	return nil, fmt.Errorf("core: every reset candidate failed, last error: %w", lastErr)

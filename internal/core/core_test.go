@@ -77,6 +77,7 @@ func TestLearnHardwareTriesResetCandidates(t *testing.T) {
 	candidates := append([]cachequery.Reset{cachequery.FlushRefill(4)}, ResetCandidatesFor(pol)...)
 	res, err := LearnHardware(HardwareRequest{
 		CPU:              hw.NewCPU(cfg, 9),
+		NewCPU:           func() *hw.CPU { return hw.NewCPU(cfg, 9) },
 		Target:           cachequery.Target{Level: hw.L1, Set: 7},
 		Backend:          cachequery.BackendOptions{MaxBlocks: 12, Reps: 3, EvictRounds: 1, CalibrationSamples: 21},
 		Resets:           candidates,
@@ -95,6 +96,40 @@ func TestLearnHardwareTriesResetCandidates(t *testing.T) {
 	}
 	if eq, ce := res.Machine.Equivalent(truth); !eq {
 		t.Errorf("learned machine differs from New1, ce=%v", ce)
+	}
+}
+
+// TestLearnHardwareParallelMatchesSerial runs the same request through the
+// serial pipeline and through the concurrent membership-query engine (a
+// 4-replica CPU pool) and requires trace-equivalent machines.
+func TestLearnHardwareParallelMatchesSerial(t *testing.T) {
+	request := func(replicas int) HardwareRequest {
+		return HardwareRequest{
+			CPU:              hw.NewCPU(testCPU(), 9),
+			NewCPU:           func() *hw.CPU { return hw.NewCPU(testCPU(), 9) },
+			Replicas:         replicas,
+			Target:           cachequery.Target{Level: hw.L1, Set: 5},
+			Backend:          cachequery.BackendOptions{MaxBlocks: 12, Reps: 3, EvictRounds: 1, CalibrationSamples: 21},
+			Learn:            learn.Options{Depth: 1},
+			DeterminismEvery: 64,
+		}
+	}
+	serial, err := LearnHardware(request(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := LearnHardware(request(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ce := parallel.Machine.Equivalent(serial.Machine); !eq {
+		t.Fatalf("parallel learning diverged from serial, ce=%v", ce)
+	}
+	if parallel.Machine.NumStates != 8 {
+		t.Errorf("learned %d states, want 8 (PLRU-4)", parallel.Machine.NumStates)
+	}
+	if parallel.Frontend.Executed == 0 {
+		t.Error("replica frontend stats not aggregated")
 	}
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -93,9 +94,22 @@ func RunTable2Row(name string, assoc int) Table2Row {
 	return row
 }
 
-// RunTable2 learns every configuration of the spec.
+// RunTable2 learns every configuration of the spec, one after the other —
+// the faithful setting for per-row timing comparisons against the paper.
 func RunTable2(specs []Table2Spec) []Table2Row {
-	var rows []Table2Row
+	return RunTable2Concurrent(specs, 1)
+}
+
+// RunTable2Concurrent learns the spec's configurations on up to `workers`
+// parallel goroutines (rows are independent learning runs, each against its
+// own simulated cache). Row order matches RunTable2; per-row times include
+// scheduling contention, so use workers = 1 when timing against the paper.
+func RunTable2Concurrent(specs []Table2Spec, workers int) []Table2Row {
+	type job struct {
+		policy string
+		assoc  int
+	}
+	var jobs []job
 	for _, spec := range specs {
 		for _, assoc := range spec.Assocs {
 			if _, err := policy.New(spec.Policy, assoc); err != nil {
@@ -103,9 +117,35 @@ func RunTable2(specs []Table2Spec) []Table2Row {
 				// two) are skipped silently, like the paper's dashes.
 				continue
 			}
-			rows = append(rows, RunTable2Row(spec.Policy, assoc))
+			jobs = append(jobs, job{spec.Policy, assoc})
 		}
 	}
+	rows := make([]Table2Row, len(jobs))
+	if workers <= 1 {
+		for i, j := range jobs {
+			rows[i] = RunTable2Row(j.policy, j.assoc)
+		}
+		return rows
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rows[i] = RunTable2Row(jobs[i].policy, jobs[i].assoc)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 	return rows
 }
 

@@ -47,6 +47,9 @@ type Table4Job struct {
 	Expected string
 	// Seed fixes the CPU instance.
 	Seed int64
+	// Replicas sizes the concurrent membership-query engine's CPU-replica
+	// pool: 0 uses every available core, 1 forces the serial pipeline.
+	Replicas int
 }
 
 // Table4Row is one row of Table 4.
@@ -119,6 +122,8 @@ func RunTable4Job(job Table4Job, opt cachequery.BackendOptions) Table4Row {
 
 	req := core.HardwareRequest{
 		CPU:              cpu,
+		NewCPU:           func() *hw.CPU { return hw.NewCPU(job.Model, job.Seed) },
+		Replicas:         job.Replicas,
 		Target:           job.Target,
 		Backend:          opt,
 		CATWays:          job.CATWays,

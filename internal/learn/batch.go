@@ -1,0 +1,216 @@
+package learn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchTeacher is an optional Teacher extension for teachers that can answer
+// several independent output queries at once — on parallel goroutines, over
+// replicated hardware interfaces, or by any other means. The learner detects
+// it and dispatches its observation-table rows and conformance-suite words in
+// batches instead of one query at a time.
+//
+// Answers[i] must be the output word of words[i]; the batch carries no
+// ordering constraint between words, which is what makes CacheQuery-style
+// learning embarrassingly parallel: every membership query starts from the
+// cache's reset state.
+type BatchTeacher interface {
+	Teacher
+	// OutputQueryBatch answers len(words) independent output queries.
+	OutputQueryBatch(words [][]int) ([][]int, error)
+}
+
+// BatchHinter is an optional BatchTeacher refinement advertising how many
+// queries the teacher can usefully answer concurrently. The learner scales
+// its prefetch chunks to the hint — in particular, a hint of 1 (no real
+// parallelism available) keeps the learning loop exactly serial, paying no
+// speculative queries.
+type BatchHinter interface {
+	BatchHint() int
+}
+
+// QueryAll answers every word through t, using one OutputQueryBatch call when
+// t implements BatchTeacher and a serial loop otherwise. It is the helper
+// non-learner clients (cmd/genmodels, experiments) use to stay batch-aware
+// without duplicating the dispatch logic.
+func QueryAll(t Teacher, words [][]int) ([][]int, error) {
+	if bt, ok := t.(BatchTeacher); ok && len(words) > 1 {
+		return bt.OutputQueryBatch(words)
+	}
+	out := make([][]int, len(words))
+	for i, w := range words {
+		o, err := t.OutputQuery(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// PoolTeacher wraps a plain Teacher with a fixed worker pool and a
+// mutex-guarded query cache, turning it into a BatchTeacher. The cache is
+// shared across all learning rounds (and across concurrent callers): a word
+// that has been answered once is never asked again.
+//
+// When Workers > 1 the wrapped teacher must be safe for concurrent
+// OutputQuery calls — polca.Oracle over a forking (software-simulated) prober
+// and cachequery.ParallelProber-backed oracles are; a bare hardware prober is
+// not, so wrap the replicated prober, not the raw one.
+type PoolTeacher struct {
+	inner   Teacher
+	workers int
+
+	mu    sync.Mutex
+	cache map[string][]int
+}
+
+// NewPoolTeacher builds a worker-pool adapter over t. workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func NewPoolTeacher(t Teacher, workers int) *PoolTeacher {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &PoolTeacher{inner: t, workers: workers, cache: make(map[string][]int)}
+}
+
+// NumInputs implements Teacher.
+func (p *PoolTeacher) NumInputs() int { return p.inner.NumInputs() }
+
+// Workers returns the pool width.
+func (p *PoolTeacher) Workers() int { return p.workers }
+
+// BatchHint implements BatchHinter: the pool width, or the inner teacher's
+// own hint when it is the larger of the two.
+func (p *PoolTeacher) BatchHint() int {
+	h := p.workers
+	if bh, ok := p.inner.(BatchHinter); ok && bh.BatchHint() > h {
+		h = bh.BatchHint()
+	}
+	return h
+}
+
+// CachedWords returns the number of distinct words answered so far.
+func (p *PoolTeacher) CachedWords() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}
+
+// lookup returns the cached answer for key, if any.
+func (p *PoolTeacher) lookup(key string) ([]int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out, ok := p.cache[key]
+	return out, ok
+}
+
+// store records an answer.
+func (p *PoolTeacher) store(key string, out []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cache[key] = out
+}
+
+// OutputQuery implements Teacher, consulting the shared cache first.
+func (p *PoolTeacher) OutputQuery(word []int) ([]int, error) {
+	key := wordKey(word)
+	if out, ok := p.lookup(key); ok {
+		return out, nil
+	}
+	out, err := p.inner.OutputQuery(word)
+	if err != nil {
+		return nil, err
+	}
+	p.store(key, out)
+	return out, nil
+}
+
+// OutputQueryBatch implements BatchTeacher: cached words are answered
+// immediately, the remaining distinct words are fanned out across the worker
+// pool, and every fresh answer lands in the shared cache.
+func (p *PoolTeacher) OutputQueryBatch(words [][]int) ([][]int, error) {
+	out := make([][]int, len(words))
+	keys := make([]string, len(words))
+
+	// Resolve cache hits and dedupe the misses, keeping first-occurrence
+	// order so the dispatch (and any teacher-side error) is deterministic
+	// for a deterministic inner teacher.
+	var pending []int // indices into words of the first occurrence of each miss
+	firstAt := make(map[string]int)
+	for i, w := range words {
+		keys[i] = wordKey(w)
+		if _, seen := firstAt[keys[i]]; seen {
+			continue
+		}
+		firstAt[keys[i]] = i
+		if _, ok := p.lookup(keys[i]); !ok {
+			pending = append(pending, i)
+		}
+	}
+
+	if len(pending) > 0 {
+		errs := make([]error, len(pending))
+		fresh := make([][]int, len(pending))
+		workers := p.workers
+		if workers > len(pending) {
+			workers = len(pending)
+		}
+		if bi, ok := p.inner.(BatchTeacher); ok {
+			// The inner teacher manages its own concurrency; hand it the
+			// whole miss set in one call.
+			ws := make([][]int, len(pending))
+			for j, i := range pending {
+				ws[j] = words[i]
+			}
+			ans, err := bi.OutputQueryBatch(ws)
+			if err != nil {
+				return nil, err
+			}
+			copy(fresh, ans)
+		} else if workers <= 1 {
+			for j, i := range pending {
+				fresh[j], errs[j] = p.inner.OutputQuery(words[i])
+			}
+		} else {
+			var wg sync.WaitGroup
+			next := make(chan int)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := range next {
+						fresh[j], errs[j] = p.inner.OutputQuery(words[pending[j]])
+					}
+				}()
+			}
+			for j := range pending {
+				next <- j
+			}
+			close(next)
+			wg.Wait()
+		}
+		for j, i := range pending {
+			if errs[j] != nil {
+				return nil, errs[j]
+			}
+			if len(fresh[j]) != len(words[i]) {
+				return nil, fmt.Errorf("learn: teacher returned %d outputs for %d inputs", len(fresh[j]), len(words[i]))
+			}
+			p.store(keys[i], fresh[j])
+		}
+	}
+
+	for i := range words {
+		ans, ok := p.lookup(keys[i])
+		if !ok {
+			return nil, fmt.Errorf("learn: batch answer for %v missing", words[i])
+		}
+		out[i] = ans
+	}
+	return out, nil
+}
+
+var _ BatchTeacher = (*PoolTeacher)(nil)

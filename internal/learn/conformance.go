@@ -19,6 +19,43 @@ import (
 // (|H|+k)-complete: any machine with at most |H|+k states that agrees with H
 // on all test words is trace-equivalent to H (Theorem 3.3).
 
+// checkSuite compares teacher and hypothesis on every test word, in order,
+// returning the first counterexample exactly as the serial loop would — but
+// prefetching the upcoming chunk of words through the BatchTeacher first, so
+// the teacher answers Options.BatchSize independent queries at a time. The
+// counterexample (and hence the whole learning trajectory) is independent of
+// the chunking: words are examined strictly in suite order.
+func (l *learner) checkSuite(hyp *mealy.Machine, words [][]int) ([]int, error) {
+	chunk := l.batch
+	// Under a query budget, speculative prefetch past a counterexample
+	// could spend queries the serial trajectory never asks and abort a run
+	// serial learning would complete — so fall back to lazy asking. (Table
+	// prefetches are unaffected: every table word is required either way.)
+	if chunk < 1 || l.opt.MaxQueries > 0 {
+		chunk = 1
+	}
+	for start := 0; start < len(words); start += chunk {
+		end := start + chunk
+		if end > len(words) {
+			end = len(words)
+		}
+		if err := l.prefetch(words[start:end]); err != nil {
+			return nil, err
+		}
+		for _, test := range words[start:end] {
+			l.stats.TestWords++
+			ce, err := l.checkWord(hyp, test)
+			if err != nil {
+				return nil, err
+			}
+			if ce != nil {
+				return ce, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
 // wMethodCE runs the W-method suite against the teacher and returns a
 // trimmed counterexample, or nil if the suite passes.
 func (l *learner) wMethodCE(hyp *mealy.Machine) ([]int, error) {
@@ -37,14 +74,12 @@ func (l *learner) wMethodCE(hyp *mealy.Machine) ([]int, error) {
 
 	middles := enumerateWords(l.numIn, l.opt.Depth)
 
+	var suite [][]int
 	seen := make(map[string]bool)
 	for _, u := range cover {
 		for _, m := range middles {
 			for _, suf := range w {
-				test := make([]int, 0, len(u)+len(m)+len(suf))
-				test = append(test, u...)
-				test = append(test, m...)
-				test = append(test, suf...)
+				test := concatWords(u, m, suf)
 				if len(test) == 0 {
 					continue
 				}
@@ -53,18 +88,11 @@ func (l *learner) wMethodCE(hyp *mealy.Machine) ([]int, error) {
 					continue
 				}
 				seen[key] = true
-				l.stats.TestWords++
-				ce, err := l.checkWord(hyp, test)
-				if err != nil {
-					return nil, err
-				}
-				if ce != nil {
-					return ce, nil
-				}
+				suite = append(suite, test)
 			}
 		}
 	}
-	return nil, nil
+	return l.checkSuite(hyp, suite)
 }
 
 // wpMethodCE runs the Wp-method suite against the teacher. Phase 1 applies
@@ -78,28 +106,25 @@ func (l *learner) wpMethodCE(hyp *mealy.Machine) ([]int, error) {
 	ident := identificationSets(hyp, w)
 	middles := enumerateWords(l.numIn, l.opt.Depth)
 
+	var suite [][]int
 	seen := make(map[string]bool)
-	check := func(test []int) ([]int, error) {
+	add := func(test []int) {
 		if len(test) == 0 {
-			return nil, nil
+			return
 		}
 		key := wordKey(test)
 		if seen[key] {
-			return nil, nil
+			return
 		}
 		seen[key] = true
-		l.stats.TestWords++
-		return l.checkWord(hyp, test)
+		suite = append(suite, test)
 	}
 
 	// Phase 1: state cover x middles x W.
 	for _, u := range access {
 		for _, m := range middles {
 			for _, suf := range w {
-				test := concatWords(u, m, suf)
-				if ce, err := check(test); ce != nil || err != nil {
-					return ce, err
-				}
+				add(concatWords(u, m, suf))
 			}
 		}
 	}
@@ -112,15 +137,12 @@ func (l *learner) wpMethodCE(hyp *mealy.Machine) ([]int, error) {
 				r := concatWords(ua, m)
 				s := hyp.StateAfter(r)
 				for _, suf := range ident[s] {
-					test := concatWords(r, suf)
-					if ce, err := check(test); ce != nil || err != nil {
-						return ce, err
-					}
+					add(concatWords(r, suf))
 				}
 			}
 		}
 	}
-	return nil, nil
+	return l.checkSuite(hyp, suite)
 }
 
 // identificationSets computes, per state, a minimal-ish subset of W whose
@@ -199,6 +221,10 @@ func (l *learner) randomWalkCE(hyp *mealy.Machine) ([]int, error) {
 		steps = 10000
 	}
 	rng := rand.New(rand.NewSource(l.opt.RandomWalkSeed + int64(l.stats.Rounds)))
+	// Draw the whole round's words up front — the RNG sequence (and hence
+	// the counterexample found) is identical to the serial walk — then check
+	// them through the batched suite runner.
+	var words [][]int
 	spent := 0
 	for spent < steps {
 		n := 2 + rng.Intn(3*hyp.NumStates+4)
@@ -213,16 +239,9 @@ func (l *learner) randomWalkCE(hyp *mealy.Machine) ([]int, error) {
 			word[i] = rng.Intn(l.numIn)
 		}
 		spent += n
-		l.stats.TestWords++
-		ce, err := l.checkWord(hyp, word)
-		if err != nil {
-			return nil, err
-		}
-		if ce != nil {
-			return ce, nil
-		}
+		words = append(words, word)
 	}
-	return nil, nil
+	return l.checkSuite(hyp, words)
 }
 
 // MachineTeacher adapts an explicit Mealy machine into a Teacher, used to

@@ -67,7 +67,19 @@ type Options struct {
 	// MaxQueries aborts learning after this many distinct output queries;
 	// 0 means unlimited.
 	MaxQueries int
+	// BatchSize bounds how many conformance-test words are prefetched per
+	// BatchTeacher dispatch. 0 derives the chunk from the teacher's
+	// BatchHint (4x the hint, capped at MaxBatchSize; a hint of 1 keeps
+	// the loop exactly serial); negative disables batching. Larger chunks
+	// expose more parallelism to the teacher but waste more queries when a
+	// counterexample sits early in the suite. When MaxQueries is set,
+	// conformance words are always asked lazily so the speculative
+	// prefetch cannot exhaust a budget the serial trajectory would not.
+	BatchSize int
 }
+
+// MaxBatchSize caps the derived conformance-suite prefetch chunk.
+const MaxBatchSize = 64
 
 // Stats aggregates learner-side cost counters.
 type Stats struct {
@@ -97,6 +109,7 @@ func Learn(t Teacher, opt Options) (*Result, error) {
 		opt:     opt,
 		numIn:   t.NumInputs(),
 		queries: make(map[string][]int),
+		batch:   resolveBatch(t, opt),
 	}
 	if l.numIn < 1 {
 		return nil, fmt.Errorf("learn: teacher has an empty input alphabet")
@@ -118,13 +131,42 @@ type learner struct {
 	teacher Teacher
 	opt     Options
 	numIn   int
+	batch   int // prefetch chunk size; <= 1 keeps the loop exactly serial
 
 	prefixes [][]int // P, prefix-closed, pairwise distinct rows
 	suffixes [][]int // S, suffix set (non-empty words)
 	sufSeen  map[string]bool
+	fetchedS int // suffixes whose table columns have been batch-prefetched
 
 	queries map[string][]int // output-query memo
 	stats   Stats
+}
+
+// resolveBatch computes the effective prefetch chunk for a teacher: explicit
+// Options.BatchSize wins, otherwise the teacher's BatchHint scaled for
+// pipelining. Teachers without batch support always learn serially.
+func resolveBatch(t Teacher, opt Options) int {
+	if _, ok := t.(BatchTeacher); !ok {
+		return 1
+	}
+	switch {
+	case opt.BatchSize < 0:
+		return 1
+	case opt.BatchSize > 0:
+		return opt.BatchSize
+	}
+	hint := 0
+	if bh, ok := t.(BatchHinter); ok {
+		hint = bh.BatchHint()
+	}
+	if hint <= 1 {
+		return 1
+	}
+	chunk := 4 * hint
+	if chunk > MaxBatchSize {
+		chunk = MaxBatchSize
+	}
+	return chunk
 }
 
 func wordKey(w []int) string {
@@ -158,6 +200,59 @@ func (l *learner) query(w []int) ([]int, error) {
 	l.stats.QuerySymbols += len(w)
 	l.queries[key] = out
 	return out, nil
+}
+
+// prefetch memoizes the answers for every word not yet in the query cache,
+// dispatching all of them in one BatchTeacher call when the teacher supports
+// it. Afterwards query/cell on any prefetched word is a pure cache lookup, so
+// callers keep their serial, deterministic control flow while the teacher
+// answers the whole batch at once (typically on parallel goroutines).
+func (l *learner) prefetch(words [][]int) error {
+	bt, ok := l.teacher.(BatchTeacher)
+	if !ok || l.batch <= 1 {
+		return nil // the serial path asks lazily, paying no speculative queries
+	}
+	var pending [][]int
+	seen := make(map[string]bool)
+	for _, w := range words {
+		key := wordKey(w)
+		if len(w) == 0 || seen[key] {
+			continue
+		}
+		if _, ok := l.queries[key]; ok {
+			continue
+		}
+		seen[key] = true
+		pending = append(pending, w)
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	if l.opt.MaxQueries > 0 {
+		left := l.opt.MaxQueries - l.stats.OutputQueries
+		if left <= 0 {
+			return fmt.Errorf("learn: query budget of %d exhausted", l.opt.MaxQueries)
+		}
+		if len(pending) > left {
+			pending = pending[:left]
+		}
+	}
+	outs, err := bt.OutputQueryBatch(pending)
+	if err != nil {
+		return err
+	}
+	if len(outs) != len(pending) {
+		return fmt.Errorf("learn: teacher answered %d of %d batched queries", len(outs), len(pending))
+	}
+	for i, w := range pending {
+		if len(outs[i]) != len(w) {
+			return fmt.Errorf("learn: teacher returned %d outputs for %d inputs", len(outs[i]), len(w))
+		}
+		l.stats.OutputQueries++
+		l.stats.QuerySymbols += len(w)
+		l.queries[wordKey(w)] = outs[i]
+	}
+	return nil
 }
 
 // cell returns the output word of suffix s observed after prefix u.
@@ -224,9 +319,46 @@ func (l *learner) run() (*mealy.Machine, error) {
 	}
 }
 
+// rowWords enumerates the output queries needed to fill the table rows of
+// the given prefixes over the given suffix columns: u·s and u·a·s for every
+// input a and suffix s. Prefetching them lets a BatchTeacher fill whole
+// table rows in one parallel dispatch instead of |S|·(1+|Σ|) serial round
+// trips per prefix.
+func (l *learner) rowWords(prefixes, suffixes [][]int) [][]int {
+	var words [][]int
+	for _, u := range prefixes {
+		for _, s := range suffixes {
+			words = append(words, concatWords(u, s))
+		}
+		for a := 0; a < l.numIn; a++ {
+			ua := concatWords(u, []int{a})
+			for _, s := range suffixes {
+				words = append(words, concatWords(ua, s))
+			}
+		}
+	}
+	return words
+}
+
 // closeAndBuild restores table closedness and constructs the hypothesis.
 func (l *learner) closeAndBuild() (*mealy.Machine, error) {
+	// Batch prefetch: entering a round, fill the columns of any suffixes
+	// added by the last counterexample across the whole table; within the
+	// round, fetch only the full rows of prefixes promoted by the closing
+	// check. Everything else is already memoized, so the passes below are
+	// pure cache walks. Without batching the loop asks lazily, exactly as
+	// the serial learner always has.
+	batching := l.batch > 1
+	var fetch [][]int
+	if batching {
+		fetch = l.rowWords(l.prefixes, l.suffixes[l.fetchedS:])
+		l.fetchedS = len(l.suffixes)
+	}
 	for {
+		if err := l.prefetch(fetch); err != nil {
+			return nil, err
+		}
+		fetch = nil
 		rows := make(map[string]int, len(l.prefixes))
 		for i, u := range l.prefixes {
 			k, err := l.rowKey(u)
@@ -256,6 +388,9 @@ func (l *learner) closeAndBuild() (*mealy.Machine, error) {
 						return nil, fmt.Errorf("%w: more than %d states", ErrStateBudget, l.opt.MaxStates)
 					}
 					l.prefixes = append(l.prefixes, ext)
+					if batching {
+						fetch = l.rowWords([][]int{ext}, l.suffixes)
+					}
 					closed = false
 					break
 				}

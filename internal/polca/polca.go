@@ -16,7 +16,9 @@ package polca
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/blocks"
 	"repro/internal/cache"
@@ -67,9 +69,38 @@ type Session interface {
 // cheap state snapshots (software simulators). Polca exploits it to avoid
 // the quadratic prefix replay of the plain Probe interface; the observable
 // behaviour is identical for deterministic caches.
+//
+// NewSession must be safe for concurrent use: batched output queries open
+// one session per query word on parallel goroutines.
 type ForkingProber interface {
 	Prober
 	NewSession() (Session, error)
+}
+
+// ConcurrentProber marks a Prober whose Probe method is safe for concurrent
+// use (e.g. cachequery.ParallelProber, which multiplexes probes over a pool
+// of independent CPU replicas). The oracle answers batched output queries on
+// parallel goroutines only for forking or concurrent probers; anything else
+// — notably a bare hardware interface pinned to one core — is served
+// serially, preserving correctness by default.
+type ConcurrentProber interface {
+	Prober
+	// ConcurrentProbes reports whether Probe may be called concurrently.
+	ConcurrentProbes() bool
+}
+
+// FreshProber is an optional Prober extension that executes a probe
+// unconditionally, bypassing any result cache the probing stack keeps below
+// the oracle (cachequery's ResultStore, the LevelDB role). The determinism
+// audit requires it on cached stacks: re-running a query through Probe would
+// simply replay the cached first answer and the audit could never fire.
+// Probers that re-execute the system on every Probe (software simulators)
+// do not need it.
+type FreshProber interface {
+	Prober
+	// ProbeFresh runs q against the system under observation even when a
+	// cached result exists.
+	ProbeFresh(q []blocks.Block) (cache.Outcome, error)
 }
 
 // Stats aggregates the cost counters of an oracle.
@@ -84,12 +115,33 @@ type Stats struct {
 // Oracle answers membership and output queries for the replacement policy of
 // the cache behind a Prober. It is the paper's Polca plus the probe
 // memoization that the real tool delegates to LevelDB (§4.2).
+//
+// The oracle is safe for concurrent use and implements learn.BatchTeacher:
+// independent query words of a batch are answered on parallel goroutines
+// whenever the prober supports it (ForkingProber sessions, or a
+// ConcurrentProber such as a replicated hardware interface). The memo table
+// and cost counters are mutex-guarded and shared across all goroutines and
+// learning rounds.
 type Oracle struct {
 	prober  Prober
 	cc0     []blocks.Block
-	memo    map[string]cache.Outcome
-	stats   Stats
 	recheck int // re-run every recheck-th query to detect nondeterminism
+	workers int // parallel batch width (defaults to GOMAXPROCS)
+	useMemo bool
+
+	mu       sync.Mutex
+	memo     map[string]cache.Outcome
+	inflight map[string]*inflightProbe
+	stats    Stats
+}
+
+// inflightProbe is a single-flight slot: the first goroutine to miss the
+// memo on a key executes the probe, every concurrent requester of the same
+// key waits on done instead of duplicating the (expensive) execution.
+type inflightProbe struct {
+	done chan struct{}
+	oc   cache.Outcome
+	err  error
 }
 
 // Option configures an Oracle.
@@ -97,7 +149,7 @@ type Option func(*Oracle)
 
 // WithoutMemo disables probe memoization (for the ablation benchmarks).
 func WithoutMemo() Option {
-	return func(o *Oracle) { o.memo = nil }
+	return func(o *Oracle) { o.useMemo = false; o.memo = nil }
 }
 
 // WithDeterminismChecks re-executes every n-th output query and compares the
@@ -108,12 +160,21 @@ func WithDeterminismChecks(n int) Option {
 	return func(o *Oracle) { o.recheck = n }
 }
 
+// WithParallelism caps the number of goroutines a batched output query may
+// fan out over. n <= 0 restores the default, runtime.GOMAXPROCS(0); n == 1
+// forces serial batch answering.
+func WithParallelism(n int) Option {
+	return func(o *Oracle) { o.workers = n }
+}
+
 // NewOracle builds a Polca oracle over the given cache interface.
 func NewOracle(p Prober, opts ...Option) *Oracle {
 	o := &Oracle{
-		prober: p,
-		cc0:    append([]blocks.Block(nil), p.InitialContent()...),
-		memo:   make(map[string]cache.Outcome),
+		prober:   p,
+		cc0:      append([]blocks.Block(nil), p.InitialContent()...),
+		memo:     make(map[string]cache.Outcome),
+		inflight: make(map[string]*inflightProbe),
+		useMemo:  true,
 	}
 	for _, opt := range opts {
 		opt(o)
@@ -133,28 +194,104 @@ func NewOracle(p Prober, opts ...Option) *Oracle {
 func (o *Oracle) NumInputs() int { return policy.NumInputs(o.prober.Assoc()) }
 
 // Stats returns a copy of the accumulated cost counters.
-func (o *Oracle) Stats() Stats { return o.stats }
+func (o *Oracle) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
+
+// BatchHint implements learn.BatchHinter (duck-typed to avoid an import
+// cycle with package learn's tests): the learner scales its prefetch chunks
+// to the oracle's usable parallelism, so a serial prober keeps the exact
+// serial query trajectory.
+func (o *Oracle) BatchHint() int { return o.parallelism() }
+
+// parallelism reports how many goroutines a batch may use against the
+// underlying prober: 1 unless the prober explicitly supports concurrency.
+func (o *Oracle) parallelism() int {
+	concurrent := false
+	if _, ok := o.prober.(ForkingProber); ok {
+		concurrent = true
+	} else if cp, ok := o.prober.(ConcurrentProber); ok && cp.ConcurrentProbes() {
+		concurrent = true
+	}
+	if !concurrent {
+		return 1
+	}
+	if o.workers > 0 {
+		return o.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // probe issues one reset-rooted probe, via the memo table when enabled.
-func (o *Oracle) probe(q []blocks.Block) (cache.Outcome, error) {
-	var key string
-	if o.memo != nil {
-		key = strings.Join(q, " ")
-		if oc, ok := o.memo[key]; ok {
-			o.stats.MemoHits++
-			return oc, nil
+// fresh=true is the determinism audit: it bypasses the memo entirely AND
+// forces a real execution on cached probing stacks (FreshProber) — a cached
+// replay of the first answer would make the audit vacuous.
+//
+// Memoized probes are single-flighted: when parallel batch goroutines miss
+// the memo on the same key (words sharing an input prefix probe identical
+// block sequences), only one executes; the rest wait for its result.
+func (o *Oracle) probe(q []blocks.Block, fresh bool) (cache.Outcome, error) {
+	if fresh || !o.useMemo {
+		oc, err := o.executeProbe(q, fresh)
+		if err != nil {
+			return Missed(), err
+		}
+		o.mu.Lock()
+		o.stats.Probes++
+		o.stats.Accesses += len(q)
+		o.mu.Unlock()
+		return oc, nil
+	}
+
+	key := strings.Join(q, " ")
+	o.mu.Lock()
+	if oc, ok := o.memo[key]; ok {
+		o.stats.MemoHits++
+		o.mu.Unlock()
+		return oc, nil
+	}
+	if fl, ok := o.inflight[key]; ok {
+		o.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return Missed(), fl.err
+		}
+		o.mu.Lock()
+		o.stats.MemoHits++
+		o.mu.Unlock()
+		return fl.oc, nil
+	}
+	fl := &inflightProbe{done: make(chan struct{})}
+	o.inflight[key] = fl
+	o.mu.Unlock()
+
+	fl.oc, fl.err = o.executeProbe(q, false)
+	o.mu.Lock()
+	delete(o.inflight, key)
+	if fl.err == nil {
+		o.stats.Probes++
+		o.stats.Accesses += len(q)
+		o.memo[key] = fl.oc
+	}
+	o.mu.Unlock()
+	close(fl.done)
+	if fl.err != nil {
+		return Missed(), fl.err
+	}
+	return fl.oc, nil
+}
+
+// executeProbe runs one probe on the prober, through ProbeFresh when the
+// audit demands an uncached execution and the prober supports it.
+func (o *Oracle) executeProbe(q []blocks.Block, fresh bool) (cache.Outcome, error) {
+	if fresh {
+		if fp, ok := o.prober.(FreshProber); ok {
+			return fp.ProbeFresh(q)
 		}
 	}
-	oc, err := o.prober.Probe(q)
-	if err != nil {
-		return Missed(), err
-	}
-	o.stats.Probes++
-	o.stats.Accesses += len(q)
-	if o.memo != nil {
-		o.memo[key] = oc
-	}
-	return oc, nil
+	return o.prober.Probe(q)
 }
 
 // Missed is a zero Outcome helper used on error paths.
@@ -166,19 +303,19 @@ func Missed() cache.Outcome { return cache.Miss }
 // every Evct input. This is the oracle the learner consumes; Membership
 // (Algorithm 1 verbatim) is a comparison on top of it.
 func (o *Oracle) OutputQuery(word []int) ([]int, error) {
+	o.mu.Lock()
 	o.stats.OutputQueries++
 	o.stats.Symbols += len(word)
-	out, err := o.outputQueryOnce(word)
+	seq := o.stats.OutputQueries
+	o.mu.Unlock()
+	out, err := o.outputQueryOnce(word, false)
 	if err != nil {
 		return nil, err
 	}
-	if o.recheck > 0 && o.stats.OutputQueries%o.recheck == 0 && len(word) > 0 {
+	if o.recheck > 0 && seq%o.recheck == 0 && len(word) > 0 {
 		// Determinism audit: memoization must be bypassed, otherwise the
 		// first answer would simply be replayed.
-		saved := o.memo
-		o.memo = nil
-		again, err := o.outputQueryOnce(word)
-		o.memo = saved
+		again, err := o.outputQueryOnce(word, true)
 		if err != nil {
 			return nil, err
 		}
@@ -192,16 +329,63 @@ func (o *Oracle) OutputQuery(word []int) ([]int, error) {
 	return out, nil
 }
 
-func (o *Oracle) outputQueryOnce(word []int) ([]int, error) {
+// OutputQueryBatch implements learn.BatchTeacher: it answers len(words)
+// independent output queries, fanning them out across a worker pool when the
+// prober supports concurrent probing (forking simulator sessions or a
+// replicated hardware interface) and falling back to a serial loop
+// otherwise. Answers, memo contents and counters are identical to asking the
+// words one by one; only the wall-clock cost changes.
+func (o *Oracle) OutputQueryBatch(words [][]int) ([][]int, error) {
+	workers := o.parallelism()
+	if workers > len(words) {
+		workers = len(words)
+	}
+	out := make([][]int, len(words))
+	if workers <= 1 {
+		for i, w := range words {
+			ans, err := o.OutputQuery(w)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ans
+		}
+		return out, nil
+	}
+	errs := make([]error, len(words))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = o.OutputQuery(words[i])
+			}
+		}()
+	}
+	for i := range words {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (o *Oracle) outputQueryOnce(word []int, fresh bool) ([]int, error) {
 	if fp, ok := o.prober.(ForkingProber); ok {
 		return o.outputQuerySessions(fp, word)
 	}
-	return o.outputQueryProbes(word)
+	return o.outputQueryProbes(word, fresh)
 }
 
 // outputQueryProbes is the faithful Algorithm 1 loop over reset-rooted
 // probes, used against hardware-style probers.
-func (o *Oracle) outputQueryProbes(word []int) ([]int, error) {
+func (o *Oracle) outputQueryProbes(word []int, fresh bool) ([]int, error) {
 	n := o.prober.Assoc()
 	cc := append([]blocks.Block(nil), o.cc0...)
 	ic := make([]blocks.Block, 0, len(word))
@@ -213,11 +397,11 @@ func (o *Oracle) outputQueryProbes(word []int) ([]int, error) {
 			return nil, err
 		}
 		ic = append(ic, b)
-		oc, err := o.probe(ic)
+		oc, err := o.probe(ic, fresh)
 		if err != nil {
 			return nil, err
 		}
-		op, err := o.mapOutputProbes(ip, oc, ic, cc)
+		op, err := o.mapOutputProbes(ip, oc, ic, cc, fresh)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +415,7 @@ func (o *Oracle) outputQueryProbes(word []int) ([]int, error) {
 
 // mapOutputProbes maps a cache outcome back to a policy output, issuing the
 // findEvicted probes on a miss.
-func (o *Oracle) mapOutputProbes(ip int, oc cache.Outcome, ic []blocks.Block, cc []blocks.Block) (int, error) {
+func (o *Oracle) mapOutputProbes(ip int, oc cache.Outcome, ic []blocks.Block, cc []blocks.Block, fresh bool) (int, error) {
 	n := o.prober.Assoc()
 	if ip < n { // Ln(i): the block is cached, the access must hit
 		if oc != cache.Hit {
@@ -247,7 +431,7 @@ func (o *Oracle) mapOutputProbes(ip int, oc cache.Outcome, ic []blocks.Block, cc
 	evicted := -1
 	for i := 0; i < n; i++ {
 		probe := append(append([]blocks.Block(nil), ic...), cc[i])
-		poc, err := o.probe(probe)
+		poc, err := o.probe(probe, fresh)
 		if err != nil {
 			return 0, err
 		}
@@ -275,7 +459,16 @@ func (o *Oracle) outputQuerySessions(fp ForkingProber, word []int) ([]int, error
 	if err != nil {
 		return nil, err
 	}
-	o.stats.Probes++
+	// Counters are accumulated locally and flushed once per query: batched
+	// queries run this loop on parallel goroutines, and a shared-counter
+	// lock per access would serialize the hot path.
+	accesses := 0
+	defer func() {
+		o.mu.Lock()
+		o.stats.Probes++
+		o.stats.Accesses += accesses
+		o.mu.Unlock()
+	}()
 	for i, ip := range word {
 		b, err := mapInput(ip, cc, n)
 		if err != nil {
@@ -285,7 +478,7 @@ func (o *Oracle) outputQuerySessions(fp ForkingProber, word []int) ([]int, error
 		if err != nil {
 			return nil, err
 		}
-		o.stats.Accesses++
+		accesses++
 		if ip < n {
 			if oc != cache.Hit {
 				return nil, fmt.Errorf("%w: access to cached block %s missed", ErrNondeterministic, b)
@@ -306,7 +499,7 @@ func (o *Oracle) outputQuerySessions(fp ForkingProber, word []int) ([]int, error
 			if err != nil {
 				return nil, err
 			}
-			o.stats.Accesses++
+			accesses++
 			if poc == cache.Miss {
 				if evicted != -1 {
 					return nil, fmt.Errorf("%w: blocks %s and %s both evicted by one miss", ErrNondeterministic, cc[evicted], cc[j])

@@ -3,9 +3,11 @@ package polca
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/blocks"
 	"repro/internal/cache"
 	"repro/internal/mealy"
 	"repro/internal/policy"
@@ -151,6 +153,62 @@ func TestNondeterminismDetection(t *testing.T) {
 	})
 }
 
+// replayingProber models a probing stack with a result cache below the
+// oracle (cachequery's ResultStore): Probe memoizes its own answers and
+// replays them forever; ProbeFresh re-executes against the real system.
+type replayingProber struct {
+	inner      Prober
+	memo       map[string]cache.Outcome
+	freshCalls int
+}
+
+func newReplayingProber(inner Prober) *replayingProber {
+	return &replayingProber{inner: inner, memo: make(map[string]cache.Outcome)}
+}
+
+func (p *replayingProber) Assoc() int                     { return p.inner.Assoc() }
+func (p *replayingProber) InitialContent() []blocks.Block { return p.inner.InitialContent() }
+
+func (p *replayingProber) Probe(q []blocks.Block) (cache.Outcome, error) {
+	key := ""
+	for _, b := range q {
+		key += string(b) + " "
+	}
+	if oc, ok := p.memo[key]; ok {
+		return oc, nil
+	}
+	oc, err := p.inner.Probe(q)
+	if err == nil {
+		p.memo[key] = oc
+	}
+	return oc, err
+}
+
+func (p *replayingProber) ProbeFresh(q []blocks.Block) (cache.Outcome, error) {
+	p.freshCalls++
+	return p.inner.Probe(q)
+}
+
+// TestDeterminismAuditUsesFreshProbes: on a caching stack the audit must
+// re-execute through ProbeFresh — asking Probe again would replay the cached
+// first answer and the audit could never fire.
+func TestDeterminismAuditUsesFreshProbes(t *testing.T) {
+	rp := newReplayingProber(SlowProber{P: NewSimProber(policy.MustNew("LRU", 4))})
+	oracle := NewOracle(rp, WithDeterminismChecks(1))
+	if _, err := oracle.OutputQuery([]int{4, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if rp.freshCalls == 0 {
+		t.Fatal("determinism audit never issued a fresh probe")
+	}
+	// End to end: a nondeterministic cache hidden behind the replay cache
+	// must still be flagged.
+	nd := newReplayingProber(SlowProber{P: NewSimProber(policy.NewRandom(4, 99))})
+	if !detectsNondeterminism(t, NewOracle(nd, WithDeterminismChecks(1))) {
+		t.Error("audit failed to see through the result cache")
+	}
+}
+
 func detectsNondeterminism(t *testing.T, oracle *Oracle) bool {
 	t.Helper()
 	rng := rand.New(rand.NewSource(4))
@@ -167,6 +225,61 @@ func detectsNondeterminism(t *testing.T, oracle *Oracle) bool {
 		}
 	}
 	return false
+}
+
+// countingConcurrentProber is a concurrency-safe prober that counts probe
+// executions per key, for asserting single-flight deduplication.
+type countingConcurrentProber struct {
+	inner  Prober
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (p *countingConcurrentProber) Assoc() int                     { return p.inner.Assoc() }
+func (p *countingConcurrentProber) InitialContent() []blocks.Block { return p.inner.InitialContent() }
+func (p *countingConcurrentProber) ConcurrentProbes() bool         { return true }
+
+func (p *countingConcurrentProber) Probe(q []blocks.Block) (cache.Outcome, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := ""
+	for _, b := range q {
+		key += string(b) + " "
+	}
+	p.counts[key]++
+	return p.inner.Probe(q)
+}
+
+// TestProbeSingleFlight: concurrent batch goroutines that miss the memo on
+// the same probe key must not duplicate the execution — the batch below
+// repeats one word eight times, yet every underlying probe runs exactly once.
+func TestProbeSingleFlight(t *testing.T) {
+	cp := &countingConcurrentProber{
+		inner:  SlowProber{P: NewSimProber(policy.MustNew("LRU", 4))},
+		counts: make(map[string]int),
+	}
+	oracle := NewOracle(cp, WithParallelism(8))
+	word := []int{4, 0, 4, 1}
+	words := make([][]int, 8)
+	for i := range words {
+		words[i] = word
+	}
+	outs, err := oracle.OutputQueryBatch(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(outs); i++ {
+		for j := range outs[0] {
+			if outs[i][j] != outs[0][j] {
+				t.Fatalf("batch answers diverge: %v vs %v", outs[i], outs[0])
+			}
+		}
+	}
+	for key, n := range cp.counts {
+		if n != 1 {
+			t.Errorf("probe %q executed %d times, want 1 (single-flight)", key, n)
+		}
+	}
 }
 
 func TestOracleStatsAccounting(t *testing.T) {
