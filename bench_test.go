@@ -206,6 +206,7 @@ func BenchmarkAblationSuite(b *testing.B) {
 		s    learn.Suite
 	}{{"wp", learn.SuiteWp}, {"w", learn.SuiteW}} {
 		b.Run(suite.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := learn.Learn(learn.MachineTeacher{M: truth}, learn.Options{Depth: 1, Suite: suite.s})
 				if err != nil {
@@ -219,20 +220,96 @@ func BenchmarkAblationSuite(b *testing.B) {
 
 // BenchmarkAblationMemo quantifies the probe memoization of §4.2 (the
 // LevelDB layer): learning LRU-4 through reset-rooted probes with and
-// without the memo table.
+// without the flat memo table, against the trie engine on the same prober
+// class (forking sessions, prefix resume).
 func BenchmarkAblationMemo(b *testing.B) {
-	run := func(b *testing.B, opts ...polca.Option) {
+	run := func(b *testing.B, slow bool, lopt learn.Options, opts ...polca.Option) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			prober := polca.SlowProber{P: polca.NewSimProber(policy.MustNew("LRU", 4))}
+			var prober polca.Prober = polca.NewSimProber(policy.MustNew("LRU", 4))
+			if slow {
+				prober = polca.SlowProber{P: polca.NewSimProber(policy.MustNew("LRU", 4))}
+			}
 			oracle := polca.NewOracle(prober, opts...)
-			if _, err := learn.Learn(oracle, learn.Options{Depth: 1}); err != nil {
+			if _, err := learn.Learn(oracle, lopt); err != nil {
 				b.Fatal(err)
 			}
-			b.ReportMetric(float64(oracle.Stats().Probes), "probes/op")
+			st := oracle.Stats()
+			b.ReportMetric(float64(st.Probes), "probes/op")
+			b.ReportMetric(float64(st.Accesses), "accesses/op")
 		}
 	}
-	b.Run("memo", func(b *testing.B) { run(b) })
-	b.Run("nomemo", func(b *testing.B) { run(b, polca.WithoutMemo()) })
+	flat := learn.Options{Depth: 1, FlatMemo: true}
+	b.Run("memo", func(b *testing.B) { run(b, true, flat, polca.WithoutTrie()) })
+	b.Run("nomemo", func(b *testing.B) { run(b, true, flat, polca.WithoutMemo()) })
+	b.Run("trie", func(b *testing.B) { run(b, false, learn.Options{Depth: 1}) })
+}
+
+// BenchmarkAblationTrie quantifies the prefix-tree query engine layer by
+// layer on harder policies: "nomemo" re-executes every probe, "flat" is the
+// §4.2 exact-match memo, "sessions" is the unmemoized incremental session
+// path, and "trie" is the full engine — trie-memoized outputs, parked
+// resumable sessions, and the prefix-sharing learner memo. Every leg
+// verifies the learned machine against the extracted ground truth.
+//
+// Compare legs on probes/op and accesses/op. memohits/op units differ by
+// leg — whole probes on the flat path, word symbols on the trie paths (see
+// polca.Stats) — so it only tracks each leg against its own history.
+func BenchmarkAblationTrie(b *testing.B) {
+	cases := []struct {
+		name  string
+		assoc int
+		heavy bool // too slow for unmemoized reset-rooted replay
+	}{
+		{"LRU", 4, false}, {"SRRIP-FP", 4, true}, {"New1", 4, true},
+	}
+	type leg struct {
+		name string
+		mk   func(name string, assoc int) polca.Prober
+		opts []polca.Option
+		lopt learn.Options
+	}
+	slowProber := func(name string, assoc int) polca.Prober {
+		return polca.SlowProber{P: polca.NewSimProber(policy.MustNew(name, assoc))}
+	}
+	fastProber := func(name string, assoc int) polca.Prober {
+		return polca.NewSimProber(policy.MustNew(name, assoc))
+	}
+	flat := learn.Options{Depth: 1, FlatMemo: true}
+	legs := []leg{
+		{"nomemo", slowProber, []polca.Option{polca.WithoutMemo()}, flat},
+		{"flat", slowProber, []polca.Option{polca.WithoutTrie()}, flat},
+		{"sessions", fastProber, []polca.Option{polca.WithoutTrie()}, flat},
+		{"trie", fastProber, nil, learn.Options{Depth: 1}},
+	}
+	for _, c := range cases {
+		truth, err := mealy.FromPolicy(policy.MustNew(c.name, c.assoc), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, l := range legs {
+			b.Run(fmt.Sprintf("%s-%d/%s", c.name, c.assoc, l.name), func(b *testing.B) {
+				if c.heavy && l.name == "nomemo" && testing.Short() {
+					b.Skip("unmemoized reset-rooted replay on a 160-state policy; run without -short")
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					oracle := polca.NewOracle(l.mk(c.name, c.assoc), l.opts...)
+					res, err := learn.Learn(oracle, l.lopt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if eq, ce := res.Machine.Equivalent(truth); !eq {
+						b.Fatalf("learned machine differs from ground truth, ce=%v", ce)
+					}
+					st := oracle.Stats()
+					b.ReportMetric(float64(st.Probes), "probes/op")
+					b.ReportMetric(float64(st.Accesses), "accesses/op")
+					b.ReportMetric(float64(st.MemoHits), "memohits/op")
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkAblationPolca quantifies the data-independence abstraction:
@@ -241,6 +318,7 @@ func BenchmarkAblationMemo(b *testing.B) {
 // block arrangements (§3.2).
 func BenchmarkAblationPolca(b *testing.B) {
 	b.Run("polca-LRU4", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := core.LearnSimulated("LRU", 4, learn.Options{Depth: 1})
 			if err != nil {
@@ -250,6 +328,7 @@ func BenchmarkAblationPolca(b *testing.B) {
 		}
 	})
 	b.Run("direct-LRU4", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := learn.Learn(&cacheTeacher{name: "LRU", assoc: 4, numBlocks: 5}, learn.Options{Depth: 1})
 			if err != nil {
@@ -301,6 +380,7 @@ func BenchmarkAblationBatch(b *testing.B) {
 		par  int
 	}{{"serial", 1}, {"batched", 0}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				oracle := polca.NewOracle(polca.NewSimProber(policy.MustNew("New1", 4)),
 					polca.WithParallelism(mode.par))
@@ -321,6 +401,7 @@ func BenchmarkAblationBatch(b *testing.B) {
 func BenchmarkAblationDepth(b *testing.B) {
 	for _, depth := range []int{0, 1, 2} {
 		b.Run(fmt.Sprintf("k=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.LearnSimulated("MRU", 4, learn.Options{Depth: depth})
 				if err != nil {
@@ -341,6 +422,7 @@ func BenchmarkAblationSynthPrefilter(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("seeded", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := synth.Synthesize(m, synth.Options{Seed: 1}); err != nil {
 				b.Fatal(err)
@@ -348,6 +430,7 @@ func BenchmarkAblationSynthPrefilter(b *testing.B) {
 		}
 	})
 	b.Run("pure-cegis", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := synth.Synthesize(m, synth.Options{Seed: 1, SeedWitnesses: -1}); err != nil {
 				b.Fatal(err)

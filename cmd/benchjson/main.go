@@ -1,0 +1,151 @@
+// Command benchjson seeds and extends the repository's performance
+// trajectory: it runs the benchmark suite once (go test -run=NONE -bench
+// -benchtime=1x, -short by default) and writes the parsed results to a
+// dated BENCH_<date>.json file, so successive PRs leave comparable
+// machine-readable baselines behind.
+//
+//	go run repro/cmd/benchjson                  # writes BENCH_<today>.json
+//	go run repro/cmd/benchjson -bench Ablation  # only the ablation suites
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other reported unit (probes/op, accesses/op, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the file schema.
+type Baseline struct {
+	Date      string   `json:"date"`
+	Go        string   `json:"go"`
+	Goos      string   `json:"goos,omitempty"`
+	Goarch    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Pkg       string   `json:"pkg,omitempty"`
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	Short     bool     `json:"short"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regexp passed to -bench")
+	benchtime := flag.String("benchtime", "1x", "value passed to -benchtime")
+	short := flag.Bool("short", true, "run with -short (skips the heaviest ablation legs)")
+	pkg := flag.String("pkg", "repro", "package pattern holding the benchmarks")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+
+	args := []string{"test", "-run=NONE", "-bench=" + *bench, "-benchtime=" + *benchtime}
+	if *short {
+		args = append(args, "-short")
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	os.Stdout.Write(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	b := Baseline{
+		Date:      date,
+		Bench:     *bench,
+		Benchtime: *benchtime,
+		Short:     *short,
+		Pkg:       *pkg,
+	}
+	if v, err := exec.Command("go", "env", "GOVERSION").Output(); err == nil {
+		b.Go = strings.TrimSpace(string(v))
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			b.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			b.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			b.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				b.Results = append(b.Results, r)
+			}
+		}
+	}
+	if len(b.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(b.Results), path)
+}
+
+// parseLine parses one testing output line:
+//
+//	BenchmarkName-8   1   123 ns/op   456 accesses/op   789 B/op   2 allocs/op
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Iterations: n}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}

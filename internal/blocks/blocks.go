@@ -30,8 +30,16 @@ func Name(i int) Block {
 	return string(letter) + strconv.Itoa(round)
 }
 
+// MaxIndex bounds the dense block universe. The universe is conceptually
+// infinite, but indices double as hot-path integer keys (trie edges,
+// result-store codes), so names beyond the bound are rejected as malformed —
+// small enough that id*3+tag arithmetic can never overflow an int32.
+const MaxIndex = 1<<25 - 1
+
 // Index returns the 0-based position of a block name in the universe order,
-// inverting Name. It reports an error for malformed names.
+// inverting Name. It reports an error for malformed names: only the
+// canonical spelling is accepted ("A1", not "A01" or "A+1" — those would
+// silently alias the same block), and only names up to MaxIndex.
 func Index(b Block) (int, error) {
 	if b == "" {
 		return 0, fmt.Errorf("blocks: empty block name")
@@ -45,10 +53,35 @@ func Index(b Block) (int, error) {
 		return idx, nil
 	}
 	round, err := strconv.Atoi(b[1:])
-	if err != nil || round <= 0 {
+	if err != nil || round <= 0 || strconv.Itoa(round) != b[1:] {
 		return 0, fmt.Errorf("blocks: malformed block name %q", b)
 	}
+	// Bound the round before multiplying: round*26 on a huge round would
+	// overflow int and slip past the MaxIndex check as a negative id.
+	if round > (MaxIndex-idx)/26 {
+		return 0, fmt.Errorf("blocks: block name %q beyond the supported universe of %d blocks", b, MaxIndex+1)
+	}
 	return round*26 + idx, nil
+}
+
+// nameTab caches the first block names so hot paths that address blocks by
+// dense universe index (the trie query engine) never re-format a name.
+var nameTab = func() []Block {
+	t := make([]Block, 256)
+	for i := range t {
+		t[i] = Name(i)
+	}
+	return t
+}()
+
+// Interned returns Name(i) served from a precomputed table for small i —
+// the allocation-free variant used when blocks are handled as dense integer
+// ids and a name is needed only at the prober boundary.
+func Interned(i int) Block {
+	if i >= 0 && i < len(nameTab) {
+		return nameTab[i]
+	}
+	return Name(i)
 }
 
 // Ordered returns the first n block names in universe order.

@@ -31,7 +31,10 @@ func TestNameIndexRoundTrip(t *testing.T) {
 }
 
 func TestIndexRejectsMalformed(t *testing.T) {
-	for _, bad := range []string{"", "a", "1A", "A0", "A-1", "AB", "Ax"} {
+	// "A01" and "A+1" would alias "A1" under a plain Atoi parse, and
+	// "A99999999" has an id past MaxIndex (it would overflow the int32 key
+	// arithmetic of the store/trie hot paths).
+	for _, bad := range []string{"", "a", "1A", "A0", "A-1", "AB", "Ax", "A01", "A+1", "A 1", "A99999999", "A360000000000000000"} {
 		if _, err := Index(bad); err == nil {
 			t.Errorf("Index(%q) succeeded, want error", bad)
 		}

@@ -65,8 +65,10 @@ type Backend struct {
 	tgt Target
 	opt BackendOptions
 
-	pool    []hw.Addr // congruent lines, in block-universe order
-	byBlock map[blocks.Block]hw.Addr
+	pool    []hw.Addr     // congruent lines, in block-universe order
+	byID    []int32       // dense block id -> pool index, -1 unbound (grown on demand)
+	byIDBig map[int]int32 // bindings for rare block ids past denseIDCap
+	bound   int           // number of blocks bound to pool addresses so far
 
 	l1Evict []hw.Addr // filters the pool's shared L1 set (targets >= L2)
 	l2Evict []hw.Addr // filters the pool's shared L2 set (L3 targets)
@@ -100,7 +102,7 @@ func NewBackend(cpu *hw.CPU, tgt Target, opt BackendOptions) (*Backend, error) {
 	cpu.SetPrefetcher(false)
 	cpu.SetLowNoise(true)
 
-	b := &Backend{cpu: cpu, tgt: tgt, opt: opt, byBlock: make(map[blocks.Block]hw.Addr)}
+	b := &Backend{cpu: cpu, tgt: tgt, opt: opt}
 	if err := b.provision(); err != nil {
 		return nil, err
 	}
@@ -250,18 +252,46 @@ func (b *Backend) filter() {
 // AddressOf returns the virtual address backing an abstract block. Blocks
 // are bound to pool addresses in order of first use, so any well-formed
 // block name works until the pool of distinct congruent lines is exhausted.
+// The binding is indexed by the block's dense universe id, not its name, so
+// the per-access hot path does one slice read instead of a string-map probe.
 func (b *Backend) AddressOf(block blocks.Block) (hw.Addr, error) {
-	if va, ok := b.byBlock[block]; ok {
-		return va, nil
-	}
-	if !blocks.IsValid(block) {
+	id, err := blocks.Index(block)
+	if err != nil {
 		return 0, fmt.Errorf("cachequery: invalid block name %q", block)
 	}
-	if len(b.byBlock) >= len(b.pool) {
+	// The id space is open-ended (block "A<round>" has id round*26), so the
+	// dense table is capped and rare ids beyond it bind through a map —
+	// growing the slice to an arbitrary user-supplied id would allocate
+	// unboundedly.
+	const denseIDCap = 1 << 12
+	if id < denseIDCap {
+		if id >= len(b.byID) {
+			grown := make([]int32, id+1)
+			copy(grown, b.byID)
+			for i := len(b.byID); i < len(grown); i++ {
+				grown[i] = -1
+			}
+			b.byID = grown
+		}
+		if p := b.byID[id]; p >= 0 {
+			return b.pool[p], nil
+		}
+	} else if p, ok := b.byIDBig[id]; ok {
+		return b.pool[p], nil
+	}
+	if b.bound >= len(b.pool) {
 		return 0, fmt.Errorf("cachequery: block %s exceeds the provisioned pool of %d congruent lines", block, len(b.pool))
 	}
-	va := b.pool[len(b.byBlock)]
-	b.byBlock[block] = va
+	if id < denseIDCap {
+		b.byID[id] = int32(b.bound)
+	} else {
+		if b.byIDBig == nil {
+			b.byIDBig = make(map[int]int32)
+		}
+		b.byIDBig[id] = int32(b.bound)
+	}
+	va := b.pool[b.bound]
+	b.bound++
 	return va, nil
 }
 

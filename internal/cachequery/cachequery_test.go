@@ -486,3 +486,43 @@ func TestProvisionRealModels(t *testing.T) {
 		}
 	}
 }
+
+// A block name with a huge round number has a huge dense universe id; the
+// binding table must not be grown to the id (an unbounded allocation) — the
+// block binds through the overflow map, or fails with the pool-exhaustion
+// error, exactly like any other block.
+func TestAddressOfLargeBlockID(t *testing.T) {
+	cpu := hw.NewCPU(tinyCPU(), 5)
+	be, err := NewBackend(cpu, Target{Level: hw.L1, Set: 0}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.AddressOf("A"); err != nil {
+		t.Fatal(err)
+	}
+	// "A9999" has id 259974, past the dense binding table's cap.
+	va, err := be.AddressOf("A9999")
+	if err != nil {
+		t.Fatalf("large-id block failed to bind: %v", err)
+	}
+	if va2, err := be.AddressOf("A9999"); err != nil || va2 != va {
+		t.Fatalf("rebinding large-id block: got %v, %v; want %v", va2, err, va)
+	}
+	// A name beyond the universe bound is rejected, not bound (and never
+	// grows the binding table towards its id).
+	if _, err := be.AddressOf("A99999999"); err == nil {
+		t.Fatal("expected error for block name beyond blocks.MaxIndex")
+	}
+	// Exhaust the pool; the next fresh block (large id or not) must error.
+	for i := 1; ; i++ {
+		if _, err := be.AddressOf(blocks.Name(i)); err != nil {
+			break
+		}
+		if i > 1<<20 {
+			t.Fatal("pool never exhausted")
+		}
+	}
+	if _, err := be.AddressOf("B9999"); err == nil {
+		t.Fatal("expected pool-exhaustion error for fresh large-id block")
+	}
+}

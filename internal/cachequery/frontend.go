@@ -7,8 +7,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/blocks"
 	"repro/internal/cache"
 	"repro/internal/hw"
+	"repro/internal/intern"
 	"repro/internal/mbl"
 )
 
@@ -46,37 +48,47 @@ func (s *FrontendStats) Add(o FrontendStats) {
 	s.Duration += o.Duration
 }
 
-// ResultStore is a mutex-guarded query-result cache (the LevelDB role). One
-// store may be shared by several frontends, so a query answered on one CPU
-// replica of a parallel prober is never re-executed on another.
+// ResultStore is a reader/writer-locked query-result cache (the LevelDB
+// role). One store may be shared by several frontends, so a query answered
+// on one CPU replica of a parallel prober is never re-executed on another.
+//
+// Keys are integer sequences — target coordinates followed by interned
+// (block id, tag) codes — folded to a dense id by pair chaining, so the
+// index is an int map with no string keys built or hashed on the hot path.
+// Reads intern nothing: a missing chain link is a miss under the read lock.
 type ResultStore struct {
-	mu sync.RWMutex
-	m  map[string]string // cache key -> encoded outcomes
+	mu   sync.RWMutex
+	keys *intern.Interner
+	vals map[int32]string // key id -> encoded outcomes
 }
 
 // NewResultStore returns an empty shared result cache.
 func NewResultStore() *ResultStore {
-	return &ResultStore{m: make(map[string]string)}
+	return &ResultStore{keys: intern.New(), vals: make(map[int32]string)}
 }
 
-func (rs *ResultStore) get(key string) (string, bool) {
+func (rs *ResultStore) get(key []int32) (string, bool) {
 	rs.mu.RLock()
 	defer rs.mu.RUnlock()
-	v, ok := rs.m[key]
+	id, ok := rs.keys.LookupWord32(key)
+	if !ok {
+		return "", false
+	}
+	v, ok := rs.vals[id]
 	return v, ok
 }
 
-func (rs *ResultStore) put(key, val string) {
+func (rs *ResultStore) put(key []int32, val string) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	rs.m[key] = val
+	rs.vals[rs.keys.Word32(key)] = val
 }
 
 // Len returns the number of cached query results.
 func (rs *ResultStore) Len() int {
 	rs.mu.RLock()
 	defer rs.mu.RUnlock()
-	return len(rs.m)
+	return len(rs.vals)
 }
 
 // Frontend expands MBL expressions, routes them to per-set backends, and
@@ -90,6 +102,7 @@ type Frontend struct {
 	backends map[Target]*Backend
 	results  *ResultStore
 	useCache bool
+	keyBuf   []int32 // scratch for result-store keys (frontends are serial)
 	stats    FrontendStats
 }
 
@@ -133,12 +146,36 @@ func (f *Frontend) Backend(tgt Target) (*Backend, error) {
 	return be, nil
 }
 
-func cacheKey(tgt Target, q mbl.Query, flushFirst bool) string {
-	k := tgt.String() + "|" + q.String()
+// storeKey encodes one query as the integer key sequence the ResultStore
+// indexes by: a flush flag, the target coordinates, and one interned code
+// per operation (dense block id fused with the tag). It fails only on a
+// malformed block name, which the backend would reject anyway — the caller
+// then simply bypasses the cache.
+func (f *Frontend) storeKey(tgt Target, q mbl.Query, flushFirst bool) ([]int32, error) {
+	k := f.keyBuf[:0]
+	flush := int32(0)
 	if flushFirst {
-		k = "F|" + k
+		flush = 1
 	}
-	return k
+	k = append(k, flush, int32(tgt.Level), int32(tgt.Slice), int32(tgt.Set))
+	for _, op := range q {
+		id, err := blocks.Index(op.Block)
+		if err != nil {
+			return nil, err
+		}
+		var tag int32
+		switch op.Tag {
+		case mbl.TagProfile:
+			tag = 1
+		case mbl.TagFlush:
+			tag = 2
+		}
+		// id <= blocks.MaxIndex, so the fused code cannot overflow int32
+		// and distinct (id, tag) pairs never collide.
+		k = append(k, int32(id)*3+tag)
+	}
+	f.keyBuf = k
+	return k, nil
 }
 
 func encodeOutcomes(ocs []cache.Outcome) string {
@@ -176,8 +213,13 @@ func (f *Frontend) RunQueryFresh(tgt Target, q mbl.Query, flushFirst bool) ([]ca
 }
 
 func (f *Frontend) runQuery(tgt Target, q mbl.Query, flushFirst, readCache bool) ([]cache.Outcome, error) {
-	key := cacheKey(tgt, q, flushFirst)
-	if f.useCache && readCache {
+	var key []int32
+	if f.useCache {
+		if k, err := f.storeKey(tgt, q, flushFirst); err == nil {
+			key = k
+		}
+	}
+	if key != nil && readCache {
 		if enc, ok := f.results.get(key); ok {
 			f.stats.CacheHits++
 			return decodeOutcomes(enc), nil
@@ -194,7 +236,7 @@ func (f *Frontend) runQuery(tgt Target, q mbl.Query, flushFirst, readCache bool)
 	if err != nil {
 		return nil, err
 	}
-	if f.useCache {
+	if key != nil {
 		f.results.put(key, encodeOutcomes(ocs))
 	}
 	return ocs, nil

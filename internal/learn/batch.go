@@ -63,8 +63,9 @@ type PoolTeacher struct {
 	inner   Teacher
 	workers int
 
-	mu    sync.Mutex
-	cache map[string][]int
+	mu     sync.Mutex
+	cache  *wordTrie // exact-match store: answers live at terminal nodes
+	stored int
 }
 
 // NewPoolTeacher builds a worker-pool adapter over t. workers <= 0 selects
@@ -73,7 +74,7 @@ func NewPoolTeacher(t Teacher, workers int) *PoolTeacher {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &PoolTeacher{inner: t, workers: workers, cache: make(map[string][]int)}
+	return &PoolTeacher{inner: t, workers: workers, cache: newWordTrie(t.NumInputs())}
 }
 
 // NumInputs implements Teacher.
@@ -96,35 +97,43 @@ func (p *PoolTeacher) BatchHint() int {
 func (p *PoolTeacher) CachedWords() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.cache)
+	return p.stored
 }
 
-// lookup returns the cached answer for key, if any.
-func (p *PoolTeacher) lookup(key string) ([]int, bool) {
+// lookup returns the cached answer for a word, if any. The cache is
+// exact-match by design: CachedWords must keep counting words the wrapped
+// teacher actually answered (prefix sharing happens upstream, in the
+// learner's own trie).
+func (p *PoolTeacher) lookup(w []int) ([]int, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out, ok := p.cache[key]
-	return out, ok
+	return p.cache.get(w)
 }
 
 // store records an answer.
-func (p *PoolTeacher) store(key string, out []int) {
+func (p *PoolTeacher) store(w, out []int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.cache[key] = out
+	if p.cache.putAt(p.cache.ensure(w), out) {
+		p.stored++
+	}
 }
 
 // OutputQuery implements Teacher, consulting the shared cache first.
 func (p *PoolTeacher) OutputQuery(word []int) ([]int, error) {
-	key := wordKey(word)
-	if out, ok := p.lookup(key); ok {
+	if !p.cache.inRange(word) {
+		// An out-of-alphabet word has no trie path; let the wrapped
+		// teacher answer (or reject) it directly, uncached.
+		return p.inner.OutputQuery(word)
+	}
+	if out, ok := p.lookup(word); ok {
 		return out, nil
 	}
 	out, err := p.inner.OutputQuery(word)
 	if err != nil {
 		return nil, err
 	}
-	p.store(key, out)
+	p.store(word, out)
 	return out, nil
 }
 
@@ -133,23 +142,32 @@ func (p *PoolTeacher) OutputQuery(word []int) ([]int, error) {
 // pool, and every fresh answer lands in the shared cache.
 func (p *PoolTeacher) OutputQueryBatch(words [][]int) ([][]int, error) {
 	out := make([][]int, len(words))
-	keys := make([]string, len(words))
+	nodes := make([]int32, len(words))
 
-	// Resolve cache hits and dedupe the misses, keeping first-occurrence
-	// order so the dispatch (and any teacher-side error) is deterministic
-	// for a deterministic inner teacher.
+	// Resolve cache hits and dedupe the misses by trie node, keeping
+	// first-occurrence order so the dispatch (and any teacher-side error)
+	// is deterministic for a deterministic inner teacher.
 	var pending []int // indices into words of the first occurrence of each miss
-	firstAt := make(map[string]int)
+	firstAt := make(map[int32]int)
+	p.mu.Lock()
 	for i, w := range words {
-		keys[i] = wordKey(w)
-		if _, seen := firstAt[keys[i]]; seen {
+		if !p.cache.inRange(w) {
+			// No trie path for an out-of-alphabet word: dispatch it to the
+			// wrapped teacher uncached (it answers or rejects it itself).
+			nodes[i] = -1
+			pending = append(pending, i)
 			continue
 		}
-		firstAt[keys[i]] = i
-		if _, ok := p.lookup(keys[i]); !ok {
+		nodes[i] = p.cache.ensure(w)
+		if _, seen := firstAt[nodes[i]]; seen {
+			continue
+		}
+		firstAt[nodes[i]] = i
+		if p.cache.fullAt(nodes[i]) == nil {
 			pending = append(pending, i)
 		}
 	}
+	p.mu.Unlock()
 
 	if len(pending) > 0 {
 		errs := make([]error, len(pending))
@@ -192,20 +210,35 @@ func (p *PoolTeacher) OutputQueryBatch(words [][]int) ([][]int, error) {
 			close(next)
 			wg.Wait()
 		}
+		p.mu.Lock()
 		for j, i := range pending {
 			if errs[j] != nil {
+				p.mu.Unlock()
 				return nil, errs[j]
 			}
 			if len(fresh[j]) != len(words[i]) {
+				p.mu.Unlock()
 				return nil, fmt.Errorf("learn: teacher returned %d outputs for %d inputs", len(fresh[j]), len(words[i]))
 			}
-			p.store(keys[i], fresh[j])
+			if nodes[i] < 0 {
+				out[i] = fresh[j]
+				continue
+			}
+			if p.cache.putAt(nodes[i], fresh[j]) {
+				p.stored++
+			}
 		}
+		p.mu.Unlock()
 	}
 
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for i := range words {
-		ans, ok := p.lookup(keys[i])
-		if !ok {
+		if nodes[i] < 0 {
+			continue // out-of-alphabet word, answered above
+		}
+		ans := p.cache.fullAt(nodes[i])
+		if ans == nil {
 			return nil, fmt.Errorf("learn: batch answer for %v missing", words[i])
 		}
 		out[i] = ans

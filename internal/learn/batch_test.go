@@ -245,3 +245,29 @@ func TestConcurrentOracleBatchQueries(t *testing.T) {
 		}
 	}
 }
+
+// An out-of-alphabet word has no trie path; PoolTeacher must hand it to the
+// wrapped teacher (which rejects it) instead of panicking on a trie edge.
+func TestPoolTeacherOutOfAlphabetWord(t *testing.T) {
+	oracle := polca.NewOracle(polca.NewSimProber(policy.MustNew("LRU", 4)))
+	pt := NewPoolTeacher(oracle, 2)
+	// Populate the root's child slice first so the panic path would be live.
+	valid := []int{0, 1, 4}
+	want, err := oracle.OutputQuery(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := pt.OutputQuery(valid); err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("valid word: got %v, %v; want %v", got, err, want)
+	}
+	if _, err := pt.OutputQuery([]int{99}); err == nil {
+		t.Fatal("expected error for out-of-alphabet word")
+	}
+	if _, err := pt.OutputQueryBatch([][]int{valid, {99}}); err == nil {
+		t.Fatal("expected batch error for out-of-alphabet word")
+	}
+	// The valid word must still be answerable after the failed batch.
+	if got, err := pt.OutputQuery(valid); err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("valid word after failed batch: got %v, %v; want %v", got, err, want)
+	}
+}

@@ -3,6 +3,7 @@ package learn
 import (
 	"math/rand"
 
+	"repro/internal/intern"
 	"repro/internal/mealy"
 )
 
@@ -74,20 +75,17 @@ func (l *learner) wMethodCE(hyp *mealy.Machine) ([]int, error) {
 
 	middles := enumerateWords(l.numIn, l.opt.Depth)
 
+	// The suite streams through the learner's mark trie for prefix-shared
+	// dedup instead of materializing a map of word keys.
 	var suite [][]int
-	seen := make(map[string]bool)
+	l.seen.resetMarks()
 	for _, u := range cover {
 		for _, m := range middles {
 			for _, suf := range w {
 				test := concatWords(u, m, suf)
-				if len(test) == 0 {
+				if len(test) == 0 || !l.seen.insertMark(test) {
 					continue
 				}
-				key := wordKey(test)
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
 				suite = append(suite, test)
 			}
 		}
@@ -107,16 +105,11 @@ func (l *learner) wpMethodCE(hyp *mealy.Machine) ([]int, error) {
 	middles := enumerateWords(l.numIn, l.opt.Depth)
 
 	var suite [][]int
-	seen := make(map[string]bool)
+	l.seen.resetMarks()
 	add := func(test []int) {
-		if len(test) == 0 {
+		if len(test) == 0 || !l.seen.insertMark(test) {
 			return
 		}
-		key := wordKey(test)
-		if seen[key] {
-			return
-		}
-		seen[key] = true
 		suite = append(suite, test)
 	}
 
@@ -148,7 +141,8 @@ func (l *learner) wpMethodCE(hyp *mealy.Machine) ([]int, error) {
 // identificationSets computes, per state, a minimal-ish subset of W whose
 // output signature is unique to that state (greedy cover).
 func identificationSets(hyp *mealy.Machine, w [][]int) [][][]int {
-	sig := func(s int, word []int) string { return wordKey(hyp.RunFrom(s, word)) }
+	ids := intern.New()
+	sig := func(s int, word []int) int32 { return ids.Word(hyp.RunFrom(s, word)) }
 	out := make([][][]int, hyp.NumStates)
 	for s := 0; s < hyp.NumStates; s++ {
 		alive := make(map[int]bool, hyp.NumStates-1)

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/intern"
 	"repro/internal/mealy"
 )
 
@@ -76,6 +77,14 @@ type Options struct {
 	// conformance words are always asked lazily so the speculative
 	// prefetch cannot exhaust a budget the serial trajectory would not.
 	BatchSize int
+	// FlatMemo replaces the prefix-tree output-query memo with the
+	// exact-match flat map the learner used before the trie engine: a word
+	// is answered from the memo only when it was asked verbatim, so a word
+	// that is a proper prefix of an answered one still costs a teacher
+	// query. Answers — and hence the learned machine — are identical either
+	// way; only the query trajectory changes. The ablation benchmarks use
+	// it to quantify the prefix sharing.
+	FlatMemo bool
 }
 
 // MaxBatchSize caps the derived conformance-suite prefetch chunk.
@@ -104,15 +113,22 @@ func Learn(t Teacher, opt Options) (*Result, error) {
 	if opt.Depth < 0 {
 		return nil, fmt.Errorf("learn: negative depth %d", opt.Depth)
 	}
+	if t.NumInputs() < 1 {
+		return nil, fmt.Errorf("learn: teacher has an empty input alphabet")
+	}
 	l := &learner{
 		teacher: t,
 		opt:     opt,
 		numIn:   t.NumInputs(),
-		queries: make(map[string][]int),
 		batch:   resolveBatch(t, opt),
+		seen:    newWordTrie(t.NumInputs()),
+		sufs:    newWordTrie(t.NumInputs()),
+		ids:     intern.New(),
 	}
-	if l.numIn < 1 {
-		return nil, fmt.Errorf("learn: teacher has an empty input alphabet")
+	if opt.FlatMemo {
+		l.flat = make(map[string][]int)
+	} else {
+		l.memo = newWordTrie(l.numIn)
 	}
 	start := time.Now()
 	m, err := l.run()
@@ -135,11 +151,15 @@ type learner struct {
 
 	prefixes [][]int // P, prefix-closed, pairwise distinct rows
 	suffixes [][]int // S, suffix set (non-empty words)
-	sufSeen  map[string]bool
+	sufs     *wordTrie
 	fetchedS int // suffixes whose table columns have been batch-prefetched
 
-	queries map[string][]int // output-query memo
-	stats   Stats
+	memo *wordTrie        // prefix-tree output-query memo (default)
+	flat map[string][]int // exact-match memo (Options.FlatMemo)
+	seen *wordTrie        // scratch dedup set (suite construction, prefetch)
+
+	ids   *intern.Interner // row/cell signature interning
+	stats Stats
 }
 
 // resolveBatch computes the effective prefetch chunk for a teacher: explicit
@@ -180,10 +200,29 @@ func wordKey(w []int) string {
 	return sb.String()
 }
 
+// memoized returns the memo's answer for w, if any. The trie memo also
+// answers words that are proper prefixes of an already-answered word —
+// outputs are prefix-closed, so no teacher query is needed.
+func (l *learner) memoized(w []int) ([]int, bool) {
+	if l.memo != nil {
+		return l.memo.outputs(w, nil)
+	}
+	out, ok := l.flat[wordKey(w)]
+	return out, ok
+}
+
+// remember stores a fresh answer, taking ownership of out.
+func (l *learner) remember(w, out []int) {
+	if l.memo != nil {
+		l.memo.record(w, out)
+		return
+	}
+	l.flat[wordKey(w)] = out
+}
+
 // query returns the teacher's output word for w, memoized.
 func (l *learner) query(w []int) ([]int, error) {
-	key := wordKey(w)
-	if out, ok := l.queries[key]; ok {
+	if out, ok := l.memoized(w); ok {
 		return out, nil
 	}
 	if l.opt.MaxQueries > 0 && l.stats.OutputQueries >= l.opt.MaxQueries {
@@ -198,7 +237,7 @@ func (l *learner) query(w []int) ([]int, error) {
 	}
 	l.stats.OutputQueries++
 	l.stats.QuerySymbols += len(w)
-	l.queries[key] = out
+	l.remember(w, out)
 	return out, nil
 }
 
@@ -213,16 +252,17 @@ func (l *learner) prefetch(words [][]int) error {
 		return nil // the serial path asks lazily, paying no speculative queries
 	}
 	var pending [][]int
-	seen := make(map[string]bool)
+	l.seen.resetMarks()
 	for _, w := range words {
-		key := wordKey(w)
-		if len(w) == 0 || seen[key] {
+		if len(w) == 0 {
 			continue
 		}
-		if _, ok := l.queries[key]; ok {
+		if _, ok := l.memoized(w); ok {
 			continue
 		}
-		seen[key] = true
+		if !l.seen.insertMark(w) {
+			continue
+		}
 		pending = append(pending, w)
 	}
 	if len(pending) == 0 {
@@ -250,13 +290,19 @@ func (l *learner) prefetch(words [][]int) error {
 		}
 		l.stats.OutputQueries++
 		l.stats.QuerySymbols += len(w)
-		l.queries[wordKey(w)] = outs[i]
+		l.remember(w, outs[i])
 	}
 	return nil
 }
 
-// cell returns the output word of suffix s observed after prefix u.
+// cell returns the output word of suffix s observed after prefix u. On a
+// memo hit the trie answers u·s without concatenating the word.
 func (l *learner) cell(u, s []int) ([]int, error) {
+	if l.memo != nil {
+		if out, ok := l.memo.outputs(u, s); ok {
+			return out[len(u):], nil
+		}
+	}
 	full := make([]int, 0, len(u)+len(s))
 	full = append(full, u...)
 	full = append(full, s...)
@@ -267,32 +313,30 @@ func (l *learner) cell(u, s []int) ([]int, error) {
 	return out[len(u):], nil
 }
 
-// rowKey computes the row signature of prefix u over the current suffixes.
-func (l *learner) rowKey(u []int) (string, error) {
-	var sb strings.Builder
+// rowID computes the interned row signature of prefix u over the current
+// suffixes: every cell's output word folds to a dense id, and the row is
+// the fold of its cell ids — no string keys are built.
+func (l *learner) rowID(u []int) (int32, error) {
+	acc := intern.Empty
 	for _, s := range l.suffixes {
 		c, err := l.cell(u, s)
 		if err != nil {
-			return "", err
+			return 0, err
 		}
-		sb.WriteString(wordKey(c))
-		sb.WriteByte(';')
+		acc = l.ids.Pair(acc, l.ids.Word(c))
 	}
-	return sb.String(), nil
+	return acc, nil
 }
 
 func (l *learner) addSuffix(s []int) {
-	key := wordKey(s)
-	if len(s) == 0 || l.sufSeen[key] {
+	if len(s) == 0 || !l.sufs.insertMark(s) {
 		return
 	}
-	l.sufSeen[key] = true
 	l.suffixes = append(l.suffixes, append([]int(nil), s...))
 }
 
 func (l *learner) run() (*mealy.Machine, error) {
 	l.prefixes = [][]int{{}}
-	l.sufSeen = make(map[string]bool)
 	for a := 0; a < l.numIn; a++ {
 		l.addSuffix([]int{a})
 	}
@@ -359,9 +403,9 @@ func (l *learner) closeAndBuild() (*mealy.Machine, error) {
 			return nil, err
 		}
 		fetch = nil
-		rows := make(map[string]int, len(l.prefixes))
+		rows := make(map[int32]int, len(l.prefixes))
 		for i, u := range l.prefixes {
-			k, err := l.rowKey(u)
+			k, err := l.rowID(u)
 			if err != nil {
 				return nil, err
 			}
@@ -379,7 +423,7 @@ func (l *learner) closeAndBuild() (*mealy.Machine, error) {
 		for i := 0; closed && i < len(l.prefixes); i++ {
 			for a := 0; a < l.numIn; a++ {
 				ext := append(append([]int(nil), l.prefixes[i]...), a)
-				k, err := l.rowKey(ext)
+				k, err := l.rowID(ext)
 				if err != nil {
 					return nil, err
 				}
@@ -406,7 +450,7 @@ func (l *learner) closeAndBuild() (*mealy.Machine, error) {
 		for i, u := range l.prefixes {
 			for a := 0; a < l.numIn; a++ {
 				ext := append(append([]int(nil), u...), a)
-				k, err := l.rowKey(ext)
+				k, err := l.rowID(ext)
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,174 @@
+package learn
+
+// wordTrie is the interned-word prefix tree backing the learner's
+// output-query memo and its word-set dedup. Edges are input symbols
+// (0..numIn-1); every node is one word. The trie plays three roles:
+//
+//   - Output memo: each node records the output of the last symbol of its
+//     word, so the answer to any query whose word is a prefix of an
+//     already-answered word is read off the path — the flat map memo it
+//     replaces only hit on identical words, and every lookup allocated a
+//     string key.
+//   - Exact-match store: PoolTeacher keeps full answer slices at terminal
+//     nodes only (get/put), preserving its answered-word accounting.
+//   - Word set: epoch-stamped marks turn the trie into a reusable dedup set
+//     for suffix bookkeeping, conformance-suite streaming, and batch
+//     prefetch, with no per-word key materialization.
+//
+// The trie is not safe for concurrent use; PoolTeacher guards its own.
+type wordTrie struct {
+	numIn int
+	nodes []trieNode
+	epoch uint32
+}
+
+type trieNode struct {
+	child []int32 // per input symbol; nil until the first child is added
+	full  []int   // memoized output word of the word ending here (lazily set)
+	out   int     // output of the last symbol of the word ending here
+	known bool    // out has been recorded
+	mark  uint32  // set-membership epoch stamp (0 = never marked)
+}
+
+func newWordTrie(numIn int) *wordTrie {
+	return &wordTrie{numIn: numIn, nodes: []trieNode{{}}, epoch: 1}
+}
+
+// inRange reports whether every symbol of w is a valid trie edge.
+func (t *wordTrie) inRange(w []int) bool {
+	for _, a := range w {
+		if a < 0 || a >= t.numIn {
+			return false
+		}
+	}
+	return true
+}
+
+// childOf returns the child of n along symbol a, or -1.
+func (t *wordTrie) childOf(n int32, a int) int32 {
+	c := t.nodes[n].child
+	if c == nil {
+		return -1
+	}
+	return c[a]
+}
+
+// extend returns the child of n along a, creating it if absent.
+func (t *wordTrie) extend(n int32, a int) int32 {
+	if t.nodes[n].child == nil {
+		ch := make([]int32, t.numIn)
+		for i := range ch {
+			ch[i] = -1
+		}
+		t.nodes[n].child = ch
+	}
+	if c := t.nodes[n].child[a]; c != -1 {
+		return c
+	}
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, trieNode{})
+	t.nodes[n].child[a] = id
+	return id
+}
+
+// node returns the node of word w, or -1 if the path does not exist.
+func (t *wordTrie) node(w []int) int32 {
+	n := int32(0)
+	for _, a := range w {
+		if n = t.childOf(n, a); n < 0 {
+			return -1
+		}
+	}
+	return n
+}
+
+// ensure returns the node of word w, creating the path as needed.
+func (t *wordTrie) ensure(w []int) int32 {
+	n := int32(0)
+	for _, a := range w {
+		n = t.extend(n, a)
+	}
+	return n
+}
+
+// outputs returns the memoized output word of u·s if every symbol's output
+// is recorded — including when u·s is a proper prefix of a longer answered
+// word. The full slice is materialized at most once per node and reused, so
+// repeated hits allocate nothing.
+func (t *wordTrie) outputs(u, s []int) ([]int, bool) {
+	n := int32(0)
+	for _, a := range u {
+		if n = t.childOf(n, a); n < 0 || !t.nodes[n].known {
+			return nil, false
+		}
+	}
+	for _, a := range s {
+		if n = t.childOf(n, a); n < 0 || !t.nodes[n].known {
+			return nil, false
+		}
+	}
+	if f := t.nodes[n].full; f != nil {
+		return f, true
+	}
+	out := make([]int, len(u)+len(s))
+	m := int32(0)
+	for i := 0; i < len(out); i++ {
+		a := 0
+		if i < len(u) {
+			a = u[i]
+		} else {
+			a = s[i-len(u)]
+		}
+		m = t.nodes[m].child[a]
+		out[i] = t.nodes[m].out
+	}
+	t.nodes[n].full = out
+	return out, true
+}
+
+// record stores the per-symbol outputs of w and the full answer slice at
+// its terminal node. The caller hands over ownership of out.
+func (t *wordTrie) record(w, out []int) {
+	n := int32(0)
+	for i, a := range w {
+		n = t.extend(n, a)
+		t.nodes[n].out = out[i]
+		t.nodes[n].known = true
+	}
+	t.nodes[n].full = out
+}
+
+// get returns the exact-match answer stored at w's terminal node, if any.
+// Unlike outputs it never answers from a prefix of a longer word.
+func (t *wordTrie) get(w []int) ([]int, bool) {
+	n := t.node(w)
+	if n < 0 || t.nodes[n].full == nil {
+		return nil, false
+	}
+	return t.nodes[n].full, true
+}
+
+// fullAt reads the exact-match answer at a node returned by ensure.
+func (t *wordTrie) fullAt(n int32) []int { return t.nodes[n].full }
+
+// putAt stores an exact-match answer at a node returned by ensure and
+// reports whether the node was previously empty.
+func (t *wordTrie) putAt(n int32, out []int) bool {
+	fresh := t.nodes[n].full == nil
+	t.nodes[n].full = out
+	return fresh
+}
+
+// resetMarks starts a new epoch, emptying the mark set in O(1).
+func (t *wordTrie) resetMarks() { t.epoch++ }
+
+// insertMark adds w to the current epoch's set, reporting true if it was
+// not yet a member.
+func (t *wordTrie) insertMark(w []int) bool {
+	n := t.ensure(w)
+	if t.nodes[n].mark == t.epoch {
+		return false
+	}
+	t.nodes[n].mark = t.epoch
+	return true
+}

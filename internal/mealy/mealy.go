@@ -11,9 +11,9 @@ package mealy
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
+	"repro/internal/intern"
 	"repro/internal/policy"
 )
 
@@ -226,39 +226,40 @@ func (m *Machine) reachable() *Machine {
 }
 
 // Minimize returns the minimal machine trace-equivalent to m, computed by
-// partition refinement over the reachable states.
+// partition refinement over the reachable states. Signatures are interned
+// integer-pair chains — the per-round key is the fold of a state's class
+// with its successors' classes — so no round formats a single string.
 func (m *Machine) Minimize() *Machine {
 	r := m.reachable()
 
 	// Initial partition: states with identical output rows.
 	class := make([]int, r.NumStates)
-	sig := make(map[string]int)
+	it := intern.New()
+	dense := make(map[int32]int)
 	for s := 0; s < r.NumStates; s++ {
-		key := fmt.Sprint(r.Out[s])
-		id, ok := sig[key]
+		sig := it.Word(r.Out[s])
+		id, ok := dense[sig]
 		if !ok {
-			id = len(sig)
-			sig[key] = id
+			id = len(dense)
+			dense[sig] = id
 		}
 		class[s] = id
 	}
-	numClasses := len(sig)
+	numClasses := len(dense)
 
 	for {
-		refined := make(map[string]int)
+		it := intern.New()
+		refined := make(map[int32]int)
 		next := make([]int, r.NumStates)
-		var sb strings.Builder
 		for s := 0; s < r.NumStates; s++ {
-			sb.Reset()
-			fmt.Fprintf(&sb, "%d", class[s])
+			sig := it.Append(intern.Empty, class[s])
 			for a := 0; a < r.NumInputs; a++ {
-				fmt.Fprintf(&sb, ",%d", class[r.Next[s][a]])
+				sig = it.Append(sig, class[r.Next[s][a]])
 			}
-			key := sb.String()
-			id, ok := refined[key]
+			id, ok := refined[sig]
 			if !ok {
 				id = len(refined)
-				refined[key] = id
+				refined[sig] = id
 			}
 			next[s] = id
 		}
@@ -374,31 +375,28 @@ func (m *Machine) CharacterizingSet() [][]int {
 		return [][]int{{0}}
 	}
 	var w [][]int
-	signature := func(s int) string {
-		var sb strings.Builder
-		for _, word := range w {
-			fmt.Fprintf(&sb, "%v;", mm.RunFrom(s, word))
-		}
-		return sb.String()
-	}
 	for {
-		classes := make(map[string][]int)
+		// Integer-pair signatures over the current W — the output vector of
+		// each state folds to one interned id, no string building.
+		it := intern.New()
+		sigOf := make([]int32, mm.NumStates)
+		classes := make(map[int32][]int)
 		for s := 0; s < mm.NumStates; s++ {
-			k := signature(s)
-			classes[k] = append(classes[k], s)
+			sig := intern.Empty
+			for _, word := range w {
+				sig = it.Pair(sig, it.Word(mm.RunFrom(s, word)))
+			}
+			sigOf[s] = sig
+			classes[sig] = append(classes[sig], s)
 		}
 		if len(classes) == mm.NumStates {
 			return w
 		}
-		// Split the first non-singleton class found (deterministic order).
-		keys := make([]string, 0, len(classes))
-		for k := range classes {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
+		// Split the non-singleton class holding the smallest state index
+		// (deterministic order).
 		split := false
-		for _, k := range keys {
-			states := classes[k]
+		for s := 0; s < mm.NumStates && !split; s++ {
+			states := classes[sigOf[s]]
 			if len(states) < 2 {
 				continue
 			}
@@ -408,7 +406,6 @@ func (m *Machine) CharacterizingSet() [][]int {
 			}
 			w = append(w, d)
 			split = true
-			break
 		}
 		if !split {
 			return w

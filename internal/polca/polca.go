@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/blocks"
 	"repro/internal/cache"
@@ -108,31 +109,47 @@ type Stats struct {
 	OutputQueries int // policy-level output queries answered
 	Symbols       int // policy input symbols processed
 	Probes        int // reset-rooted cache probes issued (after memoization)
-	MemoHits      int // probes answered from the memo table
+	MemoHits      int // memo answers: whole probes on the flat path, word symbols on the trie paths
 	Accesses      int // total block accesses issued to the cache
 }
 
 // Oracle answers membership and output queries for the replacement policy of
 // the cache behind a Prober. It is the paper's Polca plus the probe
-// memoization that the real tool delegates to LevelDB (§4.2).
+// memoization that the real tool delegates to LevelDB (§4.2) — upgraded to a
+// prefix-tree query engine: outputs are memoized per policy symbol in a trie,
+// so any query is answered from its longest recorded prefix, and forking
+// (simulator) probers park live sessions at trie nodes so a query that
+// extends a known prefix executes only its suffix instead of replaying the
+// whole word from reset. WithoutTrie restores the flat exact-match memo for
+// the ablation benchmarks.
 //
 // The oracle is safe for concurrent use and implements learn.BatchTeacher:
 // independent query words of a batch are answered on parallel goroutines
 // whenever the prober supports it (ForkingProber sessions, or a
-// ConcurrentProber such as a replicated hardware interface). The memo table
-// and cost counters are mutex-guarded and shared across all goroutines and
-// learning rounds.
+// ConcurrentProber such as a replicated hardware interface). The tries are
+// mutex-guarded and shared across all goroutines and learning rounds; the
+// cost counters are atomics, touched lock-free on the hot path.
 type Oracle struct {
 	prober  Prober
 	cc0     []blocks.Block
-	recheck int // re-run every recheck-th query to detect nondeterminism
-	workers int // parallel batch width (defaults to GOMAXPROCS)
+	cc0IDs  []int32 // dense universe indices of cc0
+	recheck int     // re-run every recheck-th query to detect nondeterminism
+	workers int     // parallel batch width (defaults to GOMAXPROCS)
 	useMemo bool
+	useTrie bool
+	sessCap int
+
+	outputQueries atomic.Int64
+	symbols       atomic.Int64
+	probesN       atomic.Int64
+	memoHits      atomic.Int64
+	accessesN     atomic.Int64
 
 	mu       sync.Mutex
-	memo     map[string]cache.Outcome
+	memo     map[string]cache.Outcome // flat memo (WithoutTrie)
 	inflight map[string]*inflightProbe
-	stats    Stats
+	out      *outTrie   // policy-level output memo + parked sessions
+	pt       *probeTrie // block-level probe memo + single-flight
 }
 
 // inflightProbe is a single-flight slot: the first goroutine to miss the
@@ -147,9 +164,34 @@ type inflightProbe struct {
 // Option configures an Oracle.
 type Option func(*Oracle)
 
-// WithoutMemo disables probe memoization (for the ablation benchmarks).
+// WithoutMemo disables all memoization — the flat probe memo and the prefix
+// trees alike (for the ablation benchmarks).
 func WithoutMemo() Option {
 	return func(o *Oracle) { o.useMemo = false; o.memo = nil }
+}
+
+// WithoutTrie disables the prefix-tree engine, restoring the flat
+// exact-match probe memo and the unmemoized session path: trajectories
+// (probe, access, and memo-hit counts) are exactly those of the pre-trie
+// oracle, which is what the ablation benchmarks compare against. Learned
+// machines are identical either way.
+func WithoutTrie() Option {
+	return func(o *Oracle) { o.useTrie = false }
+}
+
+// DefaultSessionCap bounds how many forked sessions the trie keeps parked
+// at interior nodes before evicting the least recently used one.
+const DefaultSessionCap = 1024
+
+// WithSessionCap overrides the parked-session bound; n <= 0 restores
+// DefaultSessionCap.
+func WithSessionCap(n int) Option {
+	return func(o *Oracle) {
+		if n <= 0 {
+			n = DefaultSessionCap
+		}
+		o.sessCap = n
+	}
 }
 
 // WithDeterminismChecks re-executes every n-th output query and compares the
@@ -175,6 +217,8 @@ func NewOracle(p Prober, opts ...Option) *Oracle {
 		memo:     make(map[string]cache.Outcome),
 		inflight: make(map[string]*inflightProbe),
 		useMemo:  true,
+		useTrie:  true,
+		sessCap:  DefaultSessionCap,
 	}
 	for _, opt := range opts {
 		opt(o)
@@ -182,22 +226,39 @@ func NewOracle(p Prober, opts ...Option) *Oracle {
 	if len(o.cc0) != p.Assoc() {
 		panic(fmt.Sprintf("polca: initial content has %d lines, associativity is %d", len(o.cc0), p.Assoc()))
 	}
-	for _, b := range o.cc0 {
-		if b == "" {
-			panic("polca: initial content has invalid lines; the reset must fill the set")
+	o.cc0IDs = make([]int32, len(o.cc0))
+	for i, b := range o.cc0 {
+		id, err := blocks.Index(b)
+		if err != nil {
+			panic(fmt.Sprintf("polca: initial content has invalid line %d: %v; the reset must fill the set", i, err))
 		}
+		o.cc0IDs[i] = int32(id)
+	}
+	if o.trieOn() {
+		o.out = newOutTrie(policy.NumInputs(p.Assoc()), o.sessCap)
+		o.pt = newProbeTrie()
 	}
 	return o
 }
 
+// trieOn reports whether the prefix-tree engine serves this oracle's
+// queries.
+func (o *Oracle) trieOn() bool { return o.useMemo && o.useTrie }
+
 // NumInputs implements learn.Teacher: the policy alphabet Ln(0..n-1), Evct.
 func (o *Oracle) NumInputs() int { return policy.NumInputs(o.prober.Assoc()) }
 
-// Stats returns a copy of the accumulated cost counters.
+// Stats returns a snapshot of the accumulated cost counters. The counters
+// themselves are atomics — the probe hot loop never takes a lock for them —
+// so the snapshot is read lock-free too.
 func (o *Oracle) Stats() Stats {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.stats
+	return Stats{
+		OutputQueries: int(o.outputQueries.Load()),
+		Symbols:       int(o.symbols.Load()),
+		Probes:        int(o.probesN.Load()),
+		MemoHits:      int(o.memoHits.Load()),
+		Accesses:      int(o.accessesN.Load()),
+	}
 }
 
 // BatchHint implements learn.BatchHinter (duck-typed to avoid an import
@@ -224,31 +285,35 @@ func (o *Oracle) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// probe issues one reset-rooted probe, via the memo table when enabled.
+// probe issues one reset-rooted probe, via the probe memo when enabled.
 // fresh=true is the determinism audit: it bypasses the memo entirely AND
 // forces a real execution on cached probing stacks (FreshProber) — a cached
 // replay of the first answer would make the audit vacuous.
 //
+// ids, when non-nil, carries q as dense block indices and routes the memo
+// through the probe trie: the key is a trie path, not an allocated string.
+//
 // Memoized probes are single-flighted: when parallel batch goroutines miss
 // the memo on the same key (words sharing an input prefix probe identical
 // block sequences), only one executes; the rest wait for its result.
-func (o *Oracle) probe(q []blocks.Block, fresh bool) (cache.Outcome, error) {
+func (o *Oracle) probe(q []blocks.Block, ids []int32, fresh bool) (cache.Outcome, error) {
 	if fresh || !o.useMemo {
 		oc, err := o.executeProbe(q, fresh)
 		if err != nil {
 			return Missed(), err
 		}
-		o.mu.Lock()
-		o.stats.Probes++
-		o.stats.Accesses += len(q)
-		o.mu.Unlock()
+		o.probesN.Add(1)
+		o.accessesN.Add(int64(len(q)))
 		return oc, nil
+	}
+	if o.trieOn() && ids != nil {
+		return o.probeTriePath(q, ids)
 	}
 
 	key := strings.Join(q, " ")
 	o.mu.Lock()
 	if oc, ok := o.memo[key]; ok {
-		o.stats.MemoHits++
+		o.memoHits.Add(1)
 		o.mu.Unlock()
 		return oc, nil
 	}
@@ -258,9 +323,7 @@ func (o *Oracle) probe(q []blocks.Block, fresh bool) (cache.Outcome, error) {
 		if fl.err != nil {
 			return Missed(), fl.err
 		}
-		o.mu.Lock()
-		o.stats.MemoHits++
-		o.mu.Unlock()
+		o.memoHits.Add(1)
 		return fl.oc, nil
 	}
 	fl := &inflightProbe{done: make(chan struct{})}
@@ -271,9 +334,49 @@ func (o *Oracle) probe(q []blocks.Block, fresh bool) (cache.Outcome, error) {
 	o.mu.Lock()
 	delete(o.inflight, key)
 	if fl.err == nil {
-		o.stats.Probes++
-		o.stats.Accesses += len(q)
+		o.probesN.Add(1)
+		o.accessesN.Add(int64(len(q)))
 		o.memo[key] = fl.oc
+	}
+	o.mu.Unlock()
+	close(fl.done)
+	if fl.err != nil {
+		return Missed(), fl.err
+	}
+	return fl.oc, nil
+}
+
+// probeTriePath is probe's memoized path over the block-id trie.
+func (o *Oracle) probeTriePath(q []blocks.Block, ids []int32) (cache.Outcome, error) {
+	o.mu.Lock()
+	n := o.pt.path(ids)
+	if o.pt.nodes[n].known {
+		oc := o.pt.nodes[n].oc
+		o.memoHits.Add(1)
+		o.mu.Unlock()
+		return oc, nil
+	}
+	if fl := o.pt.nodes[n].fl; fl != nil {
+		o.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return Missed(), fl.err
+		}
+		o.memoHits.Add(1)
+		return fl.oc, nil
+	}
+	fl := &inflightProbe{done: make(chan struct{})}
+	o.pt.nodes[n].fl = fl
+	o.mu.Unlock()
+
+	fl.oc, fl.err = o.executeProbe(q, false)
+	o.mu.Lock()
+	o.pt.nodes[n].fl = nil
+	if fl.err == nil {
+		o.probesN.Add(1)
+		o.accessesN.Add(int64(len(q)))
+		o.pt.nodes[n].oc = fl.oc
+		o.pt.nodes[n].known = true
 	}
 	o.mu.Unlock()
 	close(fl.done)
@@ -303,11 +406,8 @@ func Missed() cache.Outcome { return cache.Miss }
 // every Evct input. This is the oracle the learner consumes; Membership
 // (Algorithm 1 verbatim) is a comparison on top of it.
 func (o *Oracle) OutputQuery(word []int) ([]int, error) {
-	o.mu.Lock()
-	o.stats.OutputQueries++
-	o.stats.Symbols += len(word)
-	seq := o.stats.OutputQueries
-	o.mu.Unlock()
+	seq := int(o.outputQueries.Add(1))
+	o.symbols.Add(int64(len(word)))
 	out, err := o.outputQueryOnce(word, false)
 	if err != nil {
 		return nil, err
@@ -378,7 +478,13 @@ func (o *Oracle) OutputQueryBatch(words [][]int) ([][]int, error) {
 
 func (o *Oracle) outputQueryOnce(word []int, fresh bool) ([]int, error) {
 	if fp, ok := o.prober.(ForkingProber); ok {
+		if !fresh && o.trieOn() {
+			return o.sessionQueryTrie(fp, word)
+		}
 		return o.outputQuerySessions(fp, word)
+	}
+	if !fresh && o.trieOn() {
+		return o.probesQueryTrie(word)
 	}
 	return o.outputQueryProbes(word, fresh)
 }
@@ -397,7 +503,7 @@ func (o *Oracle) outputQueryProbes(word []int, fresh bool) ([]int, error) {
 			return nil, err
 		}
 		ic = append(ic, b)
-		oc, err := o.probe(ic, fresh)
+		oc, err := o.probe(ic, nil, fresh)
 		if err != nil {
 			return nil, err
 		}
@@ -431,7 +537,7 @@ func (o *Oracle) mapOutputProbes(ip int, oc cache.Outcome, ic []blocks.Block, cc
 	evicted := -1
 	for i := 0; i < n; i++ {
 		probe := append(append([]blocks.Block(nil), ic...), cc[i])
-		poc, err := o.probe(probe, fresh)
+		poc, err := o.probe(probe, nil, fresh)
 		if err != nil {
 			return 0, err
 		}
@@ -459,15 +565,12 @@ func (o *Oracle) outputQuerySessions(fp ForkingProber, word []int) ([]int, error
 	if err != nil {
 		return nil, err
 	}
-	// Counters are accumulated locally and flushed once per query: batched
-	// queries run this loop on parallel goroutines, and a shared-counter
-	// lock per access would serialize the hot path.
+	// Counters are accumulated locally and flushed once per query so the
+	// hot loop touches no shared cache line per access.
 	accesses := 0
 	defer func() {
-		o.mu.Lock()
-		o.stats.Probes++
-		o.stats.Accesses += accesses
-		o.mu.Unlock()
+		o.probesN.Add(1)
+		o.accessesN.Add(int64(accesses))
 	}()
 	for i, ip := range word {
 		b, err := mapInput(ip, cc, n)
@@ -514,6 +617,301 @@ func (o *Oracle) outputQuerySessions(fp ForkingProber, word []int) ([]int, error
 		out[i] = evicted
 	}
 	return out, nil
+}
+
+// walkKnownPrefix walks word through the output trie under the oracle lock,
+// filling out[] and evolving cc for every symbol whose output is recorded.
+// It returns the number of known symbols k, the trie node reached, the block
+// fed at each known position, and the deepest parked session on the path
+// (with its depth). The caller answers symbols 0..k-1 with zero prober work.
+func (o *Oracle) walkKnownPrefix(word, out []int, cc []int32, feed []int32) (k int, node int32, fed []int32, resume int32, resumeDepth int, err error) {
+	n := o.prober.Assoc()
+	node = 0
+	resume = -1
+	for k < len(word) {
+		ip := word[k]
+		if ip < 0 || ip > n {
+			return 0, 0, feed, -1, 0, fmt.Errorf("polca: input %d out of range for associativity %d", ip, n)
+		}
+		c := o.out.childOf(node, ip)
+		if c < 0 || !o.out.nodes[c].known {
+			break
+		}
+		b := mapInputID(ip, cc)
+		op := int(o.out.nodes[c].out)
+		out[k] = op
+		if op != policy.Bottom {
+			cc[op] = b
+		}
+		feed = append(feed, b)
+		node = c
+		k++
+		if o.out.nodes[c].sess != nil {
+			resume, resumeDepth = c, k
+		}
+	}
+	return k, node, feed, resume, resumeDepth, nil
+}
+
+// recordOutputs stores the outputs of word in the output trie and parks the
+// collected session forks at their nodes, under the oracle lock.
+func (o *Oracle) recordOutputs(word, out []int, parks []parkedFork) {
+	o.mu.Lock()
+	node := int32(0)
+	depth := 0
+	pi := 0
+	for pi < len(parks) && parks[pi].depth == 0 {
+		o.out.park(node, parks[pi].sess)
+		pi++
+	}
+	for _, ip := range word {
+		node = o.out.extend(node, ip)
+		depth++
+		o.out.nodes[node].out = int16(out[depth-1])
+		o.out.nodes[node].known = true
+		for pi < len(parks) && parks[pi].depth == depth {
+			o.out.park(node, parks[pi].sess)
+			pi++
+		}
+	}
+	o.mu.Unlock()
+}
+
+// parkedFork is a session fork waiting to be pinned at the node of the
+// word prefix of the given depth.
+type parkedFork struct {
+	depth int
+	sess  Session
+}
+
+// sessionQueryTrie answers one output query through the output trie backed
+// by resumable sessions: the longest recorded prefix is answered without
+// touching the prober, execution resumes from the deepest parked session on
+// the path, and only genuinely new symbols reach the cache. Session forks
+// are parked along the executed suffix so future extensions of this word
+// resume in O(1).
+func (o *Oracle) sessionQueryTrie(fp ForkingProber, word []int) ([]int, error) {
+	n := fp.Assoc()
+	out := make([]int, len(word))
+	cc := append([]int32(nil), o.cc0IDs...)
+	feed := make([]int32, 0, len(word))
+
+	o.mu.Lock()
+	k, _, feed, resume, resumeDepth, err := o.walkKnownPrefix(word, out, cc, feed)
+	if err != nil {
+		o.mu.Unlock()
+		return nil, err
+	}
+	if k == len(word) {
+		if resume >= 0 {
+			o.out.touch(resume)
+		}
+		o.mu.Unlock()
+		o.memoHits.Add(int64(k))
+		return out, nil
+	}
+	var sess Session
+	if resume >= 0 {
+		o.out.touch(resume)
+		sess, err = o.out.nodes[resume].sess.Fork()
+	}
+	o.mu.Unlock()
+	if resume < 0 {
+		resumeDepth = 0
+		sess, err = fp.NewSession()
+	}
+	if err != nil {
+		return nil, err
+	}
+	o.memoHits.Add(int64(k))
+
+	accesses := 0
+	defer func() {
+		o.probesN.Add(1)
+		o.accessesN.Add(int64(accesses))
+	}()
+
+	// Fast-forward the session through the tail of the known prefix; the
+	// outputs are recorded, so this is pure feeding, no eviction probes.
+	for i := resumeDepth; i < k; i++ {
+		if _, err := sess.Access(blocks.Interned(int(feed[i]))); err != nil {
+			return nil, err
+		}
+		accesses++
+	}
+
+	var parks []parkedFork
+	if resumeDepth < k {
+		// Park a fork at the divergence frontier: sibling queries of this
+		// word share exactly this prefix.
+		if f, err := sess.Fork(); err == nil {
+			parks = append(parks, parkedFork{depth: k, sess: f})
+		}
+	}
+
+	for i := k; i < len(word); i++ {
+		ip := word[i]
+		if ip < 0 || ip > n {
+			return nil, fmt.Errorf("polca: input %d out of range for associativity %d", ip, n)
+		}
+		b := mapInputID(ip, cc)
+		oc, err := sess.Access(blocks.Interned(int(b)))
+		if err != nil {
+			return nil, err
+		}
+		accesses++
+		if ip < n {
+			if oc != cache.Hit {
+				return nil, fmt.Errorf("%w: access to cached block %s missed", ErrNondeterministic, blocks.Interned(int(b)))
+			}
+			out[i] = policy.Bottom
+		} else {
+			if oc != cache.Miss {
+				return nil, fmt.Errorf("%w: access to fresh block %s hit", ErrNondeterministic, blocks.Interned(int(b)))
+			}
+			evicted := -1
+			for j := 0; j < n; j++ {
+				fork, err := sess.Fork()
+				if err != nil {
+					return nil, err
+				}
+				poc, err := fork.Access(blocks.Interned(int(cc[j])))
+				if err != nil {
+					return nil, err
+				}
+				accesses++
+				if poc == cache.Miss {
+					if evicted != -1 {
+						return nil, fmt.Errorf("%w: blocks %s and %s both evicted by one miss",
+							ErrNondeterministic, blocks.Interned(int(cc[evicted])), blocks.Interned(int(cc[j])))
+					}
+					evicted = j
+				}
+			}
+			if evicted == -1 {
+				return nil, fmt.Errorf("%w: no resident block evicted by a miss", ErrNondeterministic)
+			}
+			cc[evicted] = b
+			out[i] = evicted
+		}
+		if f, err := sess.Fork(); err == nil {
+			parks = append(parks, parkedFork{depth: i + 1, sess: f})
+		}
+	}
+	o.recordOutputs(word, out, parks)
+	return out, nil
+}
+
+// probesQueryTrie is the trie-memoized variant of the reset-rooted probe
+// path, for probers without session support: the recorded prefix skips its
+// probes entirely, and the remaining symbols go through the block-id probe
+// trie (exact-match memo + single-flight) instead of string-keyed maps.
+func (o *Oracle) probesQueryTrie(word []int) ([]int, error) {
+	n := o.prober.Assoc()
+	out := make([]int, len(word))
+	cc := append([]int32(nil), o.cc0IDs...)
+	feed := make([]int32, 0, len(word))
+
+	o.mu.Lock()
+	k, _, feed, _, _, err := o.walkKnownPrefix(word, out, cc, feed)
+	o.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	o.memoHits.Add(int64(k))
+	if k == len(word) {
+		return out, nil
+	}
+
+	ic := feed // reuse the prefix's block ids as the probe id sequence
+	icN := make([]blocks.Block, len(ic), len(word))
+	for i, b := range ic {
+		icN[i] = blocks.Interned(int(b))
+	}
+	for i := k; i < len(word); i++ {
+		ip := word[i]
+		if ip < 0 || ip > n {
+			return nil, fmt.Errorf("polca: input %d out of range for associativity %d", ip, n)
+		}
+		b := mapInputID(ip, cc)
+		ic = append(ic, b)
+		icN = append(icN, blocks.Interned(int(b)))
+		oc, err := o.probe(icN, ic, false)
+		if err != nil {
+			return nil, err
+		}
+		op, err := o.mapOutputTrie(ip, oc, ic, icN, cc)
+		if err != nil {
+			return nil, err
+		}
+		if op != policy.Bottom {
+			cc[op] = b
+		}
+		out[i] = op
+	}
+	o.recordOutputs(word, out, nil)
+	return out, nil
+}
+
+// mapOutputTrie maps a cache outcome back to a policy output on the trie
+// probe path, issuing the findEvicted probes by block id.
+func (o *Oracle) mapOutputTrie(ip int, oc cache.Outcome, ic []int32, icN []blocks.Block, cc []int32) (int, error) {
+	n := o.prober.Assoc()
+	if ip < n { // Ln(i): the block is cached, the access must hit
+		if oc != cache.Hit {
+			return 0, fmt.Errorf("%w: access to cached block %s missed", ErrNondeterministic, icN[len(icN)-1])
+		}
+		return policy.Bottom, nil
+	}
+	if oc != cache.Miss {
+		return 0, fmt.Errorf("%w: access to fresh block %s hit", ErrNondeterministic, icN[len(icN)-1])
+	}
+	evicted := -1
+	for i := 0; i < n; i++ {
+		pids := append(append([]int32(nil), ic...), cc[i])
+		pN := append(append([]blocks.Block(nil), icN...), blocks.Interned(int(cc[i])))
+		poc, err := o.probe(pN, pids, false)
+		if err != nil {
+			return 0, err
+		}
+		if poc == cache.Miss {
+			if evicted != -1 {
+				return 0, fmt.Errorf("%w: blocks %s and %s both evicted by one miss",
+					ErrNondeterministic, blocks.Interned(int(cc[evicted])), blocks.Interned(int(cc[i])))
+			}
+			evicted = i
+		}
+	}
+	if evicted == -1 {
+		return 0, fmt.Errorf("%w: no resident block evicted by a miss", ErrNondeterministic)
+	}
+	return evicted, nil
+}
+
+// mapInputID is mapInput over dense block ids; the input must already be
+// range-checked.
+func mapInputID(ip int, cc []int32) int32 {
+	if ip < len(cc) {
+		return cc[ip]
+	}
+	return freshID(cc)
+}
+
+// freshID returns the smallest universe index not present in cc — the id
+// analog of blocks.Fresh, with no map and no string handling.
+func freshID(cc []int32) int32 {
+	for id := int32(0); ; id++ {
+		taken := false
+		for _, c := range cc {
+			if c == id {
+				taken = true
+				break
+			}
+		}
+		if !taken {
+			return id
+		}
+	}
 }
 
 // mapInput maps a policy input to a memory block given the tracked content

@@ -1,0 +1,198 @@
+package polca
+
+import (
+	"repro/internal/cache"
+)
+
+// This file implements the two prefix trees of the trie query engine.
+//
+// outTrie is keyed by *policy inputs*: every node is one policy-input
+// prefix, recording the policy output of its last symbol. Any output query
+// is answered symbol by symbol from its longest recorded prefix — the whole
+// prefix costs zero prober work — and, for forking (simulator) probers, a
+// node can additionally pin a live Session parked in exactly the cache
+// state the prefix reaches. A query that diverges at depth k forks the
+// deepest parked ancestor and executes only the suffix, replacing the
+// quadratic reset-rooted prefix replay with amortized O(1) prober work per
+// new symbol. Parked sessions are LRU-bounded.
+//
+// probeTrie is keyed by *block ids*: it replaces the strings.Join-keyed
+// probe memo and single-flight maps for reset-rooted (hardware-style)
+// probing, so a probe key is a trie path instead of a heap-allocated
+// string.
+//
+// Neither trie locks; the oracle's mutex guards both.
+
+// outNode is one policy-input prefix.
+type outNode struct {
+	child []int32 // per policy input; nil until the first child
+	sess  Session // parked session in the prefix's cache state, or nil
+	prev  int32   // LRU links, meaningful while sess != nil
+	next  int32
+	out   int16 // policy output of the prefix's last symbol
+	known bool
+}
+
+type outTrie struct {
+	numIn  int
+	nodes  []outNode
+	head   int32 // most recently used parked node, -1 if none
+	tail   int32 // least recently used parked node, -1 if none
+	parked int
+	cap    int
+}
+
+func newOutTrie(numIn, sessionCap int) *outTrie {
+	return &outTrie{
+		numIn: numIn,
+		nodes: []outNode{{prev: -1, next: -1}},
+		head:  -1,
+		tail:  -1,
+		cap:   sessionCap,
+	}
+}
+
+// childOf returns the child of n along input a, or -1.
+func (t *outTrie) childOf(n int32, a int) int32 {
+	c := t.nodes[n].child
+	if c == nil {
+		return -1
+	}
+	return c[a]
+}
+
+// extend returns the child of n along a, creating it if absent.
+func (t *outTrie) extend(n int32, a int) int32 {
+	if t.nodes[n].child == nil {
+		ch := make([]int32, t.numIn)
+		for i := range ch {
+			ch[i] = -1
+		}
+		t.nodes[n].child = ch
+	}
+	if c := t.nodes[n].child[a]; c != -1 {
+		return c
+	}
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, outNode{prev: -1, next: -1})
+	t.nodes[n].child[a] = id
+	return id
+}
+
+// unlink removes n from the LRU list (n must be parked).
+func (t *outTrie) unlink(n int32) {
+	p, x := t.nodes[n].prev, t.nodes[n].next
+	if p != -1 {
+		t.nodes[p].next = x
+	} else {
+		t.head = x
+	}
+	if x != -1 {
+		t.nodes[x].prev = p
+	} else {
+		t.tail = p
+	}
+	t.nodes[n].prev, t.nodes[n].next = -1, -1
+}
+
+// pushFront makes n the most recently used parked node.
+func (t *outTrie) pushFront(n int32) {
+	t.nodes[n].prev = -1
+	t.nodes[n].next = t.head
+	if t.head != -1 {
+		t.nodes[t.head].prev = n
+	}
+	t.head = n
+	if t.tail == -1 {
+		t.tail = n
+	}
+}
+
+// touch refreshes n's LRU recency (no-op when n holds no session).
+func (t *outTrie) touch(n int32) {
+	if t.nodes[n].sess == nil || t.head == n {
+		return
+	}
+	t.unlink(n)
+	t.pushFront(n)
+}
+
+// park pins s at node n, replacing any session already parked there, and
+// evicts the least recently used session while over capacity.
+func (t *outTrie) park(n int32, s Session) {
+	if t.nodes[n].sess != nil {
+		t.unlink(n)
+		t.parked--
+	}
+	t.nodes[n].sess = s
+	t.pushFront(n)
+	t.parked++
+	for t.parked > t.cap && t.tail != -1 {
+		vic := t.tail
+		t.unlink(vic)
+		t.nodes[vic].sess = nil
+		t.parked--
+	}
+}
+
+// probeNode is one block-sequence prefix of the reset-rooted probe memo.
+type probeNode struct {
+	child []int32 // indexed by block id, grown on demand
+	fl    *inflightProbe
+	oc    cache.Outcome
+	known bool
+}
+
+type probeTrie struct {
+	nodes []probeNode
+	// dense remaps raw block ids to compact edge ids in first-use order:
+	// the id space is huge (blocks.MaxIndex) but a probe run only ever
+	// touches the reset content plus a handful of fresh blocks, and child
+	// slices must be sized by the blocks actually seen, not by the raw id.
+	dense map[int32]int32
+}
+
+func newProbeTrie() *probeTrie {
+	return &probeTrie{nodes: []probeNode{{}}, dense: make(map[int32]int32)}
+}
+
+// edge returns the compact edge id of raw block id b.
+func (t *probeTrie) edge(b int32) int32 {
+	if e, ok := t.dense[b]; ok {
+		return e
+	}
+	e := int32(len(t.dense))
+	t.dense[b] = e
+	return e
+}
+
+// extend returns the child of n along block id b, creating it if absent.
+func (t *probeTrie) extend(n, b int32) int32 {
+	e := t.edge(b)
+	ch := t.nodes[n].child
+	if int(e) >= len(ch) {
+		grown := make([]int32, e+1)
+		copy(grown, ch)
+		for i := len(ch); i < len(grown); i++ {
+			grown[i] = -1
+		}
+		t.nodes[n].child = grown
+		ch = grown
+	}
+	if c := ch[e]; c != -1 {
+		return c
+	}
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, probeNode{})
+	t.nodes[n].child[e] = id
+	return id
+}
+
+// path walks/extends the whole block sequence and returns its terminal node.
+func (t *probeTrie) path(q []int32) int32 {
+	n := int32(0)
+	for _, b := range q {
+		n = t.extend(n, b)
+	}
+	return n
+}

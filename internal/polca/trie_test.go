@@ -1,0 +1,175 @@
+package polca
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/cache"
+	"repro/internal/mealy"
+	"repro/internal/policy"
+)
+
+// tenPolicies mirrors the published models/ artifact list.
+var tenPolicies = []struct {
+	name  string
+	assoc int
+}{
+	{"FIFO", 4}, {"LRU", 4}, {"PLRU", 4}, {"PLRU", 8}, {"MRU", 4},
+	{"LIP", 4}, {"SRRIP-HP", 4}, {"SRRIP-FP", 4}, {"New1", 4}, {"New2", 4},
+}
+
+// freshOnly hides every optional capability of a prober and routes Probe
+// through ProbeFresh semantics: a SimProber re-executes the whole word from
+// reset on every call, so each answer is ground truth by construction.
+type freshOnly struct{ p *SimProber }
+
+func (f freshOnly) Assoc() int                                    { return f.p.Assoc() }
+func (f freshOnly) InitialContent() []blocks.Block                { return f.p.InitialContent() }
+func (f freshOnly) Probe(q []blocks.Block) (cache.Outcome, error) { return f.p.Probe(q) }
+func (f freshOnly) ProbeFresh(q []blocks.Block) (cache.Outcome, error) {
+	return f.p.Probe(q)
+}
+
+var _ FreshProber = freshOnly{}
+
+// TestTrieOracleMatchesFreshGroundTruth: for every published policy, the
+// trie-backed oracle — on both the session path (forking prober) and the
+// reset-rooted probe path (slow prober) — answers exactly like an
+// unmemoized oracle whose every probe is a fresh execution, and like the
+// machine extracted from the policy itself.
+func TestTrieOracleMatchesFreshGroundTruth(t *testing.T) {
+	for _, c := range tenPolicies {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			truth, err := mealy.FromPolicy(policy.MustNew(c.name, c.assoc), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast := NewOracle(NewSimProber(policy.MustNew(c.name, c.assoc)))
+			slow := NewOracle(SlowProber{P: NewSimProber(policy.MustNew(c.name, c.assoc))})
+			fresh := NewOracle(freshOnly{p: NewSimProber(policy.MustNew(c.name, c.assoc))}, WithoutMemo())
+
+			rng := rand.New(rand.NewSource(int64(31 + c.assoc)))
+			numIn := truth.NumInputs
+			trials := 50
+			if testing.Short() {
+				trials = 20
+			}
+			for i := 0; i < trials; i++ {
+				word := make([]int, 1+rng.Intn(14))
+				for j := range word {
+					word[j] = rng.Intn(numIn)
+				}
+				want, err := fresh.OutputQuery(word)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mw := truth.Run(word)
+				a, err1 := fast.OutputQuery(word)
+				b, err2 := slow.OutputQuery(word)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s: oracle errors %v / %v", c.name, err1, err2)
+				}
+				for j := range word {
+					if a[j] != want[j] || b[j] != want[j] || mw[j] != want[j] {
+						t.Fatalf("%s: word %v: session %v, probes %v, machine %v, fresh %v",
+							c.name, word, a, b, mw, want)
+					}
+				}
+			}
+			if st := fast.Stats(); st.MemoHits == 0 {
+				t.Error("trie oracle never answered from the prefix tree")
+			}
+		})
+	}
+}
+
+// TestSessionCapEviction: a pathologically small parked-session budget must
+// change only the cost, never the answers.
+func TestSessionCapEviction(t *testing.T) {
+	capped := NewOracle(NewSimProber(policy.MustNew("New1", 4)), WithSessionCap(1))
+	reference := NewOracle(NewSimProber(policy.MustNew("New1", 4)), WithoutTrie())
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 80; i++ {
+		word := make([]int, 1+rng.Intn(10))
+		for j := range word {
+			word[j] = rng.Intn(5)
+		}
+		a, err1 := capped.OutputQuery(word)
+		b, err2 := reference.OutputQuery(word)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors %v / %v", err1, err2)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("cap-1 oracle diverged on %v: %v vs %v", word, a, b)
+			}
+		}
+	}
+}
+
+// TestTrieResumeSkipsPrefixReplay: extending an answered word by one symbol
+// must cost O(1) prober accesses on the session path — the trie resumes the
+// parked session instead of replaying the prefix.
+func TestTrieResumeSkipsPrefixReplay(t *testing.T) {
+	oracle := NewOracle(NewSimProber(policy.MustNew("LRU", 4)))
+	word := []int{4, 0, 4, 1, 2, 3, 0, 1}
+	if _, err := oracle.OutputQuery(word); err != nil {
+		t.Fatal(err)
+	}
+	before := oracle.Stats()
+	ext := append(append([]int(nil), word...), 0)
+	if _, err := oracle.OutputQuery(ext); err != nil {
+		t.Fatal(err)
+	}
+	after := oracle.Stats()
+	delta := after.Accesses - before.Accesses
+	// One new Ln symbol: exactly one access when resumed from the parked
+	// session; a full replay would have cost len(word)+1.
+	if delta > 2 {
+		t.Errorf("extension cost %d accesses, want O(1) (prefix replay not skipped)", delta)
+	}
+	if after.MemoHits <= before.MemoHits {
+		t.Error("extension did not consume the recorded prefix")
+	}
+}
+
+// TestWithoutTrieMatchesLegacyTrajectory: with the trie disabled, repeating
+// a query costs exactly one probe flush on the session path — the pre-trie
+// accounting the ablation benchmarks rely on.
+func TestWithoutTrieMatchesLegacyTrajectory(t *testing.T) {
+	oracle := NewOracle(NewSimProber(policy.MustNew("LRU", 4)), WithoutTrie())
+	word := []int{4, 0, 4}
+	if _, err := oracle.OutputQuery(word); err != nil {
+		t.Fatal(err)
+	}
+	first := oracle.Stats()
+	if _, err := oracle.OutputQuery(word); err != nil {
+		t.Fatal(err)
+	}
+	second := oracle.Stats()
+	if second.Probes != 2*first.Probes || second.Accesses != 2*first.Accesses {
+		t.Errorf("legacy session path should re-execute fully: %+v then %+v", first, second)
+	}
+	if second.MemoHits != 0 {
+		t.Errorf("legacy session path has no memo, saw %d hits", second.MemoHits)
+	}
+}
+
+// Probe-trie child slices must be sized by the distinct blocks actually
+// probed, not by their raw universe ids: one legitimate high-index block in
+// the reset content must not amplify every node's edge array.
+func TestProbeTrieCompactEdges(t *testing.T) {
+	pt := newProbeTrie()
+	big := int32(26_000_000) // "A1000000", valid and canonical
+	pt.path([]int32{0, big, 3, big, 7})
+	for i, n := range pt.nodes {
+		if len(n.child) > len(pt.dense) {
+			t.Fatalf("node %d has %d child slots for %d distinct blocks", i, len(n.child), len(pt.dense))
+		}
+	}
+	if len(pt.dense) != 4 {
+		t.Fatalf("dense remap holds %d ids, want 4", len(pt.dense))
+	}
+}
