@@ -312,6 +312,53 @@ func BenchmarkAblationTrie(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationAlgo compares the two learning algorithms on identical
+// Polca-backed learning tasks: the L*-style observation table (the paper's
+// setting) versus the discrimination-tree learner, which stores only the
+// experiments that separate states and decomposes counterexamples by
+// Rivest–Schapire binary search. queries/op counts the learner's distinct
+// membership (output) queries, symbols/op the input symbols across them;
+// probes/op and accesses/op are the oracle-side costs behind those queries.
+// Every leg verifies the learned machine against the extracted ground truth.
+func BenchmarkAblationAlgo(b *testing.B) {
+	cases := []struct {
+		name  string
+		assoc int
+	}{
+		{"LRU", 4}, {"New1", 4}, {"SRRIP-FP", 4},
+	}
+	algos := []struct {
+		name string
+		a    learn.Algo
+	}{{"lstar", learn.AlgoLStar}, {"tree", learn.AlgoTree}}
+	for _, c := range cases {
+		truth, err := mealy.FromPolicy(policy.MustNew(c.name, c.assoc), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, al := range algos {
+			b.Run(fmt.Sprintf("%s-%d/%s", c.name, c.assoc, al.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					oracle := polca.NewOracle(polca.NewSimProber(policy.MustNew(c.name, c.assoc)))
+					res, err := learn.Learn(oracle, learn.Options{Depth: 1, Algo: al.a})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if eq, ce := res.Machine.Equivalent(truth); !eq {
+						b.Fatalf("learned machine differs from ground truth, ce=%v", ce)
+					}
+					st := oracle.Stats()
+					b.ReportMetric(float64(res.Stats.OutputQueries), "queries/op")
+					b.ReportMetric(float64(res.Stats.QuerySymbols), "symbols/op")
+					b.ReportMetric(float64(st.Probes), "probes/op")
+					b.ReportMetric(float64(st.Accesses), "accesses/op")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationPolca quantifies the data-independence abstraction:
 // learning the policy through Polca versus learning the raw cache automaton
 // over a concrete block alphabet, which multiplies the state space by the

@@ -4,8 +4,19 @@
 // dated BENCH_<date>.json file, so successive PRs leave comparable
 // machine-readable baselines behind.
 //
+// With -compare it becomes the CI regression gate: the fresh run is compared
+// against a committed baseline and the command exits nonzero when any named
+// benchmark regresses past the tolerance. Deterministic counters (B/op,
+// allocs/op, and every custom metric such as probes/op or accesses/op) are
+// held to -tolerance; wall-clock ns/op — noisy at -benchtime=1x on shared
+// runners — is held to the looser -time-tolerance. A benchmark present only
+// in the baseline is reported but does not fail the gate (benchmarks get
+// renamed); a deliberate perf-relevant change is acknowledged by
+// regenerating the baseline in the same PR.
+//
 //	go run repro/cmd/benchjson                  # writes BENCH_<today>.json
 //	go run repro/cmd/benchjson -bench Ablation  # only the ablation suites
+//	go run repro/cmd/benchjson -compare BENCH_2026-07-30.json -tolerance 0.25
 package main
 
 import (
@@ -14,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -32,16 +44,20 @@ type Result struct {
 
 // Baseline is the file schema.
 type Baseline struct {
-	Date      string   `json:"date"`
-	Go        string   `json:"go"`
-	Goos      string   `json:"goos,omitempty"`
-	Goarch    string   `json:"goarch,omitempty"`
-	CPU       string   `json:"cpu,omitempty"`
-	Pkg       string   `json:"pkg,omitempty"`
-	Bench     string   `json:"bench"`
-	Benchtime string   `json:"benchtime"`
-	Short     bool     `json:"short"`
-	Results   []Result `json:"results"`
+	Date      string `json:"date"`
+	Go        string `json:"go"`
+	Goos      string `json:"goos,omitempty"`
+	Goarch    string `json:"goarch,omitempty"`
+	CPU       string `json:"cpu,omitempty"`
+	Pkg       string `json:"pkg,omitempty"`
+	Bench     string `json:"bench"`
+	Benchtime string `json:"benchtime"`
+	Short     bool   `json:"short"`
+	// Gomaxprocs records the run's GOMAXPROCS — the suffix testing appends
+	// to benchmark names — so comparisons can strip it exactly instead of
+	// guessing whether a trailing -<digits> is part of the name.
+	Gomaxprocs int      `json:"gomaxprocs,omitempty"`
+	Results    []Result `json:"results"`
 }
 
 func main() {
@@ -49,13 +65,36 @@ func main() {
 	benchtime := flag.String("benchtime", "1x", "value passed to -benchtime")
 	short := flag.Bool("short", true, "run with -short (skips the heaviest ablation legs)")
 	pkg := flag.String("pkg", "repro", "package pattern holding the benchmarks")
-	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json; compare mode writes only when set explicitly)")
+	comparePath := flag.String("compare", "", "baseline JSON to compare the run against; exit nonzero on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression for deterministic counters (compare mode)")
+	timeTolerance := flag.Float64("time-tolerance", 1.0, "allowed fractional regression for ns/op (compare mode; loose because -benchtime=1x timing is noisy)")
 	flag.Parse()
 
 	date := time.Now().Format("2006-01-02")
 	path := *out
-	if path == "" {
+	if path == "" && *comparePath == "" {
 		path = "BENCH_" + date + ".json"
+	}
+
+	// Load the baseline up front: a typo'd path or corrupt JSON should fail
+	// in milliseconds, not after the multi-minute benchmark run.
+	var base *Baseline
+	if *comparePath != "" {
+		data, err := os.ReadFile(*comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		base = &Baseline{}
+		if err := json.Unmarshal(data, base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *comparePath, err)
+			os.Exit(1)
+		}
+		if len(base.Results) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s holds no results\n", *comparePath)
+			os.Exit(1)
+		}
 	}
 
 	args := []string{"test", "-run=NONE", "-bench=" + *bench, "-benchtime=" + *benchtime}
@@ -72,17 +111,56 @@ func main() {
 		os.Exit(1)
 	}
 
-	b := Baseline{
-		Date:      date,
-		Bench:     *bench,
-		Benchtime: *benchtime,
-		Short:     *short,
-		Pkg:       *pkg,
-	}
+	b := parseRun(string(raw))
+	b.Date = date
+	b.Bench = *bench
+	b.Benchtime = *benchtime
+	b.Short = *short
+	b.Pkg = *pkg
+	b.Gomaxprocs = runtime.GOMAXPROCS(0)
 	if v, err := exec.Command("go", "env", "GOVERSION").Output(); err == nil {
 		b.Go = strings.TrimSpace(string(v))
 	}
-	for _, line := range strings.Split(string(raw), "\n") {
+	if len(b.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	if path != "" {
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(b.Results), path)
+	}
+
+	if base != nil {
+		rep := compareBaselines(base, &b, *tolerance, *timeTolerance)
+		for _, m := range rep.Missing {
+			fmt.Fprintf(os.Stderr, "benchjson: note: baseline benchmark %s not in this run\n", m)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: compared %d benchmarks against %s\n", rep.Compared, *comparePath)
+		if len(rep.Regressions) > 0 {
+			for _, r := range rep.Regressions {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: no regressions past tolerance")
+	}
+}
+
+// parseRun extracts the platform header and benchmark lines of one `go test
+// -bench` run.
+func parseRun(raw string) Baseline {
+	var b Baseline
+	for _, line := range strings.Split(raw, "\n") {
 		line = strings.TrimSpace(line)
 		switch {
 		case strings.HasPrefix(line, "goos:"):
@@ -97,22 +175,7 @@ func main() {
 			}
 		}
 	}
-	if len(b.Results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
-		os.Exit(1)
-	}
-
-	data, err := json.MarshalIndent(b, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(b.Results), path)
+	return b
 }
 
 // parseLine parses one testing output line:
@@ -148,4 +211,124 @@ func parseLine(line string) (Result, bool) {
 		}
 	}
 	return r, true
+}
+
+// stripProc removes the exact "-<procs>" suffix testing appends to benchmark
+// names when GOMAXPROCS is procs (testing omits the suffix entirely at
+// GOMAXPROCS=1), leaving names that merely end in digits alone.
+func stripProc(name string, procs int) string {
+	if procs > 1 {
+		if suf := "-" + strconv.Itoa(procs); strings.HasSuffix(name, suf) {
+			return name[:len(name)-len(suf)]
+		}
+	}
+	return name
+}
+
+// normalizeName strips a trailing -<digits> from a benchmark name. It is the
+// legacy fallback for baselines recorded before Gomaxprocs was stored: it
+// cannot tell a proc suffix from a name that happens to end in digits
+// ("BenchmarkTable2/LRU-4" on one core carries no suffix at all), so legacy
+// matching tries exact names first and normalized forms only as a fallback.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compareReport is the outcome of one baseline comparison.
+type compareReport struct {
+	Compared    int      // benchmarks present in both runs
+	Regressions []string // human-readable regression descriptions
+	Missing     []string // baseline benchmarks absent from the current run
+}
+
+// compareBaselines checks every benchmark of the current run against the
+// baseline. A value regresses when it exceeds baseline*(1+tol) — timeTol for
+// ns/op, tol for the deterministic counters (B/op, allocs/op, and custom
+// metrics). A deterministic counter the baseline has but the current run no
+// longer reports is also a failure: a silently vanished probes/op is exactly
+// the kind of broken stats plumbing the gate exists to catch. Zero-valued
+// baseline entries are skipped: there is no meaningful ratio against zero.
+func compareBaselines(base, cur *Baseline, tol, timeTol float64) compareReport {
+	var rep compareReport
+	// With Gomaxprocs recorded on both sides the proc suffix is stripped
+	// exactly and names pair one to one. Legacy baselines (no Gomaxprocs)
+	// fall back to heuristic matching: exact names first — so a trailing
+	// "-4" that is part of the benchmark's own name still pairs correctly —
+	// then the normalized forms for cross-core-count runs.
+	precise := base.Gomaxprocs > 0 && cur.Gomaxprocs > 0
+	baseKey := func(name string) string {
+		if precise {
+			return stripProc(name, base.Gomaxprocs)
+		}
+		return name
+	}
+	exact := make(map[string]int, len(base.Results))
+	norm := make(map[string]int, len(base.Results))
+	for i, r := range base.Results {
+		exact[baseKey(r.Name)] = i
+		if n := normalizeName(r.Name); !precise && n != r.Name {
+			if _, dup := norm[n]; !dup {
+				norm[n] = i
+			}
+		}
+	}
+	lookup := func(name string) (int, bool) {
+		if precise {
+			i, ok := exact[stripProc(name, cur.Gomaxprocs)]
+			return i, ok
+		}
+		for _, k := range []string{name, normalizeName(name)} {
+			if i, ok := exact[k]; ok {
+				return i, true
+			}
+			if i, ok := norm[k]; ok {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	matched := make([]bool, len(base.Results))
+	for _, r := range cur.Results {
+		bi, ok := lookup(r.Name)
+		if !ok {
+			continue // new benchmark: becomes part of the next baseline
+		}
+		b := base.Results[bi]
+		matched[bi] = true
+		rep.Compared++
+		name := normalizeName(r.Name)
+		check := func(metric string, got, want, allowed float64) {
+			if want <= 0 || got <= want*(1+allowed) {
+				return
+			}
+			rep.Regressions = append(rep.Regressions,
+				fmt.Sprintf("%s %s: %.6g vs baseline %.6g (+%.1f%%, tolerance %.0f%%)",
+					name, metric, got, want, 100*(got/want-1), 100*allowed))
+		}
+		check("ns/op", r.NsPerOp, b.NsPerOp, timeTol)
+		check("B/op", r.BytesPerOp, b.BytesPerOp, tol)
+		check("allocs/op", r.AllocsPerOp, b.AllocsPerOp, tol)
+		for unit, want := range b.Metrics {
+			got, ok := r.Metrics[unit]
+			if !ok && want > 0 {
+				rep.Regressions = append(rep.Regressions,
+					fmt.Sprintf("%s %s: metric vanished (baseline %.6g)", name, unit, want))
+				continue
+			}
+			check(unit, got, want, tol)
+		}
+	}
+	for i, r := range base.Results {
+		if !matched[i] {
+			rep.Missing = append(rep.Missing, baseKey(r.Name))
+		}
+	}
+	return rep
 }

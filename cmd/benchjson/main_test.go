@@ -1,0 +1,174 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRun(t *testing.T) {
+	raw := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkAblationAlgo/LRU-4/lstar-8     1   32312209 ns/op   4362 queries/op   16979544 B/op   241517 allocs/op
+BenchmarkAblationAlgo/LRU-4/tree-8      1   26549108 ns/op   2672 queries/op   15828592 B/op   213317 allocs/op
+PASS
+ok   repro  26.689s
+`
+	b := parseRun(raw)
+	if b.Goos != "linux" || b.Goarch != "amd64" || !strings.Contains(b.CPU, "Xeon") {
+		t.Errorf("platform header parsed wrongly: %+v", b)
+	}
+	if len(b.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(b.Results))
+	}
+	r := b.Results[0]
+	if r.Name != "BenchmarkAblationAlgo/LRU-4/lstar-8" || r.NsPerOp != 32312209 ||
+		r.BytesPerOp != 16979544 || r.AllocsPerOp != 241517 || r.Metrics["queries/op"] != 4362 {
+		t.Errorf("result parsed wrongly: %+v", r)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":          "BenchmarkX",
+		"BenchmarkX-16":         "BenchmarkX",
+		"BenchmarkX/LRU-4/go-8": "BenchmarkX/LRU-4/go",
+		"BenchmarkX/LRU-4":      "BenchmarkX/LRU", // a trailing assoc is indistinguishable from a proc count, which is why matching tries exact names first
+		"BenchmarkPlain":        "BenchmarkPlain",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestCompareMatchesAcrossCoreCounts: the committed baseline may be recorded
+// on a single-core machine (no -GOMAXPROCS suffix, so "BenchmarkTable2/LRU-4"
+// is the exact name) while CI prints "BenchmarkTable2/LRU-4-4". Every suffix
+// combination must pair up — exactly when both sides record Gomaxprocs,
+// heuristically for legacy baselines — and regressions in such benchmarks
+// must fail.
+func TestCompareMatchesAcrossCoreCounts(t *testing.T) {
+	cases := []struct {
+		baseName, curName   string
+		baseProcs, curProcs int
+	}{
+		{"BenchmarkTable2/LRU-4", "BenchmarkTable2/LRU-4-4", 1, 4},   // 1-core baseline, 4-core run
+		{"BenchmarkTable2/LRU-4-8", "BenchmarkTable2/LRU-4", 8, 1},   // 8-core baseline, 1-core run
+		{"BenchmarkTable2/LRU-4-8", "BenchmarkTable2/LRU-4-2", 8, 2}, // different core counts
+		{"BenchmarkTable2/LRU-4", "BenchmarkTable2/LRU-4", 1, 1},     // identical
+		{"BenchmarkTable2/LRU-4", "BenchmarkTable2/LRU-4-4", 0, 0},   // legacy baseline: heuristic fallback
+		{"BenchmarkTable2/LRU-4-8", "BenchmarkTable2/LRU-4", 0, 0},
+	}
+	for _, c := range cases {
+		base := baselineOf(Result{Name: c.baseName, NsPerOp: 1000, Metrics: map[string]float64{"probes/op": 100}})
+		base.Gomaxprocs = c.baseProcs
+		cur := baselineOf(Result{Name: c.curName, NsPerOp: 1000, Metrics: map[string]float64{"probes/op": 100}})
+		cur.Gomaxprocs = c.curProcs
+		rep := compareBaselines(base, cur, 0.25, 1.0)
+		if rep.Compared != 1 || len(rep.Missing) != 0 || len(rep.Regressions) != 0 {
+			t.Errorf("%s vs %s: not matched cleanly: %+v", c.baseName, c.curName, rep)
+		}
+		cur = baselineOf(Result{Name: c.curName, NsPerOp: 1000, Metrics: map[string]float64{"probes/op": 200}})
+		cur.Gomaxprocs = c.curProcs
+		if rep = compareBaselines(base, cur, 0.25, 1.0); len(rep.Regressions) != 1 {
+			t.Errorf("%s vs %s: probe regression not caught: %+v", c.baseName, c.curName, rep)
+		}
+	}
+}
+
+// TestCompareDoesNotCrossMatchDigitNames: with Gomaxprocs recorded, a new
+// benchmark whose own name ends in digits ("LRU-16") must NOT pair with a
+// different baseline entry ("LRU-4") via over-eager suffix stripping — it is
+// a new benchmark and is skipped.
+func TestCompareDoesNotCrossMatchDigitNames(t *testing.T) {
+	base := baselineOf(Result{Name: "BenchmarkTable2/LRU-4", NsPerOp: 1000, Metrics: map[string]float64{"probes/op": 100}})
+	base.Gomaxprocs = 1
+	cur := baselineOf(Result{Name: "BenchmarkTable2/LRU-16", NsPerOp: 9999, Metrics: map[string]float64{"probes/op": 5000}})
+	cur.Gomaxprocs = 1
+	rep := compareBaselines(base, cur, 0.25, 1.0)
+	if rep.Compared != 0 || len(rep.Regressions) != 0 {
+		t.Errorf("LRU-16 cross-matched LRU-4: %+v", rep)
+	}
+	if len(rep.Missing) != 1 {
+		t.Errorf("LRU-4 baseline should be reported missing: %+v", rep)
+	}
+}
+
+// TestCompareFlagsVanishedMetric: a deterministic counter the current run no
+// longer reports must fail the gate, not compare as zero.
+func TestCompareFlagsVanishedMetric(t *testing.T) {
+	base := baselineOf(Result{Name: "BenchmarkA-8", NsPerOp: 1000, Metrics: map[string]float64{"probes/op": 100}})
+	cur := baselineOf(Result{Name: "BenchmarkA-8", NsPerOp: 1000})
+	rep := compareBaselines(base, cur, 0.25, 1.0)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "vanished") {
+		t.Errorf("vanished metric not flagged: %+v", rep)
+	}
+}
+
+func baselineOf(results ...Result) *Baseline { return &Baseline{Results: results} }
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	base := baselineOf(
+		Result{Name: "BenchmarkA-8", NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10,
+			Metrics: map[string]float64{"probes/op": 50}},
+		Result{Name: "BenchmarkB-8", NsPerOp: 2000},
+	)
+
+	// Identical run on a machine with a different core count: clean.
+	cur := baselineOf(
+		Result{Name: "BenchmarkA-16", NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10,
+			Metrics: map[string]float64{"probes/op": 50}},
+		Result{Name: "BenchmarkB-16", NsPerOp: 2000},
+	)
+	rep := compareBaselines(base, cur, 0.25, 1.0)
+	if len(rep.Regressions) != 0 || rep.Compared != 2 || len(rep.Missing) != 0 {
+		t.Errorf("clean run reported %+v", rep)
+	}
+
+	// A deterministic counter past tolerance fails; timing within its own
+	// (looser) tolerance does not.
+	cur = baselineOf(
+		Result{Name: "BenchmarkA-8", NsPerOp: 1900, BytesPerOp: 100, AllocsPerOp: 10,
+			Metrics: map[string]float64{"probes/op": 80}},
+		Result{Name: "BenchmarkB-8", NsPerOp: 2000},
+	)
+	rep = compareBaselines(base, cur, 0.25, 1.0)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "probes/op") {
+		t.Errorf("probe regression not caught: %+v", rep)
+	}
+
+	// An injected slowdown past the time tolerance fails.
+	cur = baselineOf(
+		Result{Name: "BenchmarkA-8", NsPerOp: 2100, BytesPerOp: 100, AllocsPerOp: 10,
+			Metrics: map[string]float64{"probes/op": 50}},
+		Result{Name: "BenchmarkB-8", NsPerOp: 2000},
+	)
+	rep = compareBaselines(base, cur, 0.25, 1.0)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "ns/op") {
+		t.Errorf("time regression not caught: %+v", rep)
+	}
+
+	// A renamed/removed benchmark is reported but does not fail the gate; a
+	// brand-new benchmark is ignored.
+	cur = baselineOf(
+		Result{Name: "BenchmarkA-8", NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10,
+			Metrics: map[string]float64{"probes/op": 50}},
+		Result{Name: "BenchmarkC-8", NsPerOp: 99999},
+	)
+	rep = compareBaselines(base, cur, 0.25, 1.0)
+	if len(rep.Regressions) != 0 || rep.Compared != 1 {
+		t.Errorf("rename handled wrongly: %+v", rep)
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkB-8" {
+		t.Errorf("missing list wrong: %+v", rep.Missing)
+	}
+
+	// Zero-valued baseline entries (no -benchmem, no metric) never divide.
+	base = baselineOf(Result{Name: "BenchmarkD-8", NsPerOp: 1000})
+	cur = baselineOf(Result{Name: "BenchmarkD-8", NsPerOp: 1000, BytesPerOp: 5000, AllocsPerOp: 77})
+	if rep = compareBaselines(base, cur, 0.25, 1.0); len(rep.Regressions) != 0 {
+		t.Errorf("zero baseline compared: %+v", rep)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/cachequery"
 	"repro/internal/experiments"
 	"repro/internal/hw"
+	"repro/internal/learn"
 )
 
 func main() {
@@ -76,24 +77,55 @@ func runTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	full := fs.Bool("full", false, "include the large instances (hours of runtime)")
 	workers := fs.Int("workers", 1, "learn up to this many rows concurrently (1 keeps per-row times comparable to the paper)")
+	algoName := fs.String("algo", "lstar", "learning algorithm: lstar (observation table) or tree (discrimination tree)")
+	suiteName := fs.String("suite", "wp", "conformance suite: wp, w, or rw (seeded random walk)")
+	seed := fs.Int64("seed", 1, "random-walk conformance seed (rw suite); fixed seeds make runs reproducible")
+	walkSteps := fs.Int("walk-steps", 0, "total symbols per random-walk conformance round (rw suite; 0 = default)")
 	fs.Parse(args)
+	opt, err := learnOptions(*algoName, *suiteName, *seed, *walkSteps)
+	if err != nil {
+		return err
+	}
 	spec := experiments.Table2Default()
 	if *full {
 		spec = experiments.Table2Full()
 	}
-	rows := experiments.RunTable2Concurrent(spec, *workers)
+	rows := experiments.RunTable2ConcurrentOpt(spec, *workers, opt)
 	experiments.Table2Table(rows).Render(os.Stdout)
 	return nil
+}
+
+// learnOptions assembles learner options from the shared flag values.
+func learnOptions(algoName, suiteName string, seed int64, walkSteps int) (learn.Options, error) {
+	algo, err := learn.ParseAlgo(algoName)
+	if err != nil {
+		return learn.Options{}, err
+	}
+	suite, err := learn.ParseSuite(suiteName)
+	if err != nil {
+		return learn.Options{}, err
+	}
+	return learn.Options{Algo: algo, Suite: suite, Depth: 1,
+		RandomWalkSeed: seed, RandomWalkSteps: walkSteps}, nil
 }
 
 func runTable4(args []string) error {
 	fs := flag.NewFlagSet("table4", flag.ExitOnError)
 	full := fs.Bool("full", false, "learn every CPU and level (slow)")
 	replicas := fs.Int("replicas", 1, "CPU replicas for the concurrent query engine per job (0 = all cores; 1 keeps per-row times comparable to the paper)")
+	algoName := fs.String("algo", "lstar", "learning algorithm: lstar (observation table) or tree (discrimination tree)")
+	suiteName := fs.String("suite", "wp", "conformance suite: wp, w, or rw (seeded random walk)")
+	seed := fs.Int64("seed", 1, "random-walk conformance seed (rw suite); fixed seeds make runs reproducible")
+	walkSteps := fs.Int("walk-steps", 0, "total symbols per random-walk conformance round (rw suite; 0 = default)")
 	fs.Parse(args)
+	opt, err := learnOptions(*algoName, *suiteName, *seed, *walkSteps)
+	if err != nil {
+		return err
+	}
 	var rows []experiments.Table4Row
 	for _, job := range experiments.Table4Jobs(!*full) {
 		job.Replicas = *replicas
+		job.Learn = opt
 		fmt.Fprintf(os.Stderr, "learning %s %s %s ...\n", job.Model.Name, job.Level, job.Target)
 		rows = append(rows, experiments.RunTable4Job(job, cachequery.DefaultBackendOptions()))
 	}

@@ -45,7 +45,13 @@ func published() []spec {
 func main() {
 	out := flag.String("out", "models", "output directory for the JSON artifacts")
 	quick := flag.Bool("quick", false, "skip the learning cross-check; extract the machines only")
+	algoName := flag.String("algo", "lstar", "learning algorithm for the cross-check: lstar or tree")
 	flag.Parse()
+
+	algo, err := learn.ParseAlgo(*algoName)
+	if err != nil {
+		fatal(err)
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -58,7 +64,7 @@ func main() {
 		wg.Add(1)
 		go func(i int, s spec) {
 			defer wg.Done()
-			errs[i] = generate(*out, s, !*quick)
+			errs[i] = generate(*out, s, !*quick, algo)
 		}(i, s)
 	}
 	wg.Wait()
@@ -77,13 +83,13 @@ func main() {
 }
 
 // generate extracts (and optionally learns and cross-checks) one artifact.
-func generate(dir string, s spec, verify bool) error {
+func generate(dir string, s spec, verify bool, algo learn.Algo) error {
 	truth, err := mealy.FromPolicy(policy.MustNew(s.name, s.assoc), 0)
 	if err != nil {
 		return err
 	}
 	if verify {
-		res, err := core.LearnSimulated(s.name, s.assoc, learn.Options{Depth: 1})
+		res, err := core.LearnSimulated(s.name, s.assoc, learn.Options{Algo: algo, Depth: 1})
 		if err != nil {
 			return fmt.Errorf("learning: %w", err)
 		}

@@ -37,8 +37,11 @@ func main() {
 	slice := flag.Int("slice", 0, "cache slice (hardware mode)")
 	set := flag.Int("set", 0, "cache set (hardware mode)")
 	cat := flag.Int("cat", 0, "CAT ways for the L3 (hardware mode)")
-	seed := flag.Int64("seed", 1, "simulator seed (hardware mode)")
+	seed := flag.Int64("seed", 1, "simulator seed (hardware mode) and random-walk conformance seed")
 	replicas := flag.Int("replicas", 0, "CPU replicas for the concurrent query engine (hardware mode; 0 = all cores, 1 = serial)")
+	algoName := flag.String("algo", "lstar", "learning algorithm: lstar (observation table) or tree (discrimination tree)")
+	suiteName := flag.String("suite", "wp", "conformance suite: wp, w, or rw (seeded random walk)")
+	walkSteps := flag.Int("walk-steps", 0, "total symbols per random-walk conformance round (rw suite; 0 = default)")
 	depth := flag.Int("depth", 1, "conformance test suite depth k")
 	maxStates := flag.Int("max-states", 100000, "abort when the hypothesis exceeds this many states")
 	reset := flag.String("reset", "", `reset sequence, e.g. "F+R" or "D C B A @" (hardware mode)`)
@@ -47,15 +50,31 @@ func main() {
 	jsonPath := flag.String("json", "", "write the learned automaton as JSON to this file")
 	flag.Parse()
 
+	algo, err := learn.ParseAlgo(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	suite, err := learn.ParseSuite(*suiteName)
+	if err != nil {
+		fatal(err)
+	}
+	lopt := learn.Options{
+		Algo:            algo,
+		Depth:           *depth,
+		Suite:           suite,
+		MaxStates:       *maxStates,
+		RandomWalkSteps: *walkSteps,
+		RandomWalkSeed:  *seed,
+	}
+
 	var machine *mealy.Machine
-	var err error
 	switch {
 	case *polName != "" && *hwName != "":
 		fatal(fmt.Errorf("choose either -policy (simulator) or -hw (hardware)"))
 	case *polName != "":
-		machine, err = learnSim(*polName, *assoc, *depth, *maxStates)
+		machine, err = learnSim(*polName, *assoc, lopt)
 	case *hwName != "":
-		machine, err = learnHW(*hwName, *levelName, *slice, *set, *cat, *seed, *depth, *maxStates, *replicas, *reset)
+		machine, err = learnHW(*hwName, *levelName, *slice, *set, *cat, *seed, lopt, *replicas, *reset)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -94,13 +113,13 @@ func main() {
 	}
 }
 
-func learnSim(name string, assoc, depth, maxStates int) (*mealy.Machine, error) {
-	res, err := core.LearnSimulated(name, assoc, learn.Options{Depth: depth, MaxStates: maxStates})
+func learnSim(name string, assoc int, lopt learn.Options) (*mealy.Machine, error) {
+	res, err := core.LearnSimulated(name, assoc, lopt)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("simulator: %s assoc %d, %d output queries, %v\n",
-		res.Policy, assoc, res.LearnStats.OutputQueries, res.LearnStats.Duration.Round(1e6))
+	fmt.Printf("simulator: %s assoc %d (%s learner), %d output queries, %v\n",
+		res.Policy, assoc, lopt.Algo, res.LearnStats.OutputQueries, res.LearnStats.Duration.Round(1e6))
 	// Verify against the installed ground truth, which we know in
 	// simulator mode.
 	pol := policy.MustNew(name, assoc)
@@ -115,7 +134,7 @@ func learnSim(name string, assoc, depth, maxStates int) (*mealy.Machine, error) 
 	return res.Machine, nil
 }
 
-func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, depth, maxStates, replicas int, reset string) (*mealy.Machine, error) {
+func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, lopt learn.Options, replicas int, reset string) (*mealy.Machine, error) {
 	var cfg hw.CPUConfig
 	switch strings.ToLower(cpuName) {
 	case "haswell":
@@ -140,7 +159,7 @@ func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, depth, 
 		Target:           cachequery.Target{Level: level, Slice: slice, Set: set},
 		Backend:          cachequery.DefaultBackendOptions(),
 		CATWays:          cat,
-		Learn:            learn.Options{Depth: depth, MaxStates: maxStates},
+		Learn:            lopt,
 		DeterminismEvery: 128,
 	}
 	if reset != "" && reset != "F+R" {

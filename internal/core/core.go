@@ -33,7 +33,8 @@ type SimResult struct {
 // LearnSimulated learns a named policy of the given associativity from a
 // software-simulated cache (the §6 case study). The Polca oracle implements
 // learn.BatchTeacher over forking simulator sessions, so the learner's
-// observation-table rows and conformance words are answered on parallel
+// observation-table rows (or discrimination-tree experiments, with
+// opt.Algo = learn.AlgoTree) and conformance words are answered on parallel
 // goroutines automatically. The returned machine is checked against nothing:
 // callers that know the ground truth can extract it with mealy.FromPolicy
 // and compare.
@@ -76,7 +77,9 @@ type HardwareRequest struct {
 	// Resets are the candidate reset sequences to try in order; an empty
 	// list defaults to Flush+Refill.
 	Resets []cachequery.Reset
-	// Learn configures the learner; Depth defaults to the paper's k=1.
+	// Learn configures the learner — algorithm (learn.AlgoLStar or
+	// learn.AlgoTree), conformance suite, budgets; Depth defaults to the
+	// paper's k=1.
 	Learn learn.Options
 	// DeterminismEvery re-checks every n-th Polca query (0 disables).
 	DeterminismEvery int

@@ -133,6 +133,56 @@ func TestLearnHardwareParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestLearnHardwareTreeLearner drives the full hardware pipeline with the
+// discrimination-tree learner, serial and on the replica engine: both must
+// match the L* result and the post-reset ground truth, and the tree must ask
+// fewer output queries.
+func TestLearnHardwareTreeLearner(t *testing.T) {
+	request := func(algo learn.Algo, replicas int) HardwareRequest {
+		return HardwareRequest{
+			CPU:              hw.NewCPU(testCPU(), 9),
+			NewCPU:           func() *hw.CPU { return hw.NewCPU(testCPU(), 9) },
+			Replicas:         replicas,
+			Target:           cachequery.Target{Level: hw.L1, Set: 5},
+			Backend:          cachequery.BackendOptions{MaxBlocks: 12, Reps: 3, EvictRounds: 1, CalibrationSamples: 21},
+			Learn:            learn.Options{Algo: algo, Depth: 1},
+			DeterminismEvery: 64,
+		}
+	}
+	tree, err := LearnHardware(request(learn.AlgoTree, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Machine.NumStates != 8 {
+		t.Errorf("tree learned %d states, want 8 (PLRU-4)", tree.Machine.NumStates)
+	}
+	truth, err := GroundTruthAfterReset(policy.MustNew("PLRU", 4), tree.Reset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ce := tree.Machine.Equivalent(truth); !eq {
+		t.Fatalf("tree machine differs from ground truth, ce=%v", ce)
+	}
+	lstar, err := LearnHardware(request(learn.AlgoLStar, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ce := tree.Machine.Equivalent(lstar.Machine); !eq {
+		t.Fatalf("tree and L* machines differ, ce=%v", ce)
+	}
+	if tree.LearnStats.OutputQueries >= lstar.LearnStats.OutputQueries {
+		t.Errorf("tree asked %d output queries, L* %d — no query win on the hardware pipeline",
+			tree.LearnStats.OutputQueries, lstar.LearnStats.OutputQueries)
+	}
+	parallel, err := LearnHardware(request(learn.AlgoTree, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ce := parallel.Machine.Equivalent(tree.Machine); !eq {
+		t.Fatalf("parallel tree learning diverged from serial, ce=%v", ce)
+	}
+}
+
 func TestLearnHardwareAllResetsFail(t *testing.T) {
 	// An undersized state budget makes every candidate fail.
 	_, err := LearnHardware(HardwareRequest{

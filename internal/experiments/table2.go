@@ -63,12 +63,23 @@ type Table2Row struct {
 	Err      string
 }
 
-// RunTable2Row learns one policy from a software-simulated cache and
-// verifies the result against the extracted ground truth.
+// RunTable2Row learns one policy from a software-simulated cache with the
+// paper's settings (L*, Wp-method, k = 1) and verifies the result against
+// the extracted ground truth.
 func RunTable2Row(name string, assoc int) Table2Row {
+	return RunTable2RowOpt(name, assoc, learn.Options{Depth: 1})
+}
+
+// RunTable2RowOpt is RunTable2Row with explicit learner options — the
+// algorithm (-algo), conformance suite and random-walk seed flow through
+// from cmd/experiments here.
+func RunTable2RowOpt(name string, assoc int, opt learn.Options) Table2Row {
+	if opt.Depth == 0 {
+		opt.Depth = 1
+	}
 	row := Table2Row{Policy: name, Assoc: assoc}
 	start := time.Now()
-	res, err := core.LearnSimulated(name, assoc, learn.Options{Depth: 1})
+	res, err := core.LearnSimulated(name, assoc, opt)
 	row.Time = time.Since(start)
 	if err != nil {
 		row.Err = err.Error()
@@ -101,10 +112,17 @@ func RunTable2(specs []Table2Spec) []Table2Row {
 }
 
 // RunTable2Concurrent learns the spec's configurations on up to `workers`
-// parallel goroutines (rows are independent learning runs, each against its
-// own simulated cache). Row order matches RunTable2; per-row times include
-// scheduling contention, so use workers = 1 when timing against the paper.
+// parallel goroutines with the paper's learner settings.
 func RunTable2Concurrent(specs []Table2Spec, workers int) []Table2Row {
+	return RunTable2ConcurrentOpt(specs, workers, learn.Options{Depth: 1})
+}
+
+// RunTable2ConcurrentOpt learns the spec's configurations on up to `workers`
+// parallel goroutines (rows are independent learning runs, each against its
+// own simulated cache) with explicit learner options. Row order matches
+// RunTable2; per-row times include scheduling contention, so use workers = 1
+// when timing against the paper.
+func RunTable2ConcurrentOpt(specs []Table2Spec, workers int, opt learn.Options) []Table2Row {
 	type job struct {
 		policy string
 		assoc  int
@@ -123,7 +141,7 @@ func RunTable2Concurrent(specs []Table2Spec, workers int) []Table2Row {
 	rows := make([]Table2Row, len(jobs))
 	if workers <= 1 {
 		for i, j := range jobs {
-			rows[i] = RunTable2Row(j.policy, j.assoc)
+			rows[i] = RunTable2RowOpt(j.policy, j.assoc, opt)
 		}
 		return rows
 	}
@@ -137,7 +155,7 @@ func RunTable2Concurrent(specs []Table2Spec, workers int) []Table2Row {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rows[i] = RunTable2Row(jobs[i].policy, jobs[i].assoc)
+				rows[i] = RunTable2RowOpt(jobs[i].policy, jobs[i].assoc, opt)
 			}
 		}()
 	}

@@ -50,6 +50,11 @@ type Table4Job struct {
 	// Replicas sizes the concurrent membership-query engine's CPU-replica
 	// pool: 0 uses every available core, 1 forces the serial pipeline.
 	Replicas int
+	// Learn configures the learner — algorithm (learn.AlgoTree for the
+	// discrimination tree), conformance suite, random-walk seed/steps.
+	// RunTable4Job fills in the paper's depth (k = 1) and the state budget
+	// when left zero.
+	Learn learn.Options
 }
 
 // Table4Row is one row of Table 4.
@@ -110,6 +115,17 @@ func Table4Jobs(quick bool) []Table4Job {
 	return jobs
 }
 
+// table4LearnOptions applies the Table 4 defaults to a job's learner options.
+func table4LearnOptions(opt learn.Options) learn.Options {
+	if opt.Depth == 0 {
+		opt.Depth = 1
+	}
+	if opt.MaxStates == 0 {
+		opt.MaxStates = 4096
+	}
+	return opt
+}
+
 // RunTable4Job learns one target and identifies the resulting policy.
 func RunTable4Job(job Table4Job, opt cachequery.BackendOptions) Table4Row {
 	row := Table4Row{CPU: job.Model.Name, Level: job.Level.String(), Sets: job.SetsNote}
@@ -127,7 +143,7 @@ func RunTable4Job(job Table4Job, opt cachequery.BackendOptions) Table4Row {
 		Target:           job.Target,
 		Backend:          opt,
 		CATWays:          job.CATWays,
-		Learn:            learn.Options{Depth: 1, MaxStates: 4096},
+		Learn:            table4LearnOptions(job.Learn),
 		DeterminismEvery: 128,
 	}
 	if job.Expected != "" {

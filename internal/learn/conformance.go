@@ -20,13 +20,19 @@ import (
 // (|H|+k)-complete: any machine with at most |H|+k states that agrees with H
 // on all test words is trace-equivalent to H (Theorem 3.3).
 
-// checkSuite compares teacher and hypothesis on every test word, in order,
-// returning the first counterexample exactly as the serial loop would — but
-// prefetching the upcoming chunk of words through the BatchTeacher first, so
-// the teacher answers Options.BatchSize independent queries at a time. The
-// counterexample (and hence the whole learning trajectory) is independent of
-// the chunking: words are examined strictly in suite order.
-func (l *learner) checkSuite(hyp *mealy.Machine, words [][]int) ([]int, error) {
+// checkSuite compares teacher and hypothesis on every test word the
+// generator emits, in order, returning the first counterexample exactly as a
+// fully serial loop would — but prefetching each upcoming chunk of words
+// through the BatchTeacher first, so the teacher answers Options.BatchSize
+// independent queries at a time. The counterexample (and hence the whole
+// learning trajectory) is independent of the chunking: words are examined
+// strictly in emission order. Streaming matters for the discrimination-tree
+// learner, which runs the suite once per refinement round: suite words after
+// a counterexample are never even constructed.
+//
+// gen must call emit for every test word and stop as soon as emit returns
+// false.
+func (l *engine) checkSuite(hyp *mealy.Machine, gen func(emit func([]int) bool)) ([]int, error) {
 	chunk := l.batch
 	// Under a query budget, speculative prefetch past a counterexample
 	// could spend queries the serial trajectory never asks and abort a run
@@ -35,31 +41,51 @@ func (l *learner) checkSuite(hyp *mealy.Machine, words [][]int) ([]int, error) {
 	if chunk < 1 || l.opt.MaxQueries > 0 {
 		chunk = 1
 	}
-	for start := 0; start < len(words); start += chunk {
-		end := start + chunk
-		if end > len(words) {
-			end = len(words)
+	var (
+		buf [][]int
+		ce  []int
+		err error
+	)
+	flush := func() bool {
+		if err = l.prefetch(buf); err != nil {
+			return false
 		}
-		if err := l.prefetch(words[start:end]); err != nil {
-			return nil, err
-		}
-		for _, test := range words[start:end] {
+		for _, test := range buf {
 			l.stats.TestWords++
-			ce, err := l.checkWord(hyp, test)
-			if err != nil {
-				return nil, err
-			}
-			if ce != nil {
-				return ce, nil
+			if ce, err = l.checkWord(hyp, test); err != nil || ce != nil {
+				return false
 			}
 		}
+		buf = buf[:0]
+		return true
 	}
-	return nil, nil
+	gen(func(test []int) bool {
+		buf = append(buf, test)
+		if len(buf) >= chunk {
+			return flush()
+		}
+		return true
+	})
+	if err == nil && ce == nil && len(buf) > 0 {
+		flush()
+	}
+	return ce, err
+}
+
+// checkWords is checkSuite over a materialized word list.
+func (l *engine) checkWords(hyp *mealy.Machine, words [][]int) ([]int, error) {
+	return l.checkSuite(hyp, func(emit func([]int) bool) {
+		for _, w := range words {
+			if !emit(w) {
+				return
+			}
+		}
+	})
 }
 
 // wMethodCE runs the W-method suite against the teacher and returns a
 // trimmed counterexample, or nil if the suite passes.
-func (l *learner) wMethodCE(hyp *mealy.Machine) ([]int, error) {
+func (l *engine) wMethodCE(hyp *mealy.Machine) ([]int, error) {
 	access := hyp.AccessSequences()
 	w := hyp.CharacterizingSet()
 
@@ -75,22 +101,25 @@ func (l *learner) wMethodCE(hyp *mealy.Machine) ([]int, error) {
 
 	middles := enumerateWords(l.numIn, l.opt.Depth)
 
-	// The suite streams through the learner's mark trie for prefix-shared
-	// dedup instead of materializing a map of word keys.
-	var suite [][]int
-	l.seen.resetMarks()
-	for _, u := range cover {
-		for _, m := range middles {
-			for _, suf := range w {
-				test := concatWords(u, m, suf)
-				if len(test) == 0 || !l.seen.insertMark(test) {
-					continue
+	// The suite streams through a mark trie for prefix-shared dedup instead
+	// of materializing a map of word keys. The dedup trie is separate from
+	// the prefetch scratch trie: generation interleaves with prefetching.
+	l.suite.resetMarks()
+	return l.checkSuite(hyp, func(emit func([]int) bool) {
+		for _, u := range cover {
+			for _, m := range middles {
+				for _, suf := range w {
+					test := concatWords(u, m, suf)
+					if len(test) == 0 || !l.suite.insertMark(test) {
+						continue
+					}
+					if !emit(test) {
+						return
+					}
 				}
-				suite = append(suite, test)
 			}
 		}
-	}
-	return l.checkSuite(hyp, suite)
+	})
 }
 
 // wpMethodCE runs the Wp-method suite against the teacher. Phase 1 applies
@@ -98,51 +127,72 @@ func (l *learner) wMethodCE(hyp *mealy.Machine) ([]int, error) {
 // the identification set of the reached state after the remaining
 // transition-cover words. The suite is (|H|+k)-complete like the W-method
 // but substantially smaller, which is why the paper uses it.
-func (l *learner) wpMethodCE(hyp *mealy.Machine) ([]int, error) {
+func (l *engine) wpMethodCE(hyp *mealy.Machine) ([]int, error) {
+	// The Wp-method's phase 2 identifies the reached state by a subset of W
+	// unique to it — which requires the hypothesis to be reduced. Mid-learning
+	// hypotheses (the discrimination tree's especially) can briefly contain
+	// hypothesis-equivalent states; their identification sets would be empty
+	// and phase 2 would silently skip those transitions. Fall back to the
+	// plain W-method for such degenerate rounds — soundness over suite size.
+	if hyp.Minimize().NumStates < hyp.NumStates {
+		return l.wMethodCE(hyp)
+	}
 	access := hyp.AccessSequences()
 	w := hyp.CharacterizingSet()
 	ident := identificationSets(hyp, w)
 	middles := enumerateWords(l.numIn, l.opt.Depth)
 
-	var suite [][]int
-	l.seen.resetMarks()
-	add := func(test []int) {
-		if len(test) == 0 || !l.seen.insertMark(test) {
-			return
-		}
-		suite = append(suite, test)
-	}
-
-	// Phase 1: state cover x middles x W.
-	for _, u := range access {
-		for _, m := range middles {
-			for _, suf := range w {
-				add(concatWords(u, m, suf))
+	l.suite.resetMarks()
+	return l.checkSuite(hyp, func(emit func([]int) bool) {
+		add := func(test []int) bool {
+			if len(test) == 0 || !l.suite.insertMark(test) {
+				return true
 			}
+			return emit(test)
 		}
-	}
-	// Phase 2: transition cover x middles x identification set of the
-	// state the hypothesis predicts.
-	for _, u := range access {
-		for a := 0; a < l.numIn; a++ {
-			ua := concatWords(u, []int{a})
+		// Phase 1: state cover x middles x W.
+		for _, u := range access {
 			for _, m := range middles {
-				r := concatWords(ua, m)
-				s := hyp.StateAfter(r)
-				for _, suf := range ident[s] {
-					add(concatWords(r, suf))
+				for _, suf := range w {
+					if !add(concatWords(u, m, suf)) {
+						return
+					}
 				}
 			}
 		}
-	}
-	return l.checkSuite(hyp, suite)
+		// Phase 2: transition cover x middles x identification set of the
+		// state the hypothesis predicts.
+		for _, u := range access {
+			for a := 0; a < l.numIn; a++ {
+				ua := concatWords(u, []int{a})
+				for _, m := range middles {
+					r := concatWords(ua, m)
+					s := hyp.StateAfter(r)
+					for _, suf := range ident[s] {
+						if !add(concatWords(r, suf)) {
+							return
+						}
+					}
+				}
+			}
+		}
+	})
 }
 
 // identificationSets computes, per state, a minimal-ish subset of W whose
 // output signature is unique to that state (greedy cover).
 func identificationSets(hyp *mealy.Machine, w [][]int) [][][]int {
+	// Intern every (state, word) output once up front; the cover loop below
+	// compares pairs of states per word and would otherwise re-intern the
+	// same output vectors O(n) times each.
 	ids := intern.New()
-	sig := func(s int, word []int) int32 { return ids.Word(hyp.RunFrom(s, word)) }
+	sigTab := make([][]int32, hyp.NumStates)
+	for s := 0; s < hyp.NumStates; s++ {
+		sigTab[s] = make([]int32, len(w))
+		for i, word := range w {
+			sigTab[s][i] = ids.Word(hyp.RunFrom(s, word))
+		}
+	}
 	out := make([][][]int, hyp.NumStates)
 	for s := 0; s < hyp.NumStates; s++ {
 		alive := make(map[int]bool, hyp.NumStates-1)
@@ -152,14 +202,14 @@ func identificationSets(hyp *mealy.Machine, w [][]int) [][][]int {
 			}
 		}
 		var set [][]int
-		for _, word := range w {
+		for i, word := range w {
 			if len(alive) == 0 {
 				break
 			}
 			split := false
-			mine := sig(s, word)
+			mine := sigTab[s][i]
 			for t := range alive {
-				if sig(t, word) != mine {
+				if sigTab[t][i] != mine {
 					delete(alive, t)
 					split = true
 				}
@@ -169,8 +219,15 @@ func identificationSets(hyp *mealy.Machine, w [][]int) [][][]int {
 			}
 		}
 		// States that remain equal under all of W are trace-equivalent in
-		// a non-minimal hypothesis; the learner's hypotheses are reduced,
-		// so alive is empty here.
+		// a non-minimal hypothesis; reduced hypotheses never leave alive
+		// non-empty (wpMethodCE falls back to the W-method otherwise).
+		if len(set) == 0 {
+			// A single-state hypothesis has nothing to separate, but its
+			// transition cover still needs outputs exercised in phase 2 —
+			// the discrimination-tree learner's first hypothesis depends on
+			// it to surface the first counterexample.
+			set = w
+		}
 		out[s] = set
 	}
 	return out
@@ -209,7 +266,7 @@ func enumerateWords(numIn, k int) [][]int {
 // randomWalkCE samples random words until the step budget is exhausted.
 // Unlike the W-method it gives no completeness guarantee, but explores much
 // deeper traces per query.
-func (l *learner) randomWalkCE(hyp *mealy.Machine) ([]int, error) {
+func (l *engine) randomWalkCE(hyp *mealy.Machine) ([]int, error) {
 	steps := l.opt.RandomWalkSteps
 	if steps <= 0 {
 		steps = 10000
@@ -235,7 +292,7 @@ func (l *learner) randomWalkCE(hyp *mealy.Machine) ([]int, error) {
 		spent += n
 		words = append(words, word)
 	}
-	return l.checkSuite(hyp, words)
+	return l.checkWords(hyp, words)
 }
 
 // MachineTeacher adapts an explicit Mealy machine into a Teacher, used to

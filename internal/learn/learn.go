@@ -6,6 +6,12 @@
 // configurable depth k, yielding the relative completeness guarantee of
 // Corollary 3.4: a returned hypothesis H is either trace-equivalent to the
 // policy under learning, or the policy has more than |H| + k states.
+//
+// Two learning algorithms share that infrastructure: the L*-style
+// observation-table learner (AlgoLStar, the paper's setting) and a
+// discrimination-tree learner (AlgoTree, observation-pack/TTT style) that
+// asks asymptotically fewer output queries by storing only the
+// distinguishing experiments that actually separate states.
 package learn
 
 import (
@@ -47,10 +53,85 @@ const (
 	// SuiteW is the classic W-method: the full characterizing set on the
 	// whole transition cover.
 	SuiteW
+	// SuiteRandomWalk samples random test words instead of a complete
+	// suite (no completeness guarantee, much deeper traces per query).
+	// Options.RandomWalkSteps bounds the total symbols drawn per round and
+	// Options.RandomWalkSeed makes runs reproducible end to end.
+	SuiteRandomWalk
 )
+
+// String returns the flag spelling of the suite.
+func (s Suite) String() string {
+	switch s {
+	case SuiteWp:
+		return "wp"
+	case SuiteW:
+		return "w"
+	case SuiteRandomWalk:
+		return "rw"
+	}
+	return fmt.Sprintf("Suite(%d)", int(s))
+}
+
+// ParseSuite parses a flag spelling ("wp", "w", or "rw") into a Suite — the
+// shared mapping behind every CLI's -suite flag.
+func ParseSuite(s string) (Suite, error) {
+	switch strings.ToLower(s) {
+	case "", "wp":
+		return SuiteWp, nil
+	case "w":
+		return SuiteW, nil
+	case "rw", "randomwalk", "random-walk":
+		return SuiteRandomWalk, nil
+	}
+	return 0, fmt.Errorf("learn: unknown conformance suite %q (want wp, w, or rw)", s)
+}
+
+// Algo selects the learning algorithm.
+type Algo int
+
+// Learning algorithms.
+const (
+	// AlgoLStar is the L*-style observation-table learner (Angluin/Niese),
+	// with a reduced table and Maler–Pnueli counterexample handling — the
+	// algorithm the paper runs through LearnLib.
+	AlgoLStar Algo = iota
+	// AlgoTree is the discrimination-tree learner (observation-pack/TTT
+	// style): states are leaves of a tree of distinguishing suffixes,
+	// transitions are computed by sifting, and counterexamples are
+	// decomposed by Rivest–Schapire binary search. It asks asymptotically
+	// fewer output queries than the observation table because a state only
+	// pays for the experiments on its own root-to-leaf path.
+	AlgoTree
+)
+
+// String returns the flag spelling of the algorithm.
+func (a Algo) String() string {
+	switch a {
+	case AlgoLStar:
+		return "lstar"
+	case AlgoTree:
+		return "tree"
+	}
+	return fmt.Sprintf("Algo(%d)", int(a))
+}
+
+// ParseAlgo parses a flag spelling ("lstar" or "tree") into an Algo.
+func ParseAlgo(s string) (Algo, error) {
+	switch strings.ToLower(s) {
+	case "", "lstar", "l*":
+		return AlgoLStar, nil
+	case "tree", "dt", "ttt":
+		return AlgoTree, nil
+	}
+	return 0, fmt.Errorf("learn: unknown algorithm %q (want lstar or tree)", s)
+}
 
 // Options configures the learning loop.
 type Options struct {
+	// Algo selects the learning algorithm (default: the L*-style
+	// observation table).
+	Algo Algo
 	// Depth is the conformance-testing depth k (§3.4); the test suite is
 	// (|H|+k)-complete. The paper uses k = 1 throughout.
 	Depth int
@@ -61,7 +142,8 @@ type Options struct {
 	MaxStates int
 	// RandomWalk switches the equivalence oracle to random-walk testing
 	// with RandomWalkSteps total symbols (an alternative the paper
-	// mentions but does not default to). It overrides Suite.
+	// mentions but does not default to). It is the legacy spelling of
+	// Suite == SuiteRandomWalk and overrides Suite when set.
 	RandomWalk      bool
 	RandomWalkSteps int
 	RandomWalkSeed  int64
@@ -106,9 +188,9 @@ type Result struct {
 	Stats   Stats
 }
 
-// Learn runs the L* learning loop against the teacher until the conformance
-// suite of depth Options.Depth finds no counterexample, and returns the
-// final hypothesis.
+// Learn runs the learning loop selected by Options.Algo against the teacher
+// until the conformance suite of depth Options.Depth finds no
+// counterexample, and returns the final hypothesis.
 func Learn(t Teacher, opt Options) (*Result, error) {
 	if opt.Depth < 0 {
 		return nil, fmt.Errorf("learn: negative depth %d", opt.Depth)
@@ -116,50 +198,90 @@ func Learn(t Teacher, opt Options) (*Result, error) {
 	if t.NumInputs() < 1 {
 		return nil, fmt.Errorf("learn: teacher has an empty input alphabet")
 	}
-	l := &learner{
+
+	var (
+		m     *mealy.Machine
+		err   error
+		stats *Stats
+	)
+	start := time.Now()
+	switch opt.Algo {
+	case AlgoLStar:
+		l := &learner{
+			engine: newEngine(t, opt),
+			sufs:   newWordTrie(t.NumInputs()),
+			ids:    intern.New(),
+		}
+		m, err = l.run()
+		stats = &l.stats
+	case AlgoTree:
+		l := &treeLearner{
+			engine: newEngine(t, opt),
+			ids:    intern.New(),
+		}
+		m, err = l.run()
+		stats = &l.stats
+	default:
+		return nil, fmt.Errorf("learn: unknown algorithm %v", opt.Algo)
+	}
+	stats.Duration = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Machine: m, Stats: *stats}, nil
+}
+
+// engine is the query infrastructure shared by every learning algorithm: the
+// teacher handle, the (trie or flat) output-query memo, batch prefetching,
+// the scratch dedup set, the conformance-suite construction, and the cost
+// counters. The algorithms (observation table, discrimination tree) embed it
+// and differ only in how they organize observations into a hypothesis.
+type engine struct {
+	teacher Teacher
+	opt     Options
+	numIn   int
+	batch   int // prefetch chunk size; <= 1 keeps the loop exactly serial
+
+	memo  *wordTrie        // prefix-tree output-query memo (default)
+	flat  map[string][]int // exact-match memo (Options.FlatMemo)
+	seen  *wordTrie        // scratch dedup set (batch prefetch)
+	suite *wordTrie        // suite-streaming dedup set (interleaves with seen)
+
+	stats Stats
+}
+
+// newEngine builds the shared query infrastructure for one learning run.
+func newEngine(t Teacher, opt Options) engine {
+	e := engine{
 		teacher: t,
 		opt:     opt,
 		numIn:   t.NumInputs(),
 		batch:   resolveBatch(t, opt),
 		seen:    newWordTrie(t.NumInputs()),
-		sufs:    newWordTrie(t.NumInputs()),
-		ids:     intern.New(),
+		suite:   newWordTrie(t.NumInputs()),
 	}
 	if opt.FlatMemo {
-		l.flat = make(map[string][]int)
+		e.flat = make(map[string][]int)
 	} else {
-		l.memo = newWordTrie(l.numIn)
+		e.memo = newWordTrie(e.numIn)
 	}
-	start := time.Now()
-	m, err := l.run()
-	l.stats.Duration = time.Since(start)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Machine: m, Stats: l.stats}, nil
+	return e
 }
 
-// learner holds the observation-table state. The table is kept reduced:
-// every short prefix in P has a distinct row, so the hypothesis is
-// well-defined without a separate consistency phase, and counterexamples are
-// processed by adding all their suffixes to S (Maler–Pnueli).
+// learner holds the observation-table state of the L* algorithm. The table
+// is kept reduced: every short prefix in P has a distinct row, so the
+// hypothesis is well-defined without a separate consistency phase, and
+// counterexamples are processed by adding all their suffixes to S
+// (Maler–Pnueli).
 type learner struct {
-	teacher Teacher
-	opt     Options
-	numIn   int
-	batch   int // prefetch chunk size; <= 1 keeps the loop exactly serial
+	engine
 
 	prefixes [][]int // P, prefix-closed, pairwise distinct rows
 	suffixes [][]int // S, suffix set (non-empty words)
 	sufs     *wordTrie
 	fetchedS int // suffixes whose table columns have been batch-prefetched
 
-	memo *wordTrie        // prefix-tree output-query memo (default)
-	flat map[string][]int // exact-match memo (Options.FlatMemo)
-	seen *wordTrie        // scratch dedup set (suite construction, prefetch)
-
-	ids   *intern.Interner // row/cell signature interning
-	stats Stats
+	ids *intern.Interner // row/cell signature interning
 }
 
 // resolveBatch computes the effective prefetch chunk for a teacher: explicit
@@ -203,7 +325,7 @@ func wordKey(w []int) string {
 // memoized returns the memo's answer for w, if any. The trie memo also
 // answers words that are proper prefixes of an already-answered word —
 // outputs are prefix-closed, so no teacher query is needed.
-func (l *learner) memoized(w []int) ([]int, bool) {
+func (l *engine) memoized(w []int) ([]int, bool) {
 	if l.memo != nil {
 		return l.memo.outputs(w, nil)
 	}
@@ -212,7 +334,7 @@ func (l *learner) memoized(w []int) ([]int, bool) {
 }
 
 // remember stores a fresh answer, taking ownership of out.
-func (l *learner) remember(w, out []int) {
+func (l *engine) remember(w, out []int) {
 	if l.memo != nil {
 		l.memo.record(w, out)
 		return
@@ -221,7 +343,7 @@ func (l *learner) remember(w, out []int) {
 }
 
 // query returns the teacher's output word for w, memoized.
-func (l *learner) query(w []int) ([]int, error) {
+func (l *engine) query(w []int) ([]int, error) {
 	if out, ok := l.memoized(w); ok {
 		return out, nil
 	}
@@ -246,7 +368,7 @@ func (l *learner) query(w []int) ([]int, error) {
 // it. Afterwards query/cell on any prefetched word is a pure cache lookup, so
 // callers keep their serial, deterministic control flow while the teacher
 // answers the whole batch at once (typically on parallel goroutines).
-func (l *learner) prefetch(words [][]int) error {
+func (l *engine) prefetch(words [][]int) error {
 	bt, ok := l.teacher.(BatchTeacher)
 	if !ok || l.batch <= 1 {
 		return nil // the serial path asks lazily, paying no speculative queries
@@ -297,7 +419,7 @@ func (l *learner) prefetch(words [][]int) error {
 
 // cell returns the output word of suffix s observed after prefix u. On a
 // memo hit the trie answers u·s without concatenating the word.
-func (l *learner) cell(u, s []int) ([]int, error) {
+func (l *engine) cell(u, s []int) ([]int, error) {
 	if l.memo != nil {
 		if out, ok := l.memo.outputs(u, s); ok {
 			return out[len(u):], nil
@@ -473,8 +595,8 @@ func (l *learner) closeAndBuild() (*mealy.Machine, error) {
 // findCounterexample approximates the equivalence query. It returns nil when
 // the conformance suite agrees with the hypothesis everywhere, and otherwise
 // a shortest failing prefix of some failing test word.
-func (l *learner) findCounterexample(hyp *mealy.Machine) ([]int, error) {
-	if l.opt.RandomWalk {
+func (l *engine) findCounterexample(hyp *mealy.Machine) ([]int, error) {
+	if l.opt.RandomWalk || l.opt.Suite == SuiteRandomWalk {
 		return l.randomWalkCE(hyp)
 	}
 	if l.opt.Suite == SuiteW {
@@ -485,14 +607,19 @@ func (l *learner) findCounterexample(hyp *mealy.Machine) ([]int, error) {
 
 // checkWord compares teacher and hypothesis on one word, returning the
 // failing prefix or nil.
-func (l *learner) checkWord(hyp *mealy.Machine, w []int) ([]int, error) {
+func (l *engine) checkWord(hyp *mealy.Machine, w []int) ([]int, error) {
 	got, err := l.query(w)
 	if err != nil {
 		return nil, err
 	}
-	want := hyp.Run(w)
-	for i := range w {
-		if got[i] != want[i] {
+	// Step the hypothesis in place instead of materializing hyp.Run(w):
+	// conformance testing examines hundreds of thousands of words, most of
+	// them memo hits, and this loop is their only per-word cost.
+	state := hyp.Init
+	for i, a := range w {
+		var out int
+		state, out = hyp.Step(state, a)
+		if got[i] != out {
 			return w[:i+1], nil
 		}
 	}

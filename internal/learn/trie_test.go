@@ -60,8 +60,8 @@ func TestTrieLearnerMatchesFlatMemo(t *testing.T) {
 func TestTriePrefixSharingSavesQueries(t *testing.T) {
 	truth, _ := mealy.FromPolicy(policy.MustNew("MRU", 4), 0)
 	counter := newCountingTeacher(truth)
-	l := &learner{teacher: counter, numIn: truth.NumInputs, batch: 1,
-		memo: newWordTrie(truth.NumInputs), seen: newWordTrie(truth.NumInputs)}
+	l := &learner{engine: engine{teacher: counter, numIn: truth.NumInputs, batch: 1,
+		memo: newWordTrie(truth.NumInputs), seen: newWordTrie(truth.NumInputs)}}
 	long := []int{4, 0, 1, 4, 2}
 	if _, err := l.query(long); err != nil {
 		t.Fatal(err)

@@ -375,19 +375,20 @@ func (m *Machine) CharacterizingSet() [][]int {
 		return [][]int{{0}}
 	}
 	var w [][]int
+	// Integer-pair signatures over the current W — the output vector of
+	// each state folds to one interned id, no string building. Signatures
+	// are extended incrementally: appending a word to W folds one more
+	// output id onto every state's running signature instead of replaying
+	// the whole set, so growing W to size k costs O(k·n), not O(k²·n).
+	it := intern.New()
+	sigOf := make([]int32, mm.NumStates)
+	for i := range sigOf {
+		sigOf[i] = intern.Empty
+	}
 	for {
-		// Integer-pair signatures over the current W — the output vector of
-		// each state folds to one interned id, no string building.
-		it := intern.New()
-		sigOf := make([]int32, mm.NumStates)
 		classes := make(map[int32][]int)
 		for s := 0; s < mm.NumStates; s++ {
-			sig := intern.Empty
-			for _, word := range w {
-				sig = it.Pair(sig, it.Word(mm.RunFrom(s, word)))
-			}
-			sigOf[s] = sig
-			classes[sig] = append(classes[sig], s)
+			classes[sigOf[s]] = append(classes[sigOf[s]], s)
 		}
 		if len(classes) == mm.NumStates {
 			return w
@@ -405,6 +406,9 @@ func (m *Machine) CharacterizingSet() [][]int {
 				panic("mealy: minimized machine has equivalent states")
 			}
 			w = append(w, d)
+			for t := 0; t < mm.NumStates; t++ {
+				sigOf[t] = it.Pair(sigOf[t], it.Word(mm.RunFrom(t, d)))
+			}
 			split = true
 		}
 		if !split {
