@@ -81,16 +81,22 @@ func runTable2(args []string) error {
 	suiteName := fs.String("suite", "wp", "conformance suite: wp, w, or rw (seeded random walk)")
 	seed := fs.Int64("seed", 1, "random-walk conformance seed (rw suite); fixed seeds make runs reproducible")
 	walkSteps := fs.Int("walk-steps", 0, "total symbols per random-walk conformance round (rw suite; 0 = default)")
+	snapshotDir := fs.String("snapshot-dir", "", "per-row oracle snapshot directory: existing snapshots warm-start rows, fresh stores are saved back")
 	fs.Parse(args)
 	opt, err := learnOptions(*algoName, *suiteName, *seed, *walkSteps)
 	if err != nil {
 		return err
 	}
+	if *snapshotDir != "" {
+		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+			return err
+		}
+	}
 	spec := experiments.Table2Default()
 	if *full {
 		spec = experiments.Table2Full()
 	}
-	rows := experiments.RunTable2ConcurrentOpt(spec, *workers, opt)
+	rows := experiments.RunTable2ConcurrentSnap(spec, *workers, opt, *snapshotDir)
 	experiments.Table2Table(rows).Render(os.Stdout)
 	return nil
 }

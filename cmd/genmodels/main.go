@@ -46,6 +46,7 @@ func main() {
 	out := flag.String("out", "models", "output directory for the JSON artifacts")
 	quick := flag.Bool("quick", false, "skip the learning cross-check; extract the machines only")
 	algoName := flag.String("algo", "lstar", "learning algorithm for the cross-check: lstar or tree")
+	snapshotDir := flag.String("snapshot-dir", "", "per-policy oracle snapshot directory for the cross-check: existing snapshots warm-start the re-learn, fresh stores are saved back")
 	flag.Parse()
 
 	algo, err := learn.ParseAlgo(*algoName)
@@ -56,6 +57,11 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
+	if *snapshotDir != "" {
+		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 
 	specs := published()
 	errs := make([]error, len(specs))
@@ -64,7 +70,7 @@ func main() {
 		wg.Add(1)
 		go func(i int, s spec) {
 			defer wg.Done()
-			errs[i] = generate(*out, s, !*quick, algo)
+			errs[i] = generate(*out, s, !*quick, algo, *snapshotDir)
 		}(i, s)
 	}
 	wg.Wait()
@@ -83,13 +89,14 @@ func main() {
 }
 
 // generate extracts (and optionally learns and cross-checks) one artifact.
-func generate(dir string, s spec, verify bool, algo learn.Algo) error {
+func generate(dir string, s spec, verify bool, algo learn.Algo, snapshotDir string) error {
 	truth, err := mealy.FromPolicy(policy.MustNew(s.name, s.assoc), 0)
 	if err != nil {
 		return err
 	}
 	if verify {
-		res, err := core.LearnSimulated(s.name, s.assoc, learn.Options{Algo: algo, Depth: 1})
+		snap := core.SnapshotInDir(snapshotDir, s.name, s.assoc)
+		res, err := core.LearnSimulatedSnapshot(s.name, s.assoc, learn.Options{Algo: algo, Depth: 1}, snap)
 		if err != nil {
 			return fmt.Errorf("learning: %w", err)
 		}

@@ -10,6 +10,11 @@
 //	polca -hw skylake -level L2 -set 0         # learn from simulated silicon
 //	polca -hw skylake -level L3 -cat 4         # with CAT-reduced L3
 //	polca -policy LRU -assoc 4 -dot lru.dot    # export the automaton
+//
+//	# Save the oracle's query store, then warm-start a re-learn from it
+//	# (bit-identical machine, backend probed only for new words):
+//	polca -policy New1 -assoc 4 -snapshot new1.qs
+//	polca -policy New1 -assoc 4 -warm new1.qs
 package main
 
 import (
@@ -48,7 +53,10 @@ func main() {
 	explain := flag.Bool("explain", false, "synthesize a rule-based explanation of the result")
 	dotPath := flag.String("dot", "", "write the learned automaton in DOT format to this file")
 	jsonPath := flag.String("json", "", "write the learned automaton as JSON to this file")
+	warm := flag.String("warm", "", "warm start: load an oracle query-store snapshot from this file before learning")
+	snapshot := flag.String("snapshot", "", "save the oracle query-store snapshot to this file after learning")
 	flag.Parse()
+	snap := core.SnapshotOptions{WarmPath: *warm, SavePath: *snapshot}
 
 	algo, err := learn.ParseAlgo(*algoName)
 	if err != nil {
@@ -72,9 +80,9 @@ func main() {
 	case *polName != "" && *hwName != "":
 		fatal(fmt.Errorf("choose either -policy (simulator) or -hw (hardware)"))
 	case *polName != "":
-		machine, err = learnSim(*polName, *assoc, lopt)
+		machine, err = learnSim(*polName, *assoc, lopt, snap)
 	case *hwName != "":
-		machine, err = learnHW(*hwName, *levelName, *slice, *set, *cat, *seed, lopt, *replicas, *reset)
+		machine, err = learnHW(*hwName, *levelName, *slice, *set, *cat, *seed, lopt, *replicas, *reset, snap)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -113,13 +121,17 @@ func main() {
 	}
 }
 
-func learnSim(name string, assoc int, lopt learn.Options) (*mealy.Machine, error) {
-	res, err := core.LearnSimulated(name, assoc, lopt)
+func learnSim(name string, assoc int, lopt learn.Options, snap core.SnapshotOptions) (*mealy.Machine, error) {
+	res, err := core.LearnSimulatedSnapshot(name, assoc, lopt, snap)
 	if err != nil {
 		return nil, err
 	}
 	fmt.Printf("simulator: %s assoc %d (%s learner), %d output queries, %v\n",
 		res.Policy, assoc, lopt.Algo, res.LearnStats.OutputQueries, res.LearnStats.Duration.Round(1e6))
+	// The oracle-side cost line is what warm-start tooling (the nightly
+	// snapshot job) parses: probes drop to ~0 on a warm re-learn.
+	fmt.Printf("oracle: %d probes, %d accesses, %d memo hits\n",
+		res.OracleStats.Probes, res.OracleStats.Accesses, res.OracleStats.MemoHits)
 	// Verify against the installed ground truth, which we know in
 	// simulator mode.
 	pol := policy.MustNew(name, assoc)
@@ -134,7 +146,7 @@ func learnSim(name string, assoc int, lopt learn.Options) (*mealy.Machine, error
 	return res.Machine, nil
 }
 
-func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, lopt learn.Options, replicas int, reset string) (*mealy.Machine, error) {
+func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, lopt learn.Options, replicas int, reset string, snap core.SnapshotOptions) (*mealy.Machine, error) {
 	var cfg hw.CPUConfig
 	switch strings.ToLower(cpuName) {
 	case "haswell":
@@ -161,6 +173,7 @@ func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, lopt le
 		CATWays:          cat,
 		Learn:            lopt,
 		DeterminismEvery: 128,
+		Snapshot:         snap,
 	}
 	if reset != "" && reset != "F+R" {
 		seq := strings.Fields(reset)

@@ -4,14 +4,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blocks"
 	"repro/internal/cache"
 	"repro/internal/hw"
-	"repro/internal/intern"
 	"repro/internal/mbl"
+	"repro/internal/qstore"
 )
 
 // QueryResult is the outcome of one expanded query: the hit/miss value of
@@ -48,48 +48,53 @@ func (s *FrontendStats) Add(o FrontendStats) {
 	s.Duration += o.Duration
 }
 
-// ResultStore is a reader/writer-locked query-result cache (the LevelDB
-// role). One store may be shared by several frontends, so a query answered
-// on one CPU replica of a parallel prober is never re-executed on another.
+// resultStoreStripes is the lock-stripe count of a ResultStore: replica
+// pools are typically core-count wide, so a few times that many shards
+// keeps collisions rare.
+const resultStoreStripes = 32
+
+// resultRouteDepth is how many leading key symbols route a result-store
+// key to its shard. The first four symbols (flush flag and target
+// coordinates) are near-constant within one learning run, so routing
+// folds in the first operation code too.
+const resultRouteDepth = 5
+
+// ResultStore is the lock-striped query-result cache (the LevelDB role),
+// an exact-match instance of the shared query store (internal/qstore).
+// One store may be shared by several frontends, so a query answered on
+// one CPU replica of a parallel prober is never re-executed on another —
+// and replicas writing results for different queries land on different
+// shards instead of serializing on one lock.
 //
-// Keys are integer sequences — target coordinates followed by interned
-// (block id, tag) codes — folded to a dense id by pair chaining, so the
-// index is an int map with no string keys built or hashed on the hot path.
-// Reads intern nothing: a missing chain link is a miss under the read lock.
+// Keys are integer sequences — a flush flag, target coordinates, then one
+// dense (block id, tag) code per operation — so no string keys are built
+// or hashed on the hot path.
 type ResultStore struct {
-	mu   sync.RWMutex
-	keys *intern.Interner
-	vals map[int32]string // key id -> encoded outcomes
+	st *qstore.Store[int32, string]
+	n  atomic.Int64 // cached results (CountSet without a full scan)
 }
 
 // NewResultStore returns an empty shared result cache.
 func NewResultStore() *ResultStore {
-	return &ResultStore{keys: intern.New(), vals: make(map[int32]string)}
+	return &ResultStore{st: qstore.New[int32, string](qstore.Options{
+		Stripes:    resultStoreStripes,
+		Sync:       true,
+		RouteDepth: resultRouteDepth,
+	})}
 }
 
 func (rs *ResultStore) get(key []int32) (string, bool) {
-	rs.mu.RLock()
-	defer rs.mu.RUnlock()
-	id, ok := rs.keys.LookupWord32(key)
-	if !ok {
-		return "", false
-	}
-	v, ok := rs.vals[id]
-	return v, ok
+	return rs.st.Get(key)
 }
 
 func (rs *ResultStore) put(key []int32, val string) {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	rs.vals[rs.keys.Word32(key)] = val
+	if rs.st.Set(key, val) {
+		rs.n.Add(1)
+	}
 }
 
 // Len returns the number of cached query results.
-func (rs *ResultStore) Len() int {
-	rs.mu.RLock()
-	defer rs.mu.RUnlock()
-	return len(rs.vals)
-}
+func (rs *ResultStore) Len() int { return int(rs.n.Load()) }
 
 // Frontend expands MBL expressions, routes them to per-set backends, and
 // caches results — the Python frontend plus LevelDB layer of the real tool.

@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 
 	"repro/internal/blocks"
@@ -30,6 +32,91 @@ type SimResult struct {
 	OracleStats polca.Stats
 }
 
+// SnapshotOptions controls oracle query-store persistence around a
+// learning run. Snapshots make learning warm-startable: a saved store
+// answers every previously-asked policy query from disk, so a re-learn
+// touches the backend only for genuinely new words.
+type SnapshotOptions struct {
+	// WarmPath, when set, loads this snapshot into the oracle before
+	// learning. The snapshot must have been recorded for the same system
+	// (policy/associativity, or CPU/target/reset) — the scope check
+	// refuses anything else.
+	WarmPath string
+	// SavePath, when set, writes the oracle's query store here after a
+	// successful learning run.
+	SavePath string
+}
+
+// SimSnapshotScope is the scope string tagging simulator snapshots: the
+// learned system is fully identified by policy name and associativity.
+func SimSnapshotScope(policyName string, assoc int) string {
+	return fmt.Sprintf("sim:%s-%d", policyName, assoc)
+}
+
+// SnapshotPathInDir is the canonical per-system snapshot file inside a
+// snapshot directory: <dir>/<policy>-<assoc>.qs.
+func SnapshotPathInDir(dir, policyName string, assoc int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%d.qs", policyName, assoc))
+}
+
+// SnapshotInDir builds the SnapshotOptions shared by the snapshot-dir
+// flows (cmd/experiments table2, cmd/genmodels): the system's store is
+// always saved into dir, and warm-starts from it when a snapshot already
+// exists there. An empty dir disables persistence.
+func SnapshotInDir(dir, policyName string, assoc int) SnapshotOptions {
+	if dir == "" {
+		return SnapshotOptions{}
+	}
+	path := SnapshotPathInDir(dir, policyName, assoc)
+	snap := SnapshotOptions{SavePath: path}
+	if _, err := os.Stat(path); err == nil {
+		snap.WarmPath = path
+	}
+	return snap
+}
+
+// loadSnapshot warm-starts an oracle from a snapshot file.
+func loadSnapshot(oracle *polca.Oracle, path, scope string) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: warm start: %w", err)
+	}
+	defer fh.Close()
+	if err := oracle.LoadSnapshot(fh, scope); err != nil {
+		return fmt.Errorf("core: warm start from %s: %w", path, err)
+	}
+	return nil
+}
+
+// saveSnapshot persists an oracle's query store to a snapshot file. The
+// write goes through a temp file and an atomic rename, so a crash or a
+// full disk mid-write never destroys an existing good snapshot — which
+// the snapshot-dir auto-warm flows would otherwise keep failing on.
+func saveSnapshot(oracle *polca.Oracle, path, scope string) error {
+	fh, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: saving snapshot: %w", err)
+	}
+	tmp := fh.Name()
+	fail := func(err error) error {
+		fh.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: saving snapshot to %s: %w", path, err)
+	}
+	if err := oracle.SaveSnapshot(fh, scope); err != nil {
+		return fail(err)
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: saving snapshot to %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: saving snapshot to %s: %w", path, err)
+	}
+	return nil
+}
+
 // LearnSimulated learns a named policy of the given associativity from a
 // software-simulated cache (the §6 case study). The Polca oracle implements
 // learn.BatchTeacher over forking simulator sessions, so the learner's
@@ -39,14 +126,35 @@ type SimResult struct {
 // callers that know the ground truth can extract it with mealy.FromPolicy
 // and compare.
 func LearnSimulated(policyName string, assoc int, opt learn.Options) (*SimResult, error) {
+	return LearnSimulatedSnapshot(policyName, assoc, opt, SnapshotOptions{})
+}
+
+// LearnSimulatedSnapshot is LearnSimulated with oracle query-store
+// persistence: an existing snapshot warm-starts the oracle (the learner
+// replays recorded answers from disk and probes the simulator only for
+// new words), and the store can be saved after the run for the next one.
+// The learned machine — and the learner's whole query trajectory — is
+// bit-identical cold or warm; only the backend probe count changes.
+func LearnSimulatedSnapshot(policyName string, assoc int, opt learn.Options, snap SnapshotOptions) (*SimResult, error) {
 	pol, err := policy.New(policyName, assoc)
 	if err != nil {
 		return nil, err
 	}
 	oracle := polca.NewOracle(polca.NewSimProber(pol))
+	scope := SimSnapshotScope(pol.Name(), assoc)
+	if snap.WarmPath != "" {
+		if err := loadSnapshot(oracle, snap.WarmPath, scope); err != nil {
+			return nil, err
+		}
+	}
 	res, err := learn.Learn(oracle, opt)
 	if err != nil {
 		return nil, err
+	}
+	if snap.SavePath != "" {
+		if err := saveSnapshot(oracle, snap.SavePath, scope); err != nil {
+			return nil, err
+		}
 	}
 	return &SimResult{
 		Policy:      pol.Name(),
@@ -83,6 +191,10 @@ type HardwareRequest struct {
 	Learn learn.Options
 	// DeterminismEvery re-checks every n-th Polca query (0 disables).
 	DeterminismEvery int
+	// Snapshot controls oracle query-store persistence. Snapshots are
+	// scoped to (CPU model, target, reset): a warm path recorded under a
+	// different reset fails that candidate and the next reset is tried.
+	Snapshot SnapshotOptions
 }
 
 // HardwareResult is the outcome of a §7 learning run.
@@ -187,10 +299,22 @@ func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
 			opts = append(opts, polca.WithParallelism(req.Replicas))
 		}
 		oracle := polca.NewOracle(prober, opts...)
+		scope := hardwareSnapshotScope(req, rst)
+		if req.Snapshot.WarmPath != "" {
+			if err := loadSnapshot(oracle, req.Snapshot.WarmPath, scope); err != nil {
+				lastErr = err
+				continue
+			}
+		}
 		res, err := learn.Learn(oracle, req.Learn)
 		if err != nil {
 			lastErr = fmt.Errorf("reset %q: %w", rst.Name(), err)
 			continue
+		}
+		if req.Snapshot.SavePath != "" {
+			if err := saveSnapshot(oracle, req.Snapshot.SavePath, scope); err != nil {
+				return nil, err
+			}
 		}
 		return &HardwareResult{
 			Machine:     res.Machine,
@@ -201,6 +325,13 @@ func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
 		}, nil
 	}
 	return nil, fmt.Errorf("core: every reset candidate failed, last error: %w", lastErr)
+}
+
+// hardwareSnapshotScope tags hardware snapshots with everything the
+// recorded trace semantics depends on: CPU model, CAT configuration,
+// target set, and the reset that roots every probe.
+func hardwareSnapshotScope(req HardwareRequest, rst cachequery.Reset) string {
+	return fmt.Sprintf("hw:%s/cat=%d/%s/reset=%s", req.CPU.Config().Name, req.CATWays, req.Target, rst.Name())
 }
 
 // ResetCandidatesFor computes reset candidates for a known policy using the

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -246,5 +248,85 @@ func TestExplainDelegates(t *testing.T) {
 	}
 	if res.Program == nil {
 		t.Error("no program returned")
+	}
+}
+
+// TestWarmStartSimulated: a warm-started re-learn of a published policy
+// must replay recorded answers from disk — bit-identical machine, the
+// exact same learner trajectory, and >= 90% fewer backend probes (in the
+// deterministic simulator setting, exactly zero).
+func TestWarmStartSimulated(t *testing.T) {
+	for _, c := range []struct {
+		name  string
+		assoc int
+	}{{"LRU", 4}, {"SRRIP-HP", 4}} {
+		t.Run(c.name, func(t *testing.T) {
+			snap := filepath.Join(t.TempDir(), "oracle.qs")
+			cold, err := LearnSimulatedSnapshot(c.name, c.assoc, learn.Options{Depth: 1}, SnapshotOptions{SavePath: snap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := LearnSimulatedSnapshot(c.name, c.assoc, learn.Options{Depth: 1}, SnapshotOptions{WarmPath: snap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cm, wm := cold.Machine, warm.Machine
+			if cm.NumStates != wm.NumStates || cm.Init != wm.Init ||
+				!reflect.DeepEqual(cm.Next, wm.Next) || !reflect.DeepEqual(cm.Out, wm.Out) {
+				t.Error("warm-started machine differs from the cold one")
+			}
+			cs, ws := cold.LearnStats, warm.LearnStats
+			if cs.OutputQueries != ws.OutputQueries || cs.TestWords != ws.TestWords || cs.Rounds != ws.Rounds {
+				t.Errorf("warm trajectory diverged: cold %+v, warm %+v", cs, ws)
+			}
+			if 10*warm.OracleStats.Probes > cold.OracleStats.Probes {
+				t.Errorf("warm start saved too little: %d probes cold, %d warm",
+					cold.OracleStats.Probes, warm.OracleStats.Probes)
+			}
+		})
+	}
+}
+
+// TestWarmStartScopeGuard: a snapshot recorded for one policy must be
+// refused when warm-starting another.
+func TestWarmStartScopeGuard(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "oracle.qs")
+	if _, err := LearnSimulatedSnapshot("LRU", 4, learn.Options{Depth: 1}, SnapshotOptions{SavePath: snap}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LearnSimulatedSnapshot("MRU", 4, learn.Options{Depth: 1}, SnapshotOptions{WarmPath: snap})
+	if err == nil || !strings.Contains(err.Error(), "recorded for") {
+		t.Fatalf("cross-policy warm start not rejected: %v", err)
+	}
+}
+
+// TestWarmStartHardware drives snapshot persistence through the full
+// hardware pipeline on the toy-sized test CPU: the warm run must learn
+// the identical machine while executing almost no fresh MBL queries.
+func TestWarmStartHardware(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "hw.qs")
+	req := func(s SnapshotOptions) HardwareRequest {
+		return HardwareRequest{
+			CPU:      hw.NewCPU(testCPU(), 7),
+			Target:   cachequery.Target{Level: hw.L1, Set: 0},
+			Backend:  cachequery.BackendOptions{MaxBlocks: 12, Reps: 3, EvictRounds: 1, CalibrationSamples: 21},
+			Learn:    learn.Options{Depth: 1, MaxStates: 64},
+			Snapshot: s,
+		}
+	}
+	cold, err := LearnHardware(req(SnapshotOptions{SavePath: snap}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := LearnHardware(req(SnapshotOptions{WarmPath: snap}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ce := warm.Machine.Equivalent(cold.Machine); !eq {
+		t.Fatalf("warm hardware machine differs, ce=%v", ce)
+	}
+	if 10*warm.OracleStats.Probes > cold.OracleStats.Probes {
+		t.Errorf("warm hardware run probed too much: %d cold, %d warm",
+			cold.OracleStats.Probes, warm.OracleStats.Probes)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/cachequery"
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/learn"
 	"repro/internal/mealy"
 	"repro/internal/policy"
 )
@@ -51,6 +53,24 @@ func TestTable2RowLearnsAndVerifies(t *testing.T) {
 	bad := RunTable2Row("NOPE", 4)
 	if bad.Err == "" {
 		t.Error("unknown policy accepted")
+	}
+}
+
+func TestTable2RowSnapshotWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	cold := RunTable2RowSnap("LRU", 4, learn.Options{Depth: 1}, dir)
+	if !cold.Verified || cold.Err != "" {
+		t.Fatalf("cold row = %+v", cold)
+	}
+	if _, err := os.Stat(core.SnapshotPathInDir(dir, "LRU", 4)); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	warm := RunTable2RowSnap("LRU", 4, learn.Options{Depth: 1}, dir)
+	if !warm.Verified || warm.Err != "" {
+		t.Fatalf("warm row = %+v", warm)
+	}
+	if warm.Queries != cold.Queries || warm.States != cold.States {
+		t.Errorf("warm trajectory diverged: cold %+v, warm %+v", cold, warm)
 	}
 }
 

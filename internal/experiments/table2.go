@@ -74,12 +74,23 @@ func RunTable2Row(name string, assoc int) Table2Row {
 // algorithm (-algo), conformance suite and random-walk seed flow through
 // from cmd/experiments here.
 func RunTable2RowOpt(name string, assoc int, opt learn.Options) Table2Row {
+	return RunTable2RowSnap(name, assoc, opt, "")
+}
+
+// RunTable2RowSnap is RunTable2RowOpt with oracle query-store persistence:
+// when snapshotDir is non-empty, an existing per-row snapshot warm-starts
+// the oracle (the row replays recorded answers and simulates only new
+// words) and the store is saved back after the run (core.SnapshotInDir
+// naming). Learned machines and learner trajectories are identical cold
+// or warm.
+func RunTable2RowSnap(name string, assoc int, opt learn.Options, snapshotDir string) Table2Row {
 	if opt.Depth == 0 {
 		opt.Depth = 1
 	}
+	snap := core.SnapshotInDir(snapshotDir, name, assoc)
 	row := Table2Row{Policy: name, Assoc: assoc}
 	start := time.Now()
-	res, err := core.LearnSimulated(name, assoc, opt)
+	res, err := core.LearnSimulatedSnapshot(name, assoc, opt, snap)
 	row.Time = time.Since(start)
 	if err != nil {
 		row.Err = err.Error()
@@ -123,6 +134,14 @@ func RunTable2Concurrent(specs []Table2Spec, workers int) []Table2Row {
 // RunTable2; per-row times include scheduling contention, so use workers = 1
 // when timing against the paper.
 func RunTable2ConcurrentOpt(specs []Table2Spec, workers int, opt learn.Options) []Table2Row {
+	return RunTable2ConcurrentSnap(specs, workers, opt, "")
+}
+
+// RunTable2ConcurrentSnap is RunTable2ConcurrentOpt with per-row oracle
+// snapshot persistence in snapshotDir (empty disables; see
+// RunTable2RowSnap). Rows are independent systems, so each gets its own
+// snapshot file.
+func RunTable2ConcurrentSnap(specs []Table2Spec, workers int, opt learn.Options, snapshotDir string) []Table2Row {
 	type job struct {
 		policy string
 		assoc  int
@@ -141,7 +160,7 @@ func RunTable2ConcurrentOpt(specs []Table2Spec, workers int, opt learn.Options) 
 	rows := make([]Table2Row, len(jobs))
 	if workers <= 1 {
 		for i, j := range jobs {
-			rows[i] = RunTable2RowOpt(j.policy, j.assoc, opt)
+			rows[i] = RunTable2RowSnap(j.policy, j.assoc, opt, snapshotDir)
 		}
 		return rows
 	}
@@ -155,7 +174,7 @@ func RunTable2ConcurrentOpt(specs []Table2Spec, workers int, opt learn.Options) 
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rows[i] = RunTable2RowOpt(jobs[i].policy, jobs[i].assoc, opt)
+				rows[i] = RunTable2RowSnap(jobs[i].policy, jobs[i].assoc, opt, snapshotDir)
 			}
 		}()
 	}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/qstore"
 )
 
 // BatchTeacher is an optional Teacher extension for teachers that can answer
@@ -51,9 +54,11 @@ func QueryAll(t Teacher, words [][]int) ([][]int, error) {
 }
 
 // PoolTeacher wraps a plain Teacher with a fixed worker pool and a
-// mutex-guarded query cache, turning it into a BatchTeacher. The cache is
+// lock-striped query cache, turning it into a BatchTeacher. The cache is
 // shared across all learning rounds (and across concurrent callers): a word
-// that has been answered once is never asked again.
+// that has been answered once is never asked again. It is a synchronized
+// qstore instance sharded by first input symbol, so concurrent callers
+// touching different subtrees never contend on one lock.
 //
 // When Workers > 1 the wrapped teacher must be safe for concurrent
 // OutputQuery calls — polca.Oracle over a forking (software-simulated) prober
@@ -63,9 +68,11 @@ type PoolTeacher struct {
 	inner   Teacher
 	workers int
 
-	mu     sync.Mutex
-	cache  *wordTrie // exact-match store: answers live at terminal nodes
-	stored int
+	// cache is exact-match by design: CachedWords must keep counting words
+	// the wrapped teacher actually answered (prefix sharing happens
+	// upstream, in the learner's own memo). Answers live at terminal nodes.
+	cache  *qstore.Store[int, []int]
+	stored atomic.Int64
 }
 
 // NewPoolTeacher builds a worker-pool adapter over t. workers <= 0 selects
@@ -74,7 +81,12 @@ func NewPoolTeacher(t Teacher, workers int) *PoolTeacher {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &PoolTeacher{inner: t, workers: workers, cache: newWordTrie(t.NumInputs())}
+	return &PoolTeacher{inner: t, workers: workers,
+		cache: qstore.New[int, []int](qstore.Options{
+			Degree:  t.NumInputs(),
+			Stripes: t.NumInputs(),
+			Sync:    true,
+		})}
 }
 
 // NumInputs implements Teacher.
@@ -94,39 +106,23 @@ func (p *PoolTeacher) BatchHint() int {
 }
 
 // CachedWords returns the number of distinct words answered so far.
-func (p *PoolTeacher) CachedWords() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stored
-}
-
-// lookup returns the cached answer for a word, if any. The cache is
-// exact-match by design: CachedWords must keep counting words the wrapped
-// teacher actually answered (prefix sharing happens upstream, in the
-// learner's own trie).
-func (p *PoolTeacher) lookup(w []int) ([]int, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.cache.get(w)
-}
+func (p *PoolTeacher) CachedWords() int { return int(p.stored.Load()) }
 
 // store records an answer.
 func (p *PoolTeacher) store(w, out []int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.cache.putAt(p.cache.ensure(w), out) {
-		p.stored++
+	if p.cache.Set(w, out) {
+		p.stored.Add(1)
 	}
 }
 
 // OutputQuery implements Teacher, consulting the shared cache first.
 func (p *PoolTeacher) OutputQuery(word []int) ([]int, error) {
-	if !p.cache.inRange(word) {
+	if !p.cache.InRange(word) {
 		// An out-of-alphabet word has no trie path; let the wrapped
 		// teacher answer (or reject) it directly, uncached.
 		return p.inner.OutputQuery(word)
 	}
-	if out, ok := p.lookup(word); ok {
+	if out, ok := p.cache.Get(word); ok {
 		return out, nil
 	}
 	out, err := p.inner.OutputQuery(word)
@@ -142,32 +138,37 @@ func (p *PoolTeacher) OutputQuery(word []int) ([]int, error) {
 // pool, and every fresh answer lands in the shared cache.
 func (p *PoolTeacher) OutputQueryBatch(words [][]int) ([][]int, error) {
 	out := make([][]int, len(words))
-	nodes := make([]int32, len(words))
+	// refs packs each word's (shard, node) pair: shard-local node ids are
+	// stable, so a ref resolves the same cache slot before and after the
+	// dispatch without re-walking the word.
+	refs := make([]int64, len(words))
 
-	// Resolve cache hits and dedupe the misses by trie node, keeping
+	// Resolve cache hits and dedupe the misses by cache node, keeping
 	// first-occurrence order so the dispatch (and any teacher-side error)
 	// is deterministic for a deterministic inner teacher.
 	var pending []int // indices into words of the first occurrence of each miss
-	firstAt := make(map[int32]int)
-	p.mu.Lock()
+	firstAt := make(map[int64]int)
 	for i, w := range words {
-		if !p.cache.inRange(w) {
+		if !p.cache.InRange(w) {
 			// No trie path for an out-of-alphabet word: dispatch it to the
 			// wrapped teacher uncached (it answers or rejects it itself).
-			nodes[i] = -1
+			refs[i] = -1
 			pending = append(pending, i)
 			continue
 		}
-		nodes[i] = p.cache.ensure(w)
-		if _, seen := firstAt[nodes[i]]; seen {
+		sh := p.cache.Acquire(w)
+		n := sh.Ensure(w)
+		known := sh.Has(n)
+		sh.Release()
+		refs[i] = int64(sh.Index())<<32 | int64(n)
+		if _, seen := firstAt[refs[i]]; seen {
 			continue
 		}
-		firstAt[nodes[i]] = i
-		if p.cache.fullAt(nodes[i]) == nil {
+		firstAt[refs[i]] = i
+		if !known {
 			pending = append(pending, i)
 		}
 	}
-	p.mu.Unlock()
 
 	if len(pending) > 0 {
 		errs := make([]error, len(pending))
@@ -210,34 +211,36 @@ func (p *PoolTeacher) OutputQueryBatch(words [][]int) ([][]int, error) {
 			close(next)
 			wg.Wait()
 		}
-		p.mu.Lock()
 		for j, i := range pending {
 			if errs[j] != nil {
-				p.mu.Unlock()
 				return nil, errs[j]
 			}
 			if len(fresh[j]) != len(words[i]) {
-				p.mu.Unlock()
 				return nil, fmt.Errorf("learn: teacher returned %d outputs for %d inputs", len(fresh[j]), len(words[i]))
 			}
-			if nodes[i] < 0 {
+			if refs[i] < 0 {
 				out[i] = fresh[j]
 				continue
 			}
-			if p.cache.putAt(nodes[i], fresh[j]) {
-				p.stored++
+			sh := p.cache.Acquire(words[i])
+			if sh.Put(int32(refs[i]&0x7fffffff), fresh[j]) {
+				p.stored.Add(1)
 			}
+			sh.Release()
 		}
-		p.mu.Unlock()
 	}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for i := range words {
-		if nodes[i] < 0 {
+		if refs[i] < 0 {
 			continue // out-of-alphabet word, answered above
 		}
-		ans := p.cache.fullAt(nodes[i])
+		sh := p.cache.Acquire(words[i])
+		n := int32(refs[i] & 0x7fffffff)
+		var ans []int
+		if sh.Has(n) {
+			ans = *sh.Val(n)
+		}
+		sh.Release()
 		if ans == nil {
 			return nil, fmt.Errorf("learn: batch answer for %v missing", words[i])
 		}

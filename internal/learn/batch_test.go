@@ -8,6 +8,7 @@ import (
 	"repro/internal/mealy"
 	"repro/internal/polca"
 	"repro/internal/policy"
+	"repro/internal/qstore"
 )
 
 // countingTeacher is a concurrency-safe Teacher that records how often every
@@ -176,7 +177,7 @@ func TestConcurrentBatchTeacherQueries(t *testing.T) {
 	counter := newCountingTeacher(truth)
 	pool := NewPoolTeacher(counter, 4)
 
-	words := enumerateWords(truth.NumInputs, 3)[1:] // skip ε
+	words := qstore.Enumerate(truth.NumInputs, 3)[1:] // skip ε
 	var wg sync.WaitGroup
 	errCh := make(chan error, 16)
 	for g := 0; g < 8; g++ {
@@ -230,7 +231,7 @@ func TestConcurrentOracleBatchQueries(t *testing.T) {
 		polca.WithParallelism(8), polca.WithDeterminismChecks(16))
 	truthOracle := polca.NewOracle(polca.NewSimProber(policy.MustNew("LRU", 4)))
 
-	words := enumerateWords(oracle.NumInputs(), 3)[1:]
+	words := qstore.Enumerate(oracle.NumInputs(), 3)[1:]
 	got, err := oracle.OutputQueryBatch(words)
 	if err != nil {
 		t.Fatal(err)

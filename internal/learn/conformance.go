@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/intern"
 	"repro/internal/mealy"
+	"repro/internal/qstore"
 )
 
 // This file implements the equivalence-query approximations of §3.3: the
@@ -99,18 +100,19 @@ func (l *engine) wMethodCE(hyp *mealy.Machine) ([]int, error) {
 		}
 	}
 
-	middles := enumerateWords(l.numIn, l.opt.Depth)
+	middles := qstore.Enumerate(l.numIn, l.opt.Depth)
 
-	// The suite streams through a mark trie for prefix-shared dedup instead
-	// of materializing a map of word keys. The dedup trie is separate from
-	// the prefetch scratch trie: generation interleaves with prefetching.
-	l.suite.resetMarks()
+	// The suite streams through a mark store for prefix-shared dedup
+	// instead of materializing a map of word keys. The dedup store is
+	// separate from the prefetch scratch store: generation interleaves
+	// with prefetching.
+	l.suite.ResetMarks()
 	return l.checkSuite(hyp, func(emit func([]int) bool) {
 		for _, u := range cover {
 			for _, m := range middles {
 				for _, suf := range w {
-					test := concatWords(u, m, suf)
-					if len(test) == 0 || !l.suite.insertMark(test) {
+					test := qstore.Concat(u, m, suf)
+					if len(test) == 0 || !l.suite.InsertMark(test) {
 						continue
 					}
 					if !emit(test) {
@@ -140,12 +142,12 @@ func (l *engine) wpMethodCE(hyp *mealy.Machine) ([]int, error) {
 	access := hyp.AccessSequences()
 	w := hyp.CharacterizingSet()
 	ident := identificationSets(hyp, w)
-	middles := enumerateWords(l.numIn, l.opt.Depth)
+	middles := qstore.Enumerate(l.numIn, l.opt.Depth)
 
-	l.suite.resetMarks()
+	l.suite.ResetMarks()
 	return l.checkSuite(hyp, func(emit func([]int) bool) {
 		add := func(test []int) bool {
-			if len(test) == 0 || !l.suite.insertMark(test) {
+			if len(test) == 0 || !l.suite.InsertMark(test) {
 				return true
 			}
 			return emit(test)
@@ -154,7 +156,7 @@ func (l *engine) wpMethodCE(hyp *mealy.Machine) ([]int, error) {
 		for _, u := range access {
 			for _, m := range middles {
 				for _, suf := range w {
-					if !add(concatWords(u, m, suf)) {
+					if !add(qstore.Concat(u, m, suf)) {
 						return
 					}
 				}
@@ -164,12 +166,12 @@ func (l *engine) wpMethodCE(hyp *mealy.Machine) ([]int, error) {
 		// state the hypothesis predicts.
 		for _, u := range access {
 			for a := 0; a < l.numIn; a++ {
-				ua := concatWords(u, []int{a})
+				ua := qstore.Concat(u, []int{a})
 				for _, m := range middles {
-					r := concatWords(ua, m)
+					r := qstore.Concat(ua, m)
 					s := hyp.StateAfter(r)
 					for _, suf := range ident[s] {
-						if !add(concatWords(r, suf)) {
+						if !add(qstore.Concat(r, suf)) {
 							return
 						}
 					}
@@ -231,36 +233,6 @@ func identificationSets(hyp *mealy.Machine, w [][]int) [][][]int {
 		out[s] = set
 	}
 	return out
-}
-
-func concatWords(parts ...[]int) []int {
-	n := 0
-	for _, p := range parts {
-		n += len(p)
-	}
-	out := make([]int, 0, n)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
-}
-
-// enumerateWords returns all words over inputs 0..numIn-1 of length 0..k,
-// in deterministic order.
-func enumerateWords(numIn, k int) [][]int {
-	words := [][]int{{}}
-	level := [][]int{{}}
-	for d := 0; d < k; d++ {
-		var next [][]int
-		for _, w := range level {
-			for a := 0; a < numIn; a++ {
-				next = append(next, append(append([]int(nil), w...), a))
-			}
-		}
-		words = append(words, next...)
-		level = next
-	}
-	return words
 }
 
 // randomWalkCE samples random words until the step budget is exhausted.

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/intern"
 	"repro/internal/mealy"
+	"repro/internal/qstore"
 )
 
 // Teacher answers output queries for the system under learning. Polca's
@@ -209,7 +210,7 @@ func Learn(t Teacher, opt Options) (*Result, error) {
 	case AlgoLStar:
 		l := &learner{
 			engine: newEngine(t, opt),
-			sufs:   newWordTrie(t.NumInputs()),
+			sufs:   newMarkStore(t.NumInputs()),
 			ids:    intern.New(),
 		}
 		m, err = l.run()
@@ -242,10 +243,10 @@ type engine struct {
 	numIn   int
 	batch   int // prefetch chunk size; <= 1 keeps the loop exactly serial
 
-	memo  *wordTrie        // prefix-tree output-query memo (default)
-	flat  map[string][]int // exact-match memo (Options.FlatMemo)
-	seen  *wordTrie        // scratch dedup set (batch prefetch)
-	suite *wordTrie        // suite-streaming dedup set (interleaves with seen)
+	memo  *qstore.Store[int, memoVal]  // prefix-tree output-query memo (default)
+	flat  map[string][]int             // exact-match memo (Options.FlatMemo)
+	seen  *qstore.Store[int, struct{}] // scratch dedup set (batch prefetch)
+	suite *qstore.Store[int, struct{}] // suite-streaming dedup set (interleaves with seen)
 
 	stats Stats
 }
@@ -257,13 +258,13 @@ func newEngine(t Teacher, opt Options) engine {
 		opt:     opt,
 		numIn:   t.NumInputs(),
 		batch:   resolveBatch(t, opt),
-		seen:    newWordTrie(t.NumInputs()),
-		suite:   newWordTrie(t.NumInputs()),
+		seen:    newMarkStore(t.NumInputs()),
+		suite:   newMarkStore(t.NumInputs()),
 	}
 	if opt.FlatMemo {
 		e.flat = make(map[string][]int)
 	} else {
-		e.memo = newWordTrie(e.numIn)
+		e.memo = newMemoStore(e.numIn)
 	}
 	return e
 }
@@ -278,7 +279,7 @@ type learner struct {
 
 	prefixes [][]int // P, prefix-closed, pairwise distinct rows
 	suffixes [][]int // S, suffix set (non-empty words)
-	sufs     *wordTrie
+	sufs     *qstore.Store[int, struct{}]
 	fetchedS int // suffixes whose table columns have been batch-prefetched
 
 	ids *intern.Interner // row/cell signature interning
@@ -327,7 +328,7 @@ func wordKey(w []int) string {
 // outputs are prefix-closed, so no teacher query is needed.
 func (l *engine) memoized(w []int) ([]int, bool) {
 	if l.memo != nil {
-		return l.memo.outputs(w, nil)
+		return l.trieOutputs(w, nil)
 	}
 	out, ok := l.flat[wordKey(w)]
 	return out, ok
@@ -336,7 +337,7 @@ func (l *engine) memoized(w []int) ([]int, bool) {
 // remember stores a fresh answer, taking ownership of out.
 func (l *engine) remember(w, out []int) {
 	if l.memo != nil {
-		l.memo.record(w, out)
+		l.trieRecord(w, out)
 		return
 	}
 	l.flat[wordKey(w)] = out
@@ -374,7 +375,7 @@ func (l *engine) prefetch(words [][]int) error {
 		return nil // the serial path asks lazily, paying no speculative queries
 	}
 	var pending [][]int
-	l.seen.resetMarks()
+	l.seen.ResetMarks()
 	for _, w := range words {
 		if len(w) == 0 {
 			continue
@@ -382,7 +383,7 @@ func (l *engine) prefetch(words [][]int) error {
 		if _, ok := l.memoized(w); ok {
 			continue
 		}
-		if !l.seen.insertMark(w) {
+		if !l.seen.InsertMark(w) {
 			continue
 		}
 		pending = append(pending, w)
@@ -421,7 +422,7 @@ func (l *engine) prefetch(words [][]int) error {
 // memo hit the trie answers u·s without concatenating the word.
 func (l *engine) cell(u, s []int) ([]int, error) {
 	if l.memo != nil {
-		if out, ok := l.memo.outputs(u, s); ok {
+		if out, ok := l.trieOutputs(u, s); ok {
 			return out[len(u):], nil
 		}
 	}
@@ -451,7 +452,7 @@ func (l *learner) rowID(u []int) (int32, error) {
 }
 
 func (l *learner) addSuffix(s []int) {
-	if len(s) == 0 || !l.sufs.insertMark(s) {
+	if len(s) == 0 || !l.sufs.InsertMark(s) {
 		return
 	}
 	l.suffixes = append(l.suffixes, append([]int(nil), s...))
@@ -494,12 +495,12 @@ func (l *learner) rowWords(prefixes, suffixes [][]int) [][]int {
 	var words [][]int
 	for _, u := range prefixes {
 		for _, s := range suffixes {
-			words = append(words, concatWords(u, s))
+			words = append(words, qstore.Concat(u, s))
 		}
 		for a := 0; a < l.numIn; a++ {
-			ua := concatWords(u, []int{a})
+			ua := qstore.Concat(u, []int{a})
 			for _, s := range suffixes {
-				words = append(words, concatWords(ua, s))
+				words = append(words, qstore.Concat(ua, s))
 			}
 		}
 	}

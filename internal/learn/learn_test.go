@@ -7,6 +7,7 @@ import (
 	"repro/internal/mealy"
 	"repro/internal/polca"
 	"repro/internal/policy"
+	"repro/internal/qstore"
 )
 
 // learnAndCheck learns from a machine teacher and verifies exact trace
@@ -207,10 +208,10 @@ func TestLearnRejectsBadOptions(t *testing.T) {
 }
 
 func TestEnumerateWords(t *testing.T) {
-	words := enumerateWords(2, 2)
+	words := qstore.Enumerate(2, 2)
 	// ε, 0, 1, 00, 01, 10, 11
 	if len(words) != 7 {
-		t.Fatalf("enumerateWords(2,2) returned %d words", len(words))
+		t.Fatalf("qstore.Enumerate(2,2) returned %d words", len(words))
 	}
 	if len(words[0]) != 0 {
 		t.Error("first word not ε")

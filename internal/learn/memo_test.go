@@ -8,6 +8,7 @@ import (
 	"repro/internal/mealy"
 	"repro/internal/polca"
 	"repro/internal/policy"
+	"repro/internal/qstore"
 )
 
 // TestTrieLearnerMatchesFlatMemo: the trie memo answers prefix queries for
@@ -60,8 +61,7 @@ func TestTrieLearnerMatchesFlatMemo(t *testing.T) {
 func TestTriePrefixSharingSavesQueries(t *testing.T) {
 	truth, _ := mealy.FromPolicy(policy.MustNew("MRU", 4), 0)
 	counter := newCountingTeacher(truth)
-	l := &learner{engine: engine{teacher: counter, numIn: truth.NumInputs, batch: 1,
-		memo: newWordTrie(truth.NumInputs), seen: newWordTrie(truth.NumInputs)}}
+	l := &learner{engine: newEngine(counter, Options{Depth: 1})}
 	long := []int{4, 0, 1, 4, 2}
 	if _, err := l.query(long); err != nil {
 		t.Fatal(err)
@@ -94,7 +94,7 @@ func TestConcurrentTrieInsertionUnderPoolTeacher(t *testing.T) {
 		polca.WithParallelism(8), polca.WithSessionCap(16))
 	pool := NewPoolTeacher(oracle, 8)
 
-	words := enumerateWords(truth.NumInputs, 3)[1:] // heavy prefix overlap
+	words := qstore.Enumerate(truth.NumInputs, 3)[1:] // heavy prefix overlap
 	var wg sync.WaitGroup
 	errCh := make(chan error, 16)
 	for g := 0; g < 8; g++ {

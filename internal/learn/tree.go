@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/intern"
 	"repro/internal/mealy"
+	"repro/internal/qstore"
 )
 
 // treeLearner holds the discrimination-tree state.
@@ -105,9 +106,9 @@ func (l *treeLearner) build() (*mealy.Machine, error) {
 			// queries are data-dependent and stay lazy.
 			var words [][]int
 			for a := 0; a < l.numIn; a++ {
-				ua := concatWords(u, []int{a})
+				ua := qstore.Concat(u, []int{a})
 				if root := &l.nodes[0]; root.state < 0 {
-					words = append(words, concatWords(ua, root.suffix))
+					words = append(words, qstore.Concat(ua, root.suffix))
 				} else {
 					words = append(words, ua)
 				}
@@ -119,7 +120,7 @@ func (l *treeLearner) build() (*mealy.Machine, error) {
 		nrow := make([]int, l.numIn)
 		orow := make([]int, l.numIn)
 		for a := 0; a < l.numIn; a++ {
-			ua := concatWords(u, []int{a})
+			ua := qstore.Concat(u, []int{a})
 			tgt, err := l.sift(ua)
 			if err != nil {
 				return nil, err
@@ -161,7 +162,7 @@ func (l *treeLearner) refine(hyp *mealy.Machine, w []int) error {
 	agree := func(i int) (bool, error) {
 		q := hyp.StateAfter(w[:i])
 		u := l.access[q]
-		got, err := l.query(concatWords(u, w[i:]))
+		got, err := l.query(qstore.Concat(u, w[i:]))
 		if err != nil {
 			return false, err
 		}
@@ -201,7 +202,7 @@ func (l *treeLearner) refine(hyp *mealy.Machine, w []int) error {
 	q := hyp.StateAfter(w[:i])
 	a := w[i]
 	v := w[i+1:]
-	return l.split(hyp.Next[q][a], concatWords(l.access[q], []int{a}), v)
+	return l.split(hyp.Next[q][a], qstore.Concat(l.access[q], []int{a}), v)
 }
 
 // split replaces the leaf of state with an inner node on discriminator v,

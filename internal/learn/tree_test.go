@@ -10,6 +10,7 @@ import (
 	"repro/internal/mealy"
 	"repro/internal/polca"
 	"repro/internal/policy"
+	"repro/internal/qstore"
 )
 
 // matrixCase is one published-artifact policy (cmd/genmodels's matrix).
@@ -205,7 +206,7 @@ func TestTreeLearnerConcurrencyRace(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		words := enumerateWords(truth.NumInputs, 2)[1:]
+		words := qstore.Enumerate(truth.NumInputs, 2)[1:]
 		got, err := oracle.OutputQueryBatch(words)
 		if err != nil {
 			errCh <- err

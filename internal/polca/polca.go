@@ -24,6 +24,7 @@ import (
 	"repro/internal/blocks"
 	"repro/internal/cache"
 	"repro/internal/policy"
+	"repro/internal/qstore"
 )
 
 // ErrNondeterministic is returned when the cache under observation behaves
@@ -116,19 +117,23 @@ type Stats struct {
 // Oracle answers membership and output queries for the replacement policy of
 // the cache behind a Prober. It is the paper's Polca plus the probe
 // memoization that the real tool delegates to LevelDB (§4.2) — upgraded to a
-// prefix-tree query engine: outputs are memoized per policy symbol in a trie,
-// so any query is answered from its longest recorded prefix, and forking
-// (simulator) probers park live sessions at trie nodes so a query that
-// extends a known prefix executes only its suffix instead of replaying the
-// whole word from reset. WithoutTrie restores the flat exact-match memo for
-// the ablation benchmarks.
+// prefix-tree query engine over the shared query store (internal/qstore):
+// outputs are memoized per policy symbol, so any query is answered from its
+// longest recorded prefix, and forking (simulator) probers park live
+// sessions at store nodes so a query that extends a known prefix executes
+// only its suffix instead of replaying the whole word from reset.
+// WithoutTrie restores the flat exact-match memo for the ablation
+// benchmarks.
 //
 // The oracle is safe for concurrent use and implements learn.BatchTeacher:
 // independent query words of a batch are answered on parallel goroutines
 // whenever the prober supports it (ForkingProber sessions, or a
-// ConcurrentProber such as a replicated hardware interface). The tries are
-// mutex-guarded and shared across all goroutines and learning rounds; the
-// cost counters are atomics, touched lock-free on the hot path.
+// ConcurrentProber such as a replicated hardware interface). The stores are
+// lock-striped — one shard per leading input symbol by default — so batched
+// workers recording answers in different subtrees never contend on a single
+// oracle mutex (WithStoreStripes(1) restores that behaviour for the
+// contention benchmarks); the cost counters are atomics, touched lock-free
+// on the hot path.
 type Oracle struct {
 	prober  Prober
 	cc0     []blocks.Block
@@ -138,6 +143,7 @@ type Oracle struct {
 	useMemo bool
 	useTrie bool
 	sessCap int
+	stripes int // lock stripes per store (0 = one per input symbol)
 
 	outputQueries atomic.Int64
 	symbols       atomic.Int64
@@ -145,11 +151,14 @@ type Oracle struct {
 	memoHits      atomic.Int64
 	accessesN     atomic.Int64
 
-	mu       sync.Mutex
-	memo     map[string]cache.Outcome // flat memo (WithoutTrie)
-	inflight map[string]*inflightProbe
-	out      *outTrie   // policy-level output memo + parked sessions
-	pt       *probeTrie // block-level probe memo + single-flight
+	mu       sync.Mutex                // guards the flat memo only (WithoutTrie)
+	memo     map[string]cache.Outcome  // flat memo (WithoutTrie)
+	inflight map[string]*inflightProbe // flat-memo single-flight
+
+	out    *qstore.Store[int, outVal]     // policy-level output memo + parked sessions
+	pt     *qstore.Store[int32, probeVal] // block-level probe memo + single-flight
+	lru    []lruList                      // per-shard parked-session LRU (see store.go)
+	lruCap int                            // parked-session budget per shard
 }
 
 // inflightProbe is a single-flight slot: the first goroutine to miss the
@@ -184,7 +193,8 @@ func WithoutTrie() Option {
 const DefaultSessionCap = 1024
 
 // WithSessionCap overrides the parked-session bound; n <= 0 restores
-// DefaultSessionCap.
+// DefaultSessionCap. The budget is divided evenly across the output
+// store's shards (at least one parked session per shard).
 func WithSessionCap(n int) Option {
 	return func(o *Oracle) {
 		if n <= 0 {
@@ -192,6 +202,15 @@ func WithSessionCap(n int) Option {
 		}
 		o.sessCap = n
 	}
+}
+
+// WithStoreStripes overrides the lock-stripe count of the oracle's query
+// stores. The default (n <= 0) stripes by the input alphabet: one shard
+// per leading symbol, so batched workers rarely contend. n == 1 collapses
+// each store to a single lock — the pre-striping single-mutex oracle the
+// contention benchmarks compare against.
+func WithStoreStripes(n int) Option {
+	return func(o *Oracle) { o.stripes = n }
 }
 
 // WithDeterminismChecks re-executes every n-th output query and compares the
@@ -235,8 +254,21 @@ func NewOracle(p Prober, opts ...Option) *Oracle {
 		o.cc0IDs[i] = int32(id)
 	}
 	if o.trieOn() {
-		o.out = newOutTrie(policy.NumInputs(p.Assoc()), o.sessCap)
-		o.pt = newProbeTrie()
+		numIn := policy.NumInputs(p.Assoc())
+		stripes := o.stripes
+		if stripes <= 0 {
+			stripes = numIn
+		}
+		o.out = qstore.New[int, outVal](qstore.Options{Degree: numIn, Stripes: stripes, Sync: true})
+		o.pt = qstore.New[int32, probeVal](qstore.Options{Stripes: stripes, Sync: true})
+		o.lru = make([]lruList, o.out.Stripes())
+		for i := range o.lru {
+			o.lru[i] = lruList{head: -1, tail: -1}
+		}
+		o.lruCap = o.sessCap / o.out.Stripes()
+		if o.lruCap < 1 {
+			o.lruCap = 1
+		}
 	}
 	return o
 }
@@ -346,18 +378,21 @@ func (o *Oracle) probe(q []blocks.Block, ids []int32, fresh bool) (cache.Outcome
 	return fl.oc, nil
 }
 
-// probeTriePath is probe's memoized path over the block-id trie.
+// probeTriePath is probe's memoized path over the block-id probe store.
+// The probe's shard stays locked only around the memo bookkeeping; the
+// execution itself is single-flighted so concurrent requesters of the same
+// key wait instead of duplicating the (expensive) probe.
 func (o *Oracle) probeTriePath(q []blocks.Block, ids []int32) (cache.Outcome, error) {
-	o.mu.Lock()
-	n := o.pt.path(ids)
-	if o.pt.nodes[n].known {
-		oc := o.pt.nodes[n].oc
+	sh := o.pt.Acquire(ids)
+	n := sh.Ensure(ids)
+	if sh.Has(n) {
+		oc := sh.Val(n).oc
 		o.memoHits.Add(1)
-		o.mu.Unlock()
+		sh.Release()
 		return oc, nil
 	}
-	if fl := o.pt.nodes[n].fl; fl != nil {
-		o.mu.Unlock()
+	if fl := sh.Val(n).fl; fl != nil {
+		sh.Release()
 		<-fl.done
 		if fl.err != nil {
 			return Missed(), fl.err
@@ -366,19 +401,18 @@ func (o *Oracle) probeTriePath(q []blocks.Block, ids []int32) (cache.Outcome, er
 		return fl.oc, nil
 	}
 	fl := &inflightProbe{done: make(chan struct{})}
-	o.pt.nodes[n].fl = fl
-	o.mu.Unlock()
+	sh.Val(n).fl = fl
+	sh.Release()
 
 	fl.oc, fl.err = o.executeProbe(q, false)
-	o.mu.Lock()
-	o.pt.nodes[n].fl = nil
+	sh = o.pt.Acquire(ids)
+	sh.Val(n).fl = nil
 	if fl.err == nil {
 		o.probesN.Add(1)
 		o.accessesN.Add(int64(len(q)))
-		o.pt.nodes[n].oc = fl.oc
-		o.pt.nodes[n].known = true
+		sh.Put(n, probeVal{oc: fl.oc})
 	}
-	o.mu.Unlock()
+	sh.Release()
 	close(fl.done)
 	if fl.err != nil {
 		return Missed(), fl.err
@@ -619,12 +653,13 @@ func (o *Oracle) outputQuerySessions(fp ForkingProber, word []int) ([]int, error
 	return out, nil
 }
 
-// walkKnownPrefix walks word through the output trie under the oracle lock,
-// filling out[] and evolving cc for every symbol whose output is recorded.
-// It returns the number of known symbols k, the trie node reached, the block
-// fed at each known position, and the deepest parked session on the path
-// (with its depth). The caller answers symbols 0..k-1 with zero prober work.
-func (o *Oracle) walkKnownPrefix(word, out []int, cc []int32, feed []int32) (k int, node int32, fed []int32, resume int32, resumeDepth int, err error) {
+// walkKnownPrefix walks word through the output store under the word's
+// shard lock, filling out[] and evolving cc for every symbol whose output
+// is recorded. It returns the number of known symbols k, the store node
+// reached, the block fed at each known position, and the deepest parked
+// session on the path (with its depth). The caller answers symbols 0..k-1
+// with zero prober work.
+func (o *Oracle) walkKnownPrefix(sh *outShard, word, out []int, cc []int32, feed []int32) (k int, node int32, fed []int32, resume int32, resumeDepth int, err error) {
 	n := o.prober.Assoc()
 	node = 0
 	resume = -1
@@ -633,12 +668,12 @@ func (o *Oracle) walkKnownPrefix(word, out []int, cc []int32, feed []int32) (k i
 		if ip < 0 || ip > n {
 			return 0, 0, feed, -1, 0, fmt.Errorf("polca: input %d out of range for associativity %d", ip, n)
 		}
-		c := o.out.childOf(node, ip)
-		if c < 0 || !o.out.nodes[c].known {
+		c := sh.Child(node, ip)
+		if c < 0 || !sh.Has(c) {
 			break
 		}
 		b := mapInputID(ip, cc)
-		op := int(o.out.nodes[c].out)
+		op := int(sh.Val(c).out)
 		out[k] = op
 		if op != policy.Bottom {
 			cc[op] = b
@@ -646,35 +681,36 @@ func (o *Oracle) walkKnownPrefix(word, out []int, cc []int32, feed []int32) (k i
 		feed = append(feed, b)
 		node = c
 		k++
-		if o.out.nodes[c].sess != nil {
+		if sh.Val(c).sess != nil {
 			resume, resumeDepth = c, k
 		}
 	}
 	return k, node, feed, resume, resumeDepth, nil
 }
 
-// recordOutputs stores the outputs of word in the output trie and parks the
-// collected session forks at their nodes, under the oracle lock.
+// recordOutputs stores the outputs of word in the output store and parks
+// the collected session forks at their nodes, under the word's shard lock.
 func (o *Oracle) recordOutputs(word, out []int, parks []parkedFork) {
-	o.mu.Lock()
+	sh := o.out.Acquire(word)
 	node := int32(0)
 	depth := 0
 	pi := 0
 	for pi < len(parks) && parks[pi].depth == 0 {
-		o.out.park(node, parks[pi].sess)
+		o.park(sh, node, parks[pi].sess)
 		pi++
 	}
 	for _, ip := range word {
-		node = o.out.extend(node, ip)
+		node = sh.Extend(node, ip)
 		depth++
-		o.out.nodes[node].out = int16(out[depth-1])
-		o.out.nodes[node].known = true
+		v := sh.Val(node)
+		v.out = int16(out[depth-1])
+		sh.SetHas(node)
 		for pi < len(parks) && parks[pi].depth == depth {
-			o.out.park(node, parks[pi].sess)
+			o.park(sh, node, parks[pi].sess)
 			pi++
 		}
 	}
-	o.mu.Unlock()
+	sh.Release()
 }
 
 // parkedFork is a session fork waiting to be pinned at the node of the
@@ -684,38 +720,40 @@ type parkedFork struct {
 	sess  Session
 }
 
-// sessionQueryTrie answers one output query through the output trie backed
-// by resumable sessions: the longest recorded prefix is answered without
-// touching the prober, execution resumes from the deepest parked session on
-// the path, and only genuinely new symbols reach the cache. Session forks
-// are parked along the executed suffix so future extensions of this word
-// resume in O(1).
+// sessionQueryTrie answers one output query through the output store
+// backed by resumable sessions: the longest recorded prefix is answered
+// without touching the prober, execution resumes from the deepest parked
+// session on the path, and only genuinely new symbols reach the cache.
+// Session forks are parked along the executed suffix so future extensions
+// of this word resume in O(1). Only the word's shard is locked, and only
+// around the prefix walk and the final recording — concurrent queries in
+// other subtrees proceed untouched.
 func (o *Oracle) sessionQueryTrie(fp ForkingProber, word []int) ([]int, error) {
 	n := fp.Assoc()
 	out := make([]int, len(word))
 	cc := append([]int32(nil), o.cc0IDs...)
 	feed := make([]int32, 0, len(word))
 
-	o.mu.Lock()
-	k, _, feed, resume, resumeDepth, err := o.walkKnownPrefix(word, out, cc, feed)
+	sh := o.out.Acquire(word)
+	k, _, feed, resume, resumeDepth, err := o.walkKnownPrefix(sh, word, out, cc, feed)
 	if err != nil {
-		o.mu.Unlock()
+		sh.Release()
 		return nil, err
 	}
 	if k == len(word) {
 		if resume >= 0 {
-			o.out.touch(resume)
+			o.touch(sh, resume)
 		}
-		o.mu.Unlock()
+		sh.Release()
 		o.memoHits.Add(int64(k))
 		return out, nil
 	}
 	var sess Session
 	if resume >= 0 {
-		o.out.touch(resume)
-		sess, err = o.out.nodes[resume].sess.Fork()
+		o.touch(sh, resume)
+		sess, err = sh.Val(resume).sess.Fork()
 	}
-	o.mu.Unlock()
+	sh.Release()
 	if resume < 0 {
 		resumeDepth = 0
 		sess, err = fp.NewSession()
@@ -812,9 +850,9 @@ func (o *Oracle) probesQueryTrie(word []int) ([]int, error) {
 	cc := append([]int32(nil), o.cc0IDs...)
 	feed := make([]int32, 0, len(word))
 
-	o.mu.Lock()
-	k, _, feed, _, _, err := o.walkKnownPrefix(word, out, cc, feed)
-	o.mu.Unlock()
+	sh := o.out.Acquire(word)
+	k, _, feed, _, _, err := o.walkKnownPrefix(sh, word, out, cc, feed)
+	sh.Release()
 	if err != nil {
 		return nil, err
 	}

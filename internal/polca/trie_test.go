@@ -157,19 +157,31 @@ func TestWithoutTrieMatchesLegacyTrajectory(t *testing.T) {
 	}
 }
 
-// Probe-trie child slices must be sized by the distinct blocks actually
-// probed, not by their raw universe ids: one legitimate high-index block in
-// the reset content must not amplify every node's edge array.
-func TestProbeTrieCompactEdges(t *testing.T) {
-	pt := newProbeTrie()
-	big := int32(26_000_000) // "A1000000", valid and canonical
-	pt.path([]int32{0, big, 3, big, 7})
-	for i, n := range pt.nodes {
-		if len(n.child) > len(pt.dense) {
-			t.Fatalf("node %d has %d child slots for %d distinct blocks", i, len(n.child), len(pt.dense))
+// TestStripedOracleMatchesSingleStripe: collapsing the stores to one lock
+// (the pre-striping single-mutex oracle) must change only contention,
+// never answers or the ability to share prefixes.
+func TestStripedOracleMatchesSingleStripe(t *testing.T) {
+	striped := NewOracle(NewSimProber(policy.MustNew("SRRIP-HP", 4)))
+	single := NewOracle(NewSimProber(policy.MustNew("SRRIP-HP", 4)), WithStoreStripes(1))
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 60; i++ {
+		word := make([]int, 1+rng.Intn(12))
+		for j := range word {
+			word[j] = rng.Intn(5)
+		}
+		a, err1 := striped.OutputQuery(word)
+		b, err2 := single.OutputQuery(word)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors %v / %v", err1, err2)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("stripe count changed answers on %v: %v vs %v", word, a, b)
+			}
 		}
 	}
-	if len(pt.dense) != 4 {
-		t.Fatalf("dense remap holds %d ids, want 4", len(pt.dense))
+	sa, sb := striped.Stats(), single.Stats()
+	if sa.Probes != sb.Probes || sa.Accesses != sb.Accesses || sa.MemoHits != sb.MemoHits {
+		t.Errorf("stripe count changed the cost trajectory: %+v vs %+v", sa, sb)
 	}
 }

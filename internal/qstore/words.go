@@ -1,0 +1,37 @@
+package qstore
+
+// Shared word helpers of the query-store subsystem. Every client of the
+// store manipulates the same kind of keys — integer words — so the
+// concatenation and enumeration helpers the learner's engines used to
+// duplicate live here, next to the store they feed.
+
+// Concat concatenates integer words into a freshly allocated word.
+func Concat(parts ...[]int) []int {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]int, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Enumerate returns all words over symbols 0..degree-1 of length 0..k, in
+// deterministic (length-then-lexicographic) order.
+func Enumerate(degree, k int) [][]int {
+	words := [][]int{{}}
+	level := [][]int{{}}
+	for d := 0; d < k; d++ {
+		var next [][]int
+		for _, w := range level {
+			for a := 0; a < degree; a++ {
+				next = append(next, append(append([]int(nil), w...), a))
+			}
+		}
+		words = append(words, next...)
+		level = next
+	}
+	return words
+}
