@@ -315,6 +315,56 @@ func BenchmarkAblationTrie(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationKernel quantifies the compiled policy kernel on
+// simulated probes: the same exhaustive output-query load (every policy
+// word up to depth 5) is answered by a memo-less oracle over a forking
+// simulator prober, once on the compiled kernel (dense transition tables,
+// sessions as (int32 state, content) values, peek-based eviction probes —
+// the default) and once through the interpreted Policy interface (virtual
+// dispatch per access, deep policy clones per fork — the pre-kernel path,
+// polca.NewInterpretedSimProber). The prober — and with it the one-time
+// compilation — is built outside the timed loop, so the legs compare pure
+// probe cost. Memoization is disabled so every probe really executes; the
+// deterministic counters (probes/op, accesses/op) are identical across
+// legs by construction — the kernel changes only ns/op and allocs/op,
+// which is exactly what this benchmark tracks.
+func BenchmarkAblationKernel(b *testing.B) {
+	cases := []struct {
+		name  string
+		assoc int
+	}{
+		{"LRU", 4}, {"SRRIP-HP", 4}, {"New1", 4},
+	}
+	legs := []struct {
+		name string
+		mk   func(name string, assoc int) polca.Prober
+	}{
+		{"compiled", func(n string, a int) polca.Prober { return polca.NewSimProber(policy.MustNew(n, a)) }},
+		{"interpreted", func(n string, a int) polca.Prober { return polca.NewInterpretedSimProber(policy.MustNew(n, a)) }},
+	}
+	for _, c := range cases {
+		words := qstore.Enumerate(policy.NumInputs(c.assoc), 5)[1:]
+		for _, l := range legs {
+			b.Run(fmt.Sprintf("%s-%d/%s", c.name, c.assoc, l.name), func(b *testing.B) {
+				prober := l.mk(c.name, c.assoc)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					oracle := polca.NewOracle(prober, polca.WithoutMemo())
+					for _, w := range words {
+						if _, err := oracle.OutputQuery(w); err != nil {
+							b.Fatal(err)
+						}
+					}
+					st := oracle.Stats()
+					b.ReportMetric(float64(st.Probes), "probes/op")
+					b.ReportMetric(float64(st.Accesses), "accesses/op")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationAlgo compares the two learning algorithms on identical
 // Polca-backed learning tasks: the L*-style observation table (the paper's
 // setting) versus the discrimination-tree learner, which stores only the

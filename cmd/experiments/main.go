@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/cachequery"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/learn"
@@ -82,6 +83,7 @@ func runTable2(args []string) error {
 	seed := fs.Int64("seed", 1, "random-walk conformance seed (rw suite); fixed seeds make runs reproducible")
 	walkSteps := fs.Int("walk-steps", 0, "total symbols per random-walk conformance round (rw suite; 0 = default)")
 	snapshotDir := fs.String("snapshot-dir", "", "per-row oracle snapshot directory: existing snapshots warm-start rows, fresh stores are saved back")
+	compiled := fs.Bool("compiled", true, "run simulated caches on the compiled policy kernel; false interprets policies (bit-identical rows, slower)")
 	fs.Parse(args)
 	opt, err := learnOptions(*algoName, *suiteName, *seed, *walkSteps)
 	if err != nil {
@@ -96,7 +98,7 @@ func runTable2(args []string) error {
 	if *full {
 		spec = experiments.Table2Full()
 	}
-	rows := experiments.RunTable2ConcurrentSnap(spec, *workers, opt, *snapshotDir)
+	rows := experiments.RunTable2ConcurrentSim(spec, *workers, opt, *snapshotDir, core.SimOptions{Interpreted: !*compiled})
 	experiments.Table2Table(rows).Render(os.Stdout)
 	return nil
 }
@@ -123,6 +125,7 @@ func runTable4(args []string) error {
 	suiteName := fs.String("suite", "wp", "conformance suite: wp, w, or rw (seeded random walk)")
 	seed := fs.Int64("seed", 1, "random-walk conformance seed (rw suite); fixed seeds make runs reproducible")
 	walkSteps := fs.Int("walk-steps", 0, "total symbols per random-walk conformance round (rw suite; 0 = default)")
+	compiled := fs.Bool("compiled", true, "run the simulated CPUs' policies on the compiled kernel; false interprets them (bit-identical rows, slower)")
 	fs.Parse(args)
 	opt, err := learnOptions(*algoName, *suiteName, *seed, *walkSteps)
 	if err != nil {
@@ -132,6 +135,7 @@ func runTable4(args []string) error {
 	for _, job := range experiments.Table4Jobs(!*full) {
 		job.Replicas = *replicas
 		job.Learn = opt
+		job.Interpreted = !*compiled
 		fmt.Fprintf(os.Stderr, "learning %s %s %s ...\n", job.Model.Name, job.Level, job.Target)
 		rows = append(rows, experiments.RunTable4Job(job, cachequery.DefaultBackendOptions()))
 	}

@@ -1,14 +1,18 @@
 // Command genmodels regenerates the published Mealy-machine artifacts in
 // models/: one JSON file per policy/associativity pair of the paper's Table 2
-// subset that this repository ships models for.
+// subset that this repository ships models for, plus the assoc-8 extension
+// artifacts the compiled policy kernel made practical to extract and verify.
 //
 // Every artifact is produced in parallel on its own goroutine. By default
 // each policy is learned through the concurrent membership-query engine
-// (learner -> batched Polca oracle -> software-simulated cache) and the
-// result is verified trace-equivalent against the machine extracted from the
-// policy implementation before anything is written; the canonical extracted
-// machine (whose state names are the policy's control states) is what lands
-// on disk. -quick skips the learning cross-check and just extracts.
+// (learner -> batched Polca oracle -> software-simulated cache, on the
+// compiled policy kernel) and the result is verified trace-equivalent
+// against the machine extracted from the policy implementation before
+// anything is written; the canonical extracted machine (whose state names
+// are the policy's control states) is what lands on disk. -quick skips the
+// learning cross-check and just extracts. The two assoc-8 giants (LRU-8 has
+// 40,320 control states, SRRIP-HP-8 43,818) are extraction-verified only
+// unless -verify-heavy opts into their multi-minute learning cross-check.
 //
 //	go run repro/cmd/genmodels            # regenerate models/ in place
 //	go run repro/cmd/genmodels -out /tmp  # write elsewhere
@@ -28,24 +32,12 @@ import (
 	"repro/internal/policy"
 )
 
-// spec is one published artifact.
-type spec struct {
-	name  string
-	assoc int
-}
-
-// Published is the artifact list internal/mealy.TestModelArtifacts verifies.
-func published() []spec {
-	return []spec{
-		{"FIFO", 4}, {"LRU", 4}, {"PLRU", 4}, {"PLRU", 8}, {"MRU", 4},
-		{"LIP", 4}, {"SRRIP-HP", 4}, {"SRRIP-FP", 4}, {"New1", 4}, {"New2", 4},
-	}
-}
-
 func main() {
 	out := flag.String("out", "models", "output directory for the JSON artifacts")
 	quick := flag.Bool("quick", false, "skip the learning cross-check; extract the machines only")
+	verifyHeavy := flag.Bool("verify-heavy", false, "learning cross-check for the assoc-8 giants too (minutes per artifact)")
 	algoName := flag.String("algo", "lstar", "learning algorithm for the cross-check: lstar or tree")
+	compiled := flag.Bool("compiled", true, "run the cross-check's simulated caches on the compiled policy kernel; false interprets policies")
 	snapshotDir := flag.String("snapshot-dir", "", "per-policy oracle snapshot directory for the cross-check: existing snapshots warm-start the re-learn, fresh stores are saved back")
 	flag.Parse()
 
@@ -53,6 +45,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sim := core.SimOptions{Interpreted: !*compiled}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -63,14 +56,17 @@ func main() {
 		}
 	}
 
-	specs := published()
+	// The artifact list lives in internal/mealy next to the test that
+	// verifies it (mealy.TestModelArtifacts), so the two cannot drift.
+	specs := mealy.PublishedModels()
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
 	for i, s := range specs {
 		wg.Add(1)
-		go func(i int, s spec) {
+		go func(i int, s mealy.PublishedModel) {
 			defer wg.Done()
-			errs[i] = generate(*out, s, !*quick, algo, *snapshotDir)
+			verify := !*quick && (!s.Heavy || *verifyHeavy)
+			errs[i] = generate(*out, s, verify, algo, *snapshotDir, sim)
 		}(i, s)
 	}
 	wg.Wait()
@@ -79,7 +75,7 @@ func main() {
 	for i, err := range errs {
 		if err != nil {
 			failed = true
-			fmt.Fprintf(os.Stderr, "genmodels: %s-%d: %v\n", specs[i].name, specs[i].assoc, err)
+			fmt.Fprintf(os.Stderr, "genmodels: %s-%d: %v\n", specs[i].Name, specs[i].Assoc, err)
 		}
 	}
 	if failed {
@@ -89,14 +85,14 @@ func main() {
 }
 
 // generate extracts (and optionally learns and cross-checks) one artifact.
-func generate(dir string, s spec, verify bool, algo learn.Algo, snapshotDir string) error {
-	truth, err := mealy.FromPolicy(policy.MustNew(s.name, s.assoc), 0)
+func generate(dir string, s mealy.PublishedModel, verify bool, algo learn.Algo, snapshotDir string, sim core.SimOptions) error {
+	truth, err := mealy.FromPolicy(policy.MustNew(s.Name, s.Assoc), 0)
 	if err != nil {
 		return err
 	}
 	if verify {
-		snap := core.SnapshotInDir(snapshotDir, s.name, s.assoc)
-		res, err := core.LearnSimulatedSnapshot(s.name, s.assoc, learn.Options{Algo: algo, Depth: 1}, snap)
+		snap := core.SnapshotInDir(snapshotDir, s.Name, s.Assoc)
+		res, err := core.LearnSimulatedSim(s.Name, s.Assoc, learn.Options{Algo: algo, Depth: 1}, snap, sim)
 		if err != nil {
 			return fmt.Errorf("learning: %w", err)
 		}
@@ -104,7 +100,7 @@ func generate(dir string, s spec, verify bool, algo learn.Algo, snapshotDir stri
 			return fmt.Errorf("learned machine differs from the extracted one, ce=%v", ce)
 		}
 	}
-	path := filepath.Join(dir, fmt.Sprintf("%s-%d.json", s.name, s.assoc))
+	path := filepath.Join(dir, fmt.Sprintf("%s-%d.json", s.Name, s.Assoc))
 	fh, err := os.Create(path)
 	if err != nil {
 		return err

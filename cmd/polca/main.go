@@ -55,8 +55,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write the learned automaton as JSON to this file")
 	warm := flag.String("warm", "", "warm start: load an oracle query-store snapshot from this file before learning")
 	snapshot := flag.String("snapshot", "", "save the oracle query-store snapshot to this file after learning")
+	compiled := flag.Bool("compiled", true, "run simulated caches on the compiled policy kernel (dense transition tables); false interprets policies through the Policy interface — bit-identical results, slower probes")
 	flag.Parse()
 	snap := core.SnapshotOptions{WarmPath: *warm, SavePath: *snapshot}
+	sim := core.SimOptions{Interpreted: !*compiled}
 
 	algo, err := learn.ParseAlgo(*algoName)
 	if err != nil {
@@ -80,9 +82,9 @@ func main() {
 	case *polName != "" && *hwName != "":
 		fatal(fmt.Errorf("choose either -policy (simulator) or -hw (hardware)"))
 	case *polName != "":
-		machine, err = learnSim(*polName, *assoc, lopt, snap)
+		machine, err = learnSim(*polName, *assoc, lopt, snap, sim)
 	case *hwName != "":
-		machine, err = learnHW(*hwName, *levelName, *slice, *set, *cat, *seed, lopt, *replicas, *reset, snap)
+		machine, err = learnHW(*hwName, *levelName, *slice, *set, *cat, *seed, lopt, *replicas, *reset, snap, sim)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -121,8 +123,8 @@ func main() {
 	}
 }
 
-func learnSim(name string, assoc int, lopt learn.Options, snap core.SnapshotOptions) (*mealy.Machine, error) {
-	res, err := core.LearnSimulatedSnapshot(name, assoc, lopt, snap)
+func learnSim(name string, assoc int, lopt learn.Options, snap core.SnapshotOptions, sim core.SimOptions) (*mealy.Machine, error) {
+	res, err := core.LearnSimulatedSim(name, assoc, lopt, snap, sim)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +148,7 @@ func learnSim(name string, assoc int, lopt learn.Options, snap core.SnapshotOpti
 	return res.Machine, nil
 }
 
-func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, lopt learn.Options, replicas int, reset string, snap core.SnapshotOptions) (*mealy.Machine, error) {
+func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, lopt learn.Options, replicas int, reset string, snap core.SnapshotOptions, sim core.SimOptions) (*mealy.Machine, error) {
 	var cfg hw.CPUConfig
 	switch strings.ToLower(cpuName) {
 	case "haswell":
@@ -164,9 +166,10 @@ func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, lopt le
 	if err != nil {
 		return nil, err
 	}
+	mkCPU := func() *hw.CPU { return hw.NewCPUSim(cfg, seed, sim.Interpreted) }
 	req := core.HardwareRequest{
-		CPU:              hw.NewCPU(cfg, seed),
-		NewCPU:           func() *hw.CPU { return hw.NewCPU(cfg, seed) },
+		CPU:              mkCPU(),
+		NewCPU:           mkCPU,
 		Replicas:         replicas,
 		Target:           cachequery.Target{Level: level, Slice: slice, Set: set},
 		Backend:          cachequery.DefaultBackendOptions(),

@@ -36,10 +36,28 @@ func (o Outcome) String() string {
 // its replacement policy. The zero line content "" denotes an invalid
 // (empty) line, which only arises after Flush; the Definition 2.3 semantics
 // always operates on full sets.
+//
+// When the policy is a compiled *policy.Table the set carries the control
+// state as a bare table state id instead of going through the Policy
+// interface: transitions are array lookups, StateKey is a precomputed
+// string, and Clone copies an int32 instead of deep-copying a policy
+// object. The table's arrays are immutable and shared, so many sets (the
+// hardware simulator materializes thousands) can run on one compiled table.
 type Set struct {
 	n       int
 	content []blocks.Block
 	pol     policy.Policy
+	tab     *policy.Table // non-nil when pol is compiled: hot paths bypass the interface
+	tstate  int32         // current table state (meaningful when tab != nil)
+}
+
+// bind activates the compiled-kernel fast path when the set's policy is a
+// table, adopting the policy's current control state.
+func (s *Set) bind() {
+	if t, ok := s.pol.(*policy.Table); ok {
+		s.tab = t
+		s.tstate = t.State()
+	}
 }
 
 // NewSet returns a cache set driven by pol, initialized by Reset: the
@@ -47,6 +65,7 @@ type Set struct {
 // in its initial control state.
 func NewSet(pol policy.Policy) *Set {
 	s := &Set{n: pol.Assoc(), content: make([]blocks.Block, pol.Assoc()), pol: pol}
+	s.bind()
 	s.Reset()
 	return s
 }
@@ -55,21 +74,41 @@ func NewSet(pol policy.Policy) *Set {
 // its initial control state, as used inside the hardware simulator where
 // sets start cold.
 func NewEmptySet(pol policy.Policy) *Set {
-	pol.Reset()
-	return &Set{n: pol.Assoc(), content: make([]blocks.Block, pol.Assoc()), pol: pol}
+	s := &Set{n: pol.Assoc(), content: make([]blocks.Block, pol.Assoc()), pol: pol}
+	s.bind()
+	if s.tab != nil {
+		// Don't touch the (possibly shared) table object; the set's own
+		// state id is the control state.
+		s.tstate = s.tab.InitState()
+	} else {
+		pol.Reset()
+	}
+	return s
 }
 
 // Assoc returns the associativity n.
 func (s *Set) Assoc() int { return s.n }
 
-// Policy exposes the underlying replacement policy (shared, not a copy).
-func (s *Set) Policy() policy.Policy { return s.pol }
+// Policy exposes the underlying replacement policy: the shared policy
+// object on the interpreted path, or an independent table view positioned
+// at the set's current control state on the compiled path (the set's state
+// lives in the set, not in the shared table).
+func (s *Set) Policy() policy.Policy {
+	if s.tab != nil {
+		return s.tab.At(s.tstate)
+	}
+	return s.pol
+}
 
 // Reset restores the canonical initial cache state: content A, B, ... in
 // lines 0..n-1 with the policy in its initial control state cs0. This is
 // the idealized reset available on software-simulated caches.
 func (s *Set) Reset() {
 	copy(s.content, blocks.Ordered(s.n))
+	if s.tab != nil {
+		s.tstate = s.tab.InitState()
+		return
+	}
 	s.pol.Reset()
 }
 
@@ -107,7 +146,7 @@ func (s *Set) AccessEvicted(b blocks.Block) (Outcome, int, blocks.Block) {
 		panic("cache: access to empty block name")
 	}
 	if i := s.Lookup(b); i >= 0 {
-		s.pol.OnHit(i)
+		s.onHit(i)
 		return Hit, -1, ""
 	}
 	// Fill an invalid line first, as hardware does; the policy observes the
@@ -116,14 +155,34 @@ func (s *Set) AccessEvicted(b blocks.Block) (Outcome, int, blocks.Block) {
 	for i, c := range s.content {
 		if c == "" {
 			s.content[i] = b
-			s.pol.OnHit(i)
+			s.onHit(i)
 			return Miss, -1, ""
 		}
 	}
-	v := s.pol.OnMiss()
+	v := s.onMiss()
 	evicted := s.content[v]
 	s.content[v] = b
 	return Miss, v, evicted
+}
+
+// onHit advances the control state on a hit of line i: one table lookup on
+// the compiled path, an interface call otherwise.
+func (s *Set) onHit(i int) {
+	if s.tab != nil {
+		s.tstate, _ = s.tab.Step(s.tstate, i)
+		return
+	}
+	s.pol.OnHit(i)
+}
+
+// onMiss advances the control state on an eviction and returns the victim.
+func (s *Set) onMiss() int {
+	if s.tab != nil {
+		next, v := s.tab.Step(s.tstate, s.n)
+		s.tstate = next
+		return int(v)
+	}
+	return s.pol.OnMiss()
 }
 
 // AccessAll accesses every block in sequence and returns the outcome trace.
@@ -157,19 +216,35 @@ func (s *Set) Flush() {
 }
 
 // StateKey canonically encodes the full cache state (content plus policy
-// control state) for use by the reset-sequence search.
+// control state) for use by the reset-sequence search. Compiled and
+// interpreted sets produce bit-identical keys: the table serves the
+// canonical interpreted StateKey strings.
 func (s *Set) StateKey() string {
-	return strings.Join(s.content, ",") + "|" + s.pol.StateKey()
+	return strings.Join(s.content, ",") + "|" + s.polKey()
 }
 
-// Clone returns an independent deep copy of the cache set.
+// polKey returns the policy control-state key without an interface call on
+// the compiled path.
+func (s *Set) polKey() string {
+	if s.tab != nil {
+		return s.tab.KeyOf(s.tstate)
+	}
+	return s.pol.StateKey()
+}
+
+// Clone returns an independent deep copy of the cache set. On the compiled
+// path the policy is not cloned at all: the table is shared and the control
+// state is one int32.
 func (s *Set) Clone() *Set {
-	c := &Set{n: s.n, content: make([]blocks.Block, s.n), pol: s.pol.Clone()}
+	c := &Set{n: s.n, content: make([]blocks.Block, s.n), pol: s.pol, tab: s.tab, tstate: s.tstate}
+	if s.tab == nil {
+		c.pol = s.pol.Clone()
+	}
 	copy(c.content, s.content)
 	return c
 }
 
 // String renders the cache state for debugging.
 func (s *Set) String() string {
-	return fmt.Sprintf("⟨[%s], %s⟩", strings.Join(s.content, " "), s.pol.StateKey())
+	return fmt.Sprintf("⟨[%s], %s⟩", strings.Join(s.content, " "), s.polKey())
 }

@@ -191,3 +191,84 @@ func TestWorkingSetFits(t *testing.T) {
 		}
 	}
 }
+
+// TestCompiledSetMatchesInterpreted drives a compiled-kernel set and an
+// interpreted set through an identical random mix of accesses, flushes,
+// clones and resets, asserting bit-identical observable behaviour at every
+// step: outcomes, evicted lines and blocks, content, and the full StateKey
+// (which the reset-sequence search uses for state identity).
+func TestCompiledSetMatchesInterpreted(t *testing.T) {
+	for _, name := range []string{"FIFO", "LRU", "PLRU", "MRU", "LIP", "SRRIP-HP", "SRRIP-FP", "New1", "New2"} {
+		pol := policy.MustNew(name, 4)
+		tab, err := policy.Compile(pol)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ks := NewSet(tab)
+		is := NewSet(policy.MustNew(name, 4))
+		if ks.tab == nil {
+			t.Fatalf("%s: compiled set did not bind the kernel", name)
+		}
+		rng := rand.New(rand.NewSource(29))
+		check := func(step int) {
+			if ks.StateKey() != is.StateKey() {
+				t.Fatalf("%s step %d: compiled state %q, interpreted %q", name, step, ks.StateKey(), is.StateKey())
+			}
+		}
+		for i := 0; i < 500; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				b := blocks.Name(rng.Intn(8))
+				if ks.FlushBlock(b) != is.FlushBlock(b) {
+					t.Fatalf("%s step %d: FlushBlock(%s) diverged", name, i, b)
+				}
+			case 1:
+				ks, is = ks.Clone(), is.Clone()
+			case 2:
+				ks.Reset()
+				is.Reset()
+			default:
+				b := blocks.Name(rng.Intn(8))
+				ko, kl, kb := ks.AccessEvicted(b)
+				io, il, ib := is.AccessEvicted(b)
+				if ko != io || kl != il || kb != ib {
+					t.Fatalf("%s step %d: Access(%s) = (%v,%d,%q) compiled vs (%v,%d,%q) interpreted",
+						name, i, b, ko, kl, kb, io, il, ib)
+				}
+			}
+			check(i)
+		}
+		// Policy() must expose the current control state on both paths.
+		if ks.Policy().StateKey() != is.Policy().StateKey() {
+			t.Fatalf("%s: Policy() views diverge: %q vs %q", name, ks.Policy().StateKey(), is.Policy().StateKey())
+		}
+	}
+}
+
+// TestCompiledSetCloneSharesTable: cloning a compiled set must not clone the
+// policy — the table is shared and only the state id is copied.
+func TestCompiledSetCloneSharesTable(t *testing.T) {
+	tab, err := policy.Compile(policy.MustNew("LRU", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet(tab)
+	s.OnEvictAll()
+	c := s.Clone()
+	if c.tab != s.tab {
+		t.Fatal("clone does not share the compiled table")
+	}
+	before := s.StateKey()
+	c.Access("Z9")
+	c.Access("Y9")
+	if s.StateKey() != before {
+		t.Fatal("clone mutation leaked into the original")
+	}
+}
+
+// OnEvictAll is a tiny test helper: n misses on fresh blocks.
+func (s *Set) OnEvictAll() {
+	for i := 0; i < s.n; i++ {
+		s.Access(blocks.Name(20 + i))
+	}
+}

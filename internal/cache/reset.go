@@ -91,6 +91,7 @@ func VerifyReset(pol policy.Policy, seq []blocks.Block, flushFirst bool, maxStat
 	var final *Set
 	for _, cs := range states {
 		s := &Set{n: n, content: make([]blocks.Block, n), pol: cs.Clone()}
+		s.bind() // compiled policies keep the kernel fast path here too
 		if !flushFirst {
 			for i := range s.content {
 				s.content[i] = dirtyBlock(i)

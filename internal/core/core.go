@@ -117,6 +117,28 @@ func saveSnapshot(oracle *polca.Oracle, path, scope string) error {
 	return nil
 }
 
+// SimOptions configures the simulated-cache learning stack below the
+// learner: the policy representation the prober runs on.
+type SimOptions struct {
+	// Interpreted disables the compiled policy kernel and drives the
+	// simulator through the interpreted Policy interface — the pre-kernel
+	// path the -compiled=false toggles and the kernel ablation benchmarks
+	// select. Learned machines, learner trajectories and every
+	// deterministic oracle counter are bit-identical either way; only the
+	// wall-clock cost of simulated probes changes.
+	Interpreted bool
+}
+
+// SimProber builds the simulator prober for a policy according to the
+// options: compiled kernel by default (with the interpreted fallback for
+// uncompilable policies), forced-interpreted on demand.
+func (o SimOptions) SimProber(pol policy.Policy) *polca.SimProber {
+	if o.Interpreted {
+		return polca.NewInterpretedSimProber(pol)
+	}
+	return polca.NewSimProber(pol)
+}
+
 // LearnSimulated learns a named policy of the given associativity from a
 // software-simulated cache (the §6 case study). The Polca oracle implements
 // learn.BatchTeacher over forking simulator sessions, so the learner's
@@ -136,11 +158,18 @@ func LearnSimulated(policyName string, assoc int, opt learn.Options) (*SimResult
 // The learned machine — and the learner's whole query trajectory — is
 // bit-identical cold or warm; only the backend probe count changes.
 func LearnSimulatedSnapshot(policyName string, assoc int, opt learn.Options, snap SnapshotOptions) (*SimResult, error) {
+	return LearnSimulatedSim(policyName, assoc, opt, snap, SimOptions{})
+}
+
+// LearnSimulatedSim is LearnSimulatedSnapshot with an explicit simulator
+// configuration — the seam the -compiled toggles of cmd/polca,
+// cmd/experiments and cmd/genmodels thread through.
+func LearnSimulatedSim(policyName string, assoc int, opt learn.Options, snap SnapshotOptions, sim SimOptions) (*SimResult, error) {
 	pol, err := policy.New(policyName, assoc)
 	if err != nil {
 		return nil, err
 	}
-	oracle := polca.NewOracle(polca.NewSimProber(pol))
+	oracle := polca.NewOracle(sim.SimProber(pol))
 	scope := SimSnapshotScope(pol.Name(), assoc)
 	if snap.WarmPath != "" {
 		if err := loadSnapshot(oracle, snap.WarmPath, scope); err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -328,5 +329,50 @@ func TestWarmStartHardware(t *testing.T) {
 	if 10*warm.OracleStats.Probes > cold.OracleStats.Probes {
 		t.Errorf("warm hardware run probed too much: %d cold, %d warm",
 			cold.OracleStats.Probes, warm.OracleStats.Probes)
+	}
+}
+
+// TestLearnSimulatedKernelBitIdentical is the end-to-end compiled↔interpreted
+// guarantee the kernel rides on: learning the same policy with the compiled
+// kernel (default) and with SimOptions.Interpreted produces byte-identical
+// model JSON, identical learner statistics, and bit-identical deterministic
+// oracle counters (queries, symbols, probes, accesses, memo hits).
+func TestLearnSimulatedKernelBitIdentical(t *testing.T) {
+	for _, c := range []struct {
+		name  string
+		assoc int
+		algo  learn.Algo
+	}{
+		{"New1", 4, learn.AlgoLStar},
+		{"SRRIP-HP", 4, learn.AlgoTree},
+	} {
+		opt := learn.Options{Depth: 1, Algo: c.algo}
+		compiled, err := LearnSimulatedSim(c.name, c.assoc, opt, SnapshotOptions{}, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		interp, err := LearnSimulatedSim(c.name, c.assoc, opt, SnapshotOptions{}, SimOptions{Interpreted: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cj, ij bytes.Buffer
+		if err := compiled.Machine.Save(&cj); err != nil {
+			t.Fatal(err)
+		}
+		if err := interp.Machine.Save(&ij); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cj.Bytes(), ij.Bytes()) {
+			t.Errorf("%s-%d/%s: compiled and interpreted model JSON differ", c.name, c.assoc, c.algo)
+		}
+		cs, is := compiled.LearnStats, interp.LearnStats
+		cs.Duration, is.Duration = 0, 0
+		if !reflect.DeepEqual(cs, is) {
+			t.Errorf("%s-%d/%s: learner stats diverged: %+v vs %+v", c.name, c.assoc, c.algo, cs, is)
+		}
+		if compiled.OracleStats != interp.OracleStats {
+			t.Errorf("%s-%d/%s: oracle counters diverged: %+v vs %+v",
+				c.name, c.assoc, c.algo, compiled.OracleStats, interp.OracleStats)
+		}
 	}
 }

@@ -84,13 +84,21 @@ func RunTable2RowOpt(name string, assoc int, opt learn.Options) Table2Row {
 // naming). Learned machines and learner trajectories are identical cold
 // or warm.
 func RunTable2RowSnap(name string, assoc int, opt learn.Options, snapshotDir string) Table2Row {
+	return RunTable2RowSim(name, assoc, opt, snapshotDir, core.SimOptions{})
+}
+
+// RunTable2RowSim is RunTable2RowSnap with an explicit simulator
+// configuration: cmd/experiments' -compiled=false flows through here to run
+// the row on the interpreted Policy interface instead of the compiled
+// kernel (same machines and trajectories, different wall-clock).
+func RunTable2RowSim(name string, assoc int, opt learn.Options, snapshotDir string, sim core.SimOptions) Table2Row {
 	if opt.Depth == 0 {
 		opt.Depth = 1
 	}
 	snap := core.SnapshotInDir(snapshotDir, name, assoc)
 	row := Table2Row{Policy: name, Assoc: assoc}
 	start := time.Now()
-	res, err := core.LearnSimulatedSnapshot(name, assoc, opt, snap)
+	res, err := core.LearnSimulatedSim(name, assoc, opt, snap, sim)
 	row.Time = time.Since(start)
 	if err != nil {
 		row.Err = err.Error()
@@ -142,6 +150,12 @@ func RunTable2ConcurrentOpt(specs []Table2Spec, workers int, opt learn.Options) 
 // RunTable2RowSnap). Rows are independent systems, so each gets its own
 // snapshot file.
 func RunTable2ConcurrentSnap(specs []Table2Spec, workers int, opt learn.Options, snapshotDir string) []Table2Row {
+	return RunTable2ConcurrentSim(specs, workers, opt, snapshotDir, core.SimOptions{})
+}
+
+// RunTable2ConcurrentSim is RunTable2ConcurrentSnap with an explicit
+// simulator configuration threaded to every row.
+func RunTable2ConcurrentSim(specs []Table2Spec, workers int, opt learn.Options, snapshotDir string, sim core.SimOptions) []Table2Row {
 	type job struct {
 		policy string
 		assoc  int
@@ -160,7 +174,7 @@ func RunTable2ConcurrentSnap(specs []Table2Spec, workers int, opt learn.Options,
 	rows := make([]Table2Row, len(jobs))
 	if workers <= 1 {
 		for i, j := range jobs {
-			rows[i] = RunTable2RowSnap(j.policy, j.assoc, opt, snapshotDir)
+			rows[i] = RunTable2RowSim(j.policy, j.assoc, opt, snapshotDir, sim)
 		}
 		return rows
 	}
@@ -174,7 +188,7 @@ func RunTable2ConcurrentSnap(specs []Table2Spec, workers int, opt learn.Options,
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rows[i] = RunTable2RowSnap(jobs[i].policy, jobs[i].assoc, opt, snapshotDir)
+				rows[i] = RunTable2RowSim(jobs[i].policy, jobs[i].assoc, opt, snapshotDir, sim)
 			}
 		}()
 	}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"math/rand"
 	"strconv"
+	"sync"
 
 	"repro/internal/blocks"
 	"repro/internal/cache"
@@ -42,8 +43,70 @@ type CPU struct {
 	lastLine   Addr
 	streak     int
 
+	interpreted bool // drive set policies through the interface, not the kernel
+
 	tsc       uint64
 	loadCount uint64
+}
+
+// hwCompileStates bounds the policy kernel inside the simulated CPUs: big
+// enough for every per-set policy the configured models install (PLRU-8 has
+// 128 control states, New1-4 160, CAT-reduced BRRIP-4 8,192), small enough
+// that probing an uncompilable giant (New2 at the full 12/16-way L3) fails
+// in milliseconds and is cached as such.
+const hwCompileStates = 1 << 14
+
+// compiledPolicies caches compiled transition tables process-wide, keyed by
+// policy name and associativity. Tables are immutable, so thousands of sets
+// across every CPU replica share one table and each set carries only its
+// int32 control state; a nil entry records that the policy exceeds the
+// bound and stays interpreted.
+var compiledPolicies sync.Map // "name/assoc" -> *policy.Table (nil: interpreted)
+
+func compiledPolicy(name string, assoc int) *policy.Table {
+	key := name + "/" + strconv.Itoa(assoc)
+	if v, ok := compiledPolicies.Load(key); ok {
+		return v.(*policy.Table)
+	}
+	t, err := policy.CompileBound(policy.MustNew(name, assoc), hwCompileStates)
+	if err != nil {
+		t = nil
+	}
+	// LoadOrStore so replica CPUs built on parallel goroutines converge on
+	// one table instance even when they raced on the compile.
+	v, _ := compiledPolicies.LoadOrStore(key, t)
+	return v.(*policy.Table)
+}
+
+// newPolicy instantiates one set's policy: a fresh view of the shared
+// compiled table when the kernel applies, the interpreted policy otherwise.
+func (c *CPU) newPolicy(name string, assoc int) policy.Policy {
+	if !c.interpreted {
+		if t := compiledPolicy(name, assoc); t != nil {
+			return t.At(t.InitState())
+		}
+	}
+	return policy.MustNew(name, assoc)
+}
+
+// SetInterpreted switches the CPU's replacement policies between the
+// compiled kernel (default) and the interpreted Policy interface, dropping
+// every materialized set so the change applies uniformly. Observable cache
+// behaviour is bit-identical either way; the toggle exists for the
+// -compiled=false ablations.
+//
+// Call it on a fresh CPU, before any traffic (NewCPUSim does): toggling
+// mid-run would empty the caches like a wbinvd while TSC/PSEL keep
+// running — a state matching neither a pure-compiled nor a
+// pure-interpreted run — so it panics once traffic has flowed.
+func (c *CPU) SetInterpreted(on bool) {
+	if c.loadCount != 0 || c.tsc != 0 {
+		panic("hw: SetInterpreted must be called on a fresh CPU, before any traffic")
+	}
+	c.interpreted = on
+	for _, lv := range c.levels {
+		lv.sets = make(map[uint32]*cache.Set)
+	}
 }
 
 const (
@@ -74,6 +137,18 @@ func NewCPU(cfg CPUConfig, seed int64) *CPU {
 	}
 	for _, l := range []Level{L1, L2, L3} {
 		c.levels[l] = &cacheLevel{lvl: l, cfg: cfg.Config(l), sets: make(map[uint32]*cache.Set)}
+	}
+	return c
+}
+
+// NewCPUSim is NewCPU with an explicit policy representation: interpreted
+// skips the compiled kernel. It is the constructor the -compiled toggles
+// use, so every CPU (primary and replicas alike) is configured identically
+// before any traffic.
+func NewCPUSim(cfg CPUConfig, seed int64, interpreted bool) *CPU {
+	c := NewCPU(cfg, seed)
+	if interpreted {
+		c.SetInterpreted(true)
 	}
 	return c
 }
@@ -180,21 +255,24 @@ func (c *CPU) setForKey(l Level, key uint32) *cache.Set {
 	return s
 }
 
-// newPolicyFor instantiates the replacement policy of one set.
+// newPolicyFor instantiates the replacement policy of one set. The adaptive
+// wrappers (dueling followers, the randomized throttle) stay interpreted —
+// they are deliberately not deterministic Mealy machines — but their inner
+// dueling policies run on the kernel.
 func (c *CPU) newPolicyFor(l Level, slice, set, assoc int) policy.Policy {
 	cfg := c.cfg.Config(l)
 	if l != L3 || !c.cfg.L3Adaptive {
-		return policy.MustNew(cfg.Policy, assoc)
+		return c.newPolicy(cfg.Policy, assoc)
 	}
 	switch c.cfg.LeaderRule(slice, set) {
 	case LeaderThrashable:
-		return policy.MustNew(c.cfg.ThrashablePolicy, assoc)
+		return c.newPolicy(c.cfg.ThrashablePolicy, assoc)
 	case LeaderResistant:
 		return c.newResistantPolicy(assoc)
 	default:
 		return &duelPolicy{
 			cpu: c,
-			a:   policy.MustNew(c.cfg.ThrashablePolicy, assoc),
+			a:   c.newPolicy(c.cfg.ThrashablePolicy, assoc),
 			b:   c.newResistantPolicy(assoc),
 		}
 	}
@@ -204,11 +282,7 @@ func (c *CPU) newResistantPolicy(assoc int) policy.Policy {
 	if c.cfg.ResistantNondet {
 		return newNondetThrottle(c, assoc)
 	}
-	p, err := policy.NewBRRIP(assoc, policy.DefaultBRRIPEpsilon)
-	if err != nil {
-		panic(err)
-	}
-	return p
+	return c.newPolicy("BRRIP", assoc)
 }
 
 // LeaderKindOf classifies an L3 set, mirroring the configuration rule.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/policy"
 )
 
 func skylake(t *testing.T) *CPU {
@@ -362,4 +363,77 @@ func TestCacheOutcomeSanity(t *testing.T) {
 		t.Error("invalidateAbove touched the L3 copy")
 	}
 	_ = cache.Hit // keep the import honest in case assertions above change
+}
+
+// TestCompiledCPUMatchesInterpreted drives two identically-seeded CPUs —
+// one on the compiled policy kernel (the default), one forced interpreted —
+// through the same load/flush mix and asserts bit-identical observable
+// behaviour: latencies, timestamp counter, PSEL and residency. The kernel
+// shares one transition table across all materialized sets; it must never
+// change what the simulated silicon does.
+func TestCompiledCPUMatchesInterpreted(t *testing.T) {
+	kc := NewCPU(Skylake(), 42)
+	ic := NewCPU(Skylake(), 42)
+	ic.SetInterpreted(true)
+	kc.SetLowNoise(true)
+	ic.SetLowNoise(true)
+	base := kc.AllocBuffer(512)
+	if ic.AllocBuffer(512) != base {
+		t.Fatal("allocators diverged")
+	}
+	for i := 0; i < 4000; i++ {
+		va := base + Addr((i*37)%(512*int(PageSize)/int(LineSize)))*LineSize
+		if i%97 == 0 {
+			kc.CLFlush(va)
+			ic.CLFlush(va)
+			continue
+		}
+		kl := kc.Load(va)
+		il := ic.Load(va)
+		if kl != il {
+			t.Fatalf("load %d: compiled latency %v, interpreted %v", i, kl, il)
+		}
+		if kc.ResidentLevel(va) != ic.ResidentLevel(va) {
+			t.Fatalf("load %d: residency diverged", i)
+		}
+	}
+	if kc.RDTSC() != ic.RDTSC() || kc.PSEL() != ic.PSEL() {
+		t.Fatalf("tsc/psel diverged: %d/%d vs %d/%d", kc.RDTSC(), kc.PSEL(), ic.RDTSC(), ic.PSEL())
+	}
+}
+
+// TestKernelTableIsShared: two sets of the same level run on the same
+// compiled table instance (the process-wide cache), not per-set copies.
+func TestKernelTableIsShared(t *testing.T) {
+	c := skylake(t)
+	s1 := c.setForKey(L1, 0)
+	s2 := c.setForKey(L1, 1)
+	p1, ok1 := s1.Policy().(*policy.Table)
+	p2, ok2 := s2.Policy().(*policy.Table)
+	if !ok1 || !ok2 {
+		t.Fatal("L1 PLRU sets are not on the compiled kernel")
+	}
+	if p1.NumStates() != p2.NumStates() || p1.Name() != p2.Name() {
+		t.Fatal("set views disagree about the compiled table")
+	}
+	if compiledPolicy("PLRU", 8) != compiledPolicy("PLRU", 8) {
+		t.Fatal("process-wide table cache returned distinct tables")
+	}
+	if compiledPolicy("New2", 16) != nil {
+		t.Fatal("New2-16 compiled despite exceeding the hw state bound")
+	}
+}
+
+// TestSetInterpretedRejectsMidRunToggle: the representation toggle is a
+// construction-time choice; flipping it after traffic would leave a hybrid
+// state (empty caches, advanced TSC/PSEL), so it must fail loudly.
+func TestSetInterpretedRejectsMidRunToggle(t *testing.T) {
+	c := skylake(t)
+	c.Load(c.AllocBuffer(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetInterpreted after traffic did not panic")
+		}
+	}()
+	c.SetInterpreted(true)
 }

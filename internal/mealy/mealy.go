@@ -79,12 +79,17 @@ func (m *Machine) StateAfter(word []int) int {
 	return s
 }
 
-// FromPolicy extracts the explicit Mealy machine of a policy by breadth-first
-// exploration of its control-state space, using StateKey for state identity.
-// It fails if more than maxStates states are reachable (maxStates <= 0 means
-// unbounded). The returned machine is reachable by construction; for the
-// policies in this repository it is also minimal, but callers that need a
-// guarantee should call Minimize.
+// FromPolicy extracts the explicit Mealy machine of a policy. It fails if
+// more than maxStates states are reachable (maxStates <= 0 means unbounded).
+// The returned machine is reachable by construction; for the policies in
+// this repository it is also minimal, but callers that need a guarantee
+// should call Minimize.
+//
+// The exploration is shared with the compiled policy kernel: the policy is
+// compiled to a policy.Table (breadth-first over Clone/Apply with StateKey
+// identity — the numbering this function always used) and the machine is a
+// direct conversion of the table. A policy that already is a *policy.Table
+// is converted without any re-exploration.
 func FromPolicy(p policy.Policy, maxStates int) (*Machine, error) {
 	root := p.Clone()
 	root.Reset()
@@ -96,49 +101,74 @@ func FromPolicy(p policy.Policy, maxStates int) (*Machine, error) {
 // hardware experiments, where the reset sequence generally parks the policy
 // in a reachable state other than the canonical initial one.
 func FromPolicyState(p policy.Policy, maxStates int) (*Machine, error) {
-	n := p.Assoc()
-	numIn := policy.NumInputs(n)
+	if t, ok := p.(*policy.Table); ok {
+		if maxStates > 0 && t.NumStates() > maxStates {
+			// The table may contain states unreachable from the current
+			// root; only fail once the rooted conversion really exceeds
+			// the budget.
+			if m := FromTable(t); m.NumStates <= maxStates {
+				return m, nil
+			}
+			return nil, fmt.Errorf("mealy: policy %s has more than %d reachable states", t.Name(), maxStates)
+		}
+		return FromTable(t), nil
+	}
+	t, err := policy.CompileState(p, maxStates)
+	if err != nil {
+		// Re-prefix the compile error so the message reads as one package's
+		// ("mealy: policy X has more than N reachable states", exactly the
+		// pre-kernel wording), not a double-prefixed chain.
+		return nil, fmt.Errorf("mealy: policy %s", strings.TrimPrefix(err.Error(), "policy: "))
+	}
+	return FromTable(t), nil
+}
 
-	root := p.Clone()
+// FromTable converts an already-compiled policy table into an explicit
+// machine rooted at the table's current state, re-exploring nothing: the
+// conversion is a breadth-first renumbering walk over the integer arrays.
+// When the table is rooted at its own initial state the walk is the
+// identity, so extracted machines (and the published model artifacts) are
+// byte-identical to the pre-kernel interface exploration.
+func FromTable(t *policy.Table) *Machine {
+	numIn := t.NumInputs()
+	remap := make([]int, t.NumStates())
+	for i := range remap {
+		remap[i] = -1
+	}
+	order := []int32{t.State()}
+	remap[t.State()] = 0
+	for head := 0; head < len(order); head++ {
+		s := order[head]
+		for a := 0; a < numIn; a++ {
+			succ, _ := t.Step(s, a)
+			if remap[succ] == -1 {
+				remap[succ] = len(order)
+				order = append(order, succ)
+			}
+		}
+	}
 
-	index := map[string]int{root.StateKey(): 0}
-	frontier := []policy.Policy{root}
-	names := []string{root.StateKey()}
-	var next [][]int
-	var out [][]int
-
-	for head := 0; head < len(frontier); head++ {
-		cur := frontier[head]
+	m := &Machine{
+		NumStates:  len(order),
+		NumInputs:  numIn,
+		Init:       0,
+		Next:       make([][]int, len(order)),
+		Out:        make([][]int, len(order)),
+		StateNames: make([]string, len(order)),
+	}
+	for newID, oldID := range order {
 		nrow := make([]int, numIn)
 		orow := make([]int, numIn)
 		for a := 0; a < numIn; a++ {
-			succ := cur.Clone()
-			orow[a] = policy.Apply(succ, a)
-			key := succ.StateKey()
-			id, seen := index[key]
-			if !seen {
-				id = len(frontier)
-				if maxStates > 0 && id >= maxStates {
-					return nil, fmt.Errorf("mealy: policy %s has more than %d reachable states", p.Name(), maxStates)
-				}
-				index[key] = id
-				frontier = append(frontier, succ)
-				names = append(names, key)
-			}
-			nrow[a] = id
+			succ, out := t.Step(oldID, a)
+			nrow[a] = remap[succ]
+			orow[a] = int(out)
 		}
-		next = append(next, nrow)
-		out = append(out, orow)
+		m.Next[newID] = nrow
+		m.Out[newID] = orow
+		m.StateNames[newID] = t.KeyOf(oldID)
 	}
-
-	return &Machine{
-		NumStates:  len(frontier),
-		NumInputs:  numIn,
-		Init:       0,
-		Next:       next,
-		Out:        out,
-		StateNames: names,
-	}, nil
+	return m
 }
 
 // Equivalent checks trace equivalence of m and o (which must share the input

@@ -2,6 +2,7 @@ package mealy
 
 import (
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -242,5 +243,62 @@ func TestRunFromRandomStates(t *testing.T) {
 				t.Fatalf("Evct produced output %d", out[j])
 			}
 		}
+	}
+}
+
+// TestFromTableMatchesInterfaceExtraction pins the artifact-stability
+// guarantee of the compiled kernel: extracting from a pre-compiled
+// policy.Table yields a machine deep-equal (numbering, outputs, state names)
+// to extracting from the interpreted policy, and rooting the table at a
+// non-initial state matches the interface rooting too.
+func TestFromTableMatchesInterfaceExtraction(t *testing.T) {
+	for _, name := range []string{"LRU", "SRRIP-HP", "New1"} {
+		pol := policy.MustNew(name, 4)
+		want, err := FromPolicy(pol, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := policy.Compile(policy.MustNew(name, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FromPolicy(tab, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: table extraction differs from interface extraction", name)
+		}
+
+		// Root both at the state after the same warm-up word.
+		word := []int{4, 0, 4, 2, 4}
+		ip := policy.MustNew(name, 4)
+		for _, a := range word {
+			policy.Apply(ip, a)
+		}
+		wantR, err := FromPolicyState(ip, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tv := tab.Clone()
+		for _, a := range word {
+			policy.Apply(tv, a)
+		}
+		gotR, err := FromPolicyState(tv, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotR, wantR) {
+			t.Fatalf("%s: rooted table extraction differs from interface extraction", name)
+		}
+	}
+}
+
+// TestFromPolicyRejectsNondeterministic: the shared compile exploration
+// refuses policies whose behaviour is not a function of their StateKey
+// (before the kernel, extraction silently produced a bogus machine here).
+func TestFromPolicyRejectsNondeterministic(t *testing.T) {
+	if m, err := FromPolicy(policy.NewRandom(4, 3), 0); err == nil {
+		t.Fatalf("FromPolicy(Random) produced a %d-state machine, want an error", m.NumStates)
 	}
 }

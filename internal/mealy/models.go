@@ -1,0 +1,24 @@
+package mealy
+
+// PublishedModel identifies one committed model artifact in models/:
+// the policy name and associativity behind <Name>-<Assoc>.json.
+type PublishedModel struct {
+	Name  string
+	Assoc int
+	// Heavy marks the assoc-8 state-space giants (LRU-8: 40,320 control
+	// states, SRRIP-HP-8: 43,818): extraction-verified by default —
+	// TestModelArtifacts skips them under -short, and cmd/genmodels runs
+	// their multi-minute learning cross-check only with -verify-heavy.
+	Heavy bool
+}
+
+// PublishedModels is the single source of truth for the artifact list,
+// consumed by cmd/genmodels (which writes the files) and by
+// TestModelArtifacts (which verifies them) so the two can never drift.
+func PublishedModels() []PublishedModel {
+	return []PublishedModel{
+		{"FIFO", 4, false}, {"LRU", 4, false}, {"PLRU", 4, false}, {"PLRU", 8, false}, {"MRU", 4, false},
+		{"LIP", 4, false}, {"SRRIP-HP", 4, false}, {"SRRIP-FP", 4, false}, {"New1", 4, false}, {"New2", 4, false},
+		{"LRU", 8, true}, {"SRRIP-HP", 8, true},
+	}
+}

@@ -11,16 +11,15 @@ import (
 
 // TestModelArtifacts verifies the published model files in models/ stay
 // trace-equivalent to the policy implementations they were extracted from.
+// The artifact list is PublishedModels, shared with cmd/genmodels. The
+// assoc-8 giants are skipped under -short to keep the race-enabled CI leg
+// fast; the nightly full run covers them.
 func TestModelArtifacts(t *testing.T) {
-	specs := []struct {
-		name  string
-		assoc int
-	}{
-		{"FIFO", 4}, {"LRU", 4}, {"PLRU", 4}, {"PLRU", 8}, {"MRU", 4},
-		{"LIP", 4}, {"SRRIP-HP", 4}, {"SRRIP-FP", 4}, {"New1", 4}, {"New2", 4},
-	}
-	for _, s := range specs {
-		path := filepath.Join("..", "..", "models", fmt.Sprintf("%s-%d.json", s.name, s.assoc))
+	for _, s := range PublishedModels() {
+		if s.Heavy && testing.Short() {
+			continue
+		}
+		path := filepath.Join("..", "..", "models", fmt.Sprintf("%s-%d.json", s.Name, s.Assoc))
 		fh, err := os.Open(path)
 		if err != nil {
 			t.Fatalf("%s: %v (regenerate with mealy.FromPolicy + Save)", path, err)
@@ -30,7 +29,7 @@ func TestModelArtifacts(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
-		truth, err := FromPolicy(policy.MustNew(s.name, s.assoc), 0)
+		truth, err := FromPolicy(policy.MustNew(s.Name, s.Assoc), 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -79,6 +79,32 @@ type ForkingProber interface {
 	NewSession() (Session, error)
 }
 
+// PeekSession is an optional Session extension for sessions that can report
+// the outcome the next access of a block would produce without advancing
+// any state. For a deterministic cache this is content membership (an
+// access hits iff the block is resident), so the oracle's findEvicted
+// probes — n per Evct symbol — cost a scan instead of a forked session.
+// Compiled-kernel simulator sessions implement it; the access counters are
+// maintained identically on both paths.
+type PeekSession interface {
+	Session
+	Peek(b blocks.Block) (cache.Outcome, error)
+}
+
+// evictionProbe returns the outcome an access of b would produce on sess
+// without advancing sess: Peek when the session supports it, a discarded
+// fork otherwise. The two are observably identical on deterministic caches.
+func evictionProbe(sess Session, b blocks.Block) (cache.Outcome, error) {
+	if ps, ok := sess.(PeekSession); ok {
+		return ps.Peek(b)
+	}
+	fork, err := sess.Fork()
+	if err != nil {
+		return Missed(), err
+	}
+	return fork.Access(b)
+}
+
 // ConcurrentProber marks a Prober whose Probe method is safe for concurrent
 // use (e.g. cachequery.ParallelProber, which multiplexes probes over a pool
 // of independent CPU replicas). The oracle answers batched output queries on
@@ -628,11 +654,7 @@ func (o *Oracle) outputQuerySessions(fp ForkingProber, word []int) ([]int, error
 		}
 		evicted := -1
 		for j := 0; j < n; j++ {
-			fork, err := sess.Fork()
-			if err != nil {
-				return nil, err
-			}
-			poc, err := fork.Access(cc[j])
+			poc, err := evictionProbe(sess, cc[j])
 			if err != nil {
 				return nil, err
 			}
@@ -809,11 +831,7 @@ func (o *Oracle) sessionQueryTrie(fp ForkingProber, word []int) ([]int, error) {
 			}
 			evicted := -1
 			for j := 0; j < n; j++ {
-				fork, err := sess.Fork()
-				if err != nil {
-					return nil, err
-				}
-				poc, err := fork.Access(blocks.Interned(int(cc[j])))
+				poc, err := evictionProbe(sess, blocks.Interned(int(cc[j])))
 				if err != nil {
 					return nil, err
 				}

@@ -11,26 +11,66 @@ import (
 // from the set's idealized reset state. It also implements ForkingProber, so
 // the oracle can use incremental sessions; the plain quadratic Probe path is
 // kept for the ablation benchmarks.
+//
+// By default the policy is compiled into a dense transition table
+// (policy.Compile) and the prober runs on the compiled kernel: sessions are
+// copyable (int32 state, content) values, so forking one — the oracle forks
+// at every miss for the eviction probes, and parks forks at store nodes for
+// prefix resume — copies one int and one small slice instead of deep-cloning
+// a policy object. Policies the kernel cannot compile (state spaces over the
+// bound, or contract violations like policy.Random) silently keep the
+// interpreted path; trajectories and learned machines are bit-identical
+// either way. NewInterpretedSimProber forces the interpreted path for the
+// kernel ablation benchmarks.
 type SimProber struct {
-	set *cache.Set
+	set *cache.Set    // interpreted path (nil when the compiled kernel is active)
+	tab *policy.Table // compiled kernel
+	cc0 []blocks.Block
+	n   int
+
+	scratch kernelSession // reusable probe state for the Probe/ProbeTrace paths
 }
 
-// NewSimProber wraps a fresh cache set governed by pol.
+// NewSimProber wraps a fresh cache set governed by pol, compiled onto the
+// policy kernel when pol is compilable.
 func NewSimProber(pol policy.Policy) *SimProber {
-	return &SimProber{set: cache.NewSet(pol)}
+	if t, ok := policy.CompileOrSelf(pol).(*policy.Table); ok {
+		p := &SimProber{tab: t, cc0: blocks.Ordered(t.Assoc()), n: t.Assoc()}
+		p.scratch = kernelSession{tab: t, content: make([]blocks.Block, t.Assoc())}
+		return p
+	}
+	return NewInterpretedSimProber(pol)
 }
+
+// NewInterpretedSimProber wraps a fresh cache set driven through the
+// interpreted Policy interface, bypassing the compiled kernel — the
+// pre-kernel simulator path the ablation benchmarks compare against.
+func NewInterpretedSimProber(pol policy.Policy) *SimProber {
+	return &SimProber{set: cache.NewSet(pol), cc0: blocks.Ordered(pol.Assoc()), n: pol.Assoc()}
+}
+
+// Compiled reports whether the prober runs on the compiled policy kernel.
+func (p *SimProber) Compiled() bool { return p.tab != nil }
 
 // Assoc implements Prober.
-func (p *SimProber) Assoc() int { return p.set.Assoc() }
+func (p *SimProber) Assoc() int { return p.n }
 
 // InitialContent implements Prober: the reset fills lines 0..n-1 with the
 // first n blocks.
 func (p *SimProber) InitialContent() []blocks.Block {
-	return blocks.Ordered(p.set.Assoc())
+	return blocks.Ordered(p.n)
 }
 
 // Probe implements Prober.
 func (p *SimProber) Probe(q []blocks.Block) (cache.Outcome, error) {
+	if p.tab != nil {
+		p.scratch.reset(p.tab, p.cc0)
+		var last cache.Outcome
+		for _, b := range q {
+			last, _ = p.scratch.Access(b)
+		}
+		return last, nil
+	}
 	p.set.Reset()
 	var last cache.Outcome
 	for _, b := range q {
@@ -42,15 +82,89 @@ func (p *SimProber) Probe(q []blocks.Block) (cache.Outcome, error) {
 // ProbeTrace implements TraceProber: the full hit/miss trace of one
 // reset-rooted run.
 func (p *SimProber) ProbeTrace(q []blocks.Block) ([]cache.Outcome, error) {
+	if p.tab != nil {
+		p.scratch.reset(p.tab, p.cc0)
+		out := make([]cache.Outcome, len(q))
+		for i, b := range q {
+			out[i], _ = p.scratch.Access(b)
+		}
+		return out, nil
+	}
 	p.set.Reset()
 	return p.set.AccessAll(q), nil
 }
 
-// NewSession implements ForkingProber.
+// NewSession implements ForkingProber. Kernel sessions are independent
+// values over the shared immutable table, so this is safe for the oracle's
+// concurrent batched queries on both paths.
 func (p *SimProber) NewSession() (Session, error) {
+	if p.tab != nil {
+		s := &kernelSession{tab: p.tab, state: p.tab.InitState(), content: append([]blocks.Block(nil), p.cc0...)}
+		return s, nil
+	}
 	s := p.set.Clone()
 	s.Reset()
 	return &simSession{set: s}, nil
+}
+
+// kernelSession is a compiled-kernel probing session: the full cache state
+// is one table state id plus the content tuple, making sessions copyable
+// values — Fork copies n strings and an int32, and the parked-session LRU
+// in the oracle's query store holds exactly these pairs instead of cloned
+// policy objects.
+type kernelSession struct {
+	tab     *policy.Table
+	state   int32
+	content []blocks.Block
+}
+
+// reset rewinds the session to the prober's reset state, reusing the
+// content storage.
+func (s *kernelSession) reset(tab *policy.Table, cc0 []blocks.Block) {
+	s.tab = tab
+	s.state = tab.InitState()
+	copy(s.content, cc0)
+}
+
+// Access implements Session: a content scan plus one table lookup. Sessions
+// are reset-rooted, so the set is always full and the semantics is exactly
+// Definition 2.3.
+func (s *kernelSession) Access(b blocks.Block) (cache.Outcome, error) {
+	if b == "" {
+		panic("cache: access to empty block name")
+	}
+	for i, c := range s.content {
+		if c == b {
+			s.state, _ = s.tab.Step(s.state, i)
+			return cache.Hit, nil
+		}
+	}
+	next, v := s.tab.Step(s.state, len(s.content))
+	s.state = next
+	s.content[v] = b
+	return cache.Miss, nil
+}
+
+// Fork implements Session: the session is a value, so forking is one small
+// copy with no policy clone.
+func (s *kernelSession) Fork() (Session, error) {
+	return &kernelSession{tab: s.tab, state: s.state, content: append([]blocks.Block(nil), s.content...)}, nil
+}
+
+// Peek implements PeekSession: the outcome the next access of b would
+// produce is pure content membership (an access hits iff the block is
+// resident), so the oracle's eviction probes cost a scan instead of a
+// forked session.
+func (s *kernelSession) Peek(b blocks.Block) (cache.Outcome, error) {
+	if b == "" {
+		panic("cache: access to empty block name")
+	}
+	for _, c := range s.content {
+		if c == b {
+			return cache.Hit, nil
+		}
+	}
+	return cache.Miss, nil
 }
 
 type simSession struct{ set *cache.Set }

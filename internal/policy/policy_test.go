@@ -50,6 +50,65 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+// TestRegisterErrorPaths covers the registry's failure modes table-driven:
+// duplicate registration (same case and different case) must fail loudly
+// with a panic naming the policy, and lookups must reject unknown names and
+// invalid associativities with errors that name the problem.
+func TestRegisterErrorPaths(t *testing.T) {
+	dups := []struct {
+		name string
+		reg  string // the colliding registration spelling
+	}{
+		{"exact duplicate", "LRU"},
+		{"lower-case duplicate", "lru"},
+		{"mixed-case duplicate", "lRu"},
+	}
+	for _, c := range dups {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Register(%q) of an existing policy did not panic", c.reg)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, c.reg) {
+					t.Fatalf("duplicate-registration panic %v does not name the policy %q", r, c.reg)
+				}
+			}()
+			Register(c.reg, func(assoc int) (Policy, error) { return NewLRU(assoc), nil })
+		})
+	}
+
+	lookups := []struct {
+		name    string
+		policy  string
+		assoc   int
+		wantErr string
+	}{
+		{"unknown name", "clock", 4, `unknown policy "clock"`},
+		{"empty name", "", 4, "unknown policy"},
+		{"zero associativity", "LRU", 0, "associativity must be >= 1"},
+		{"negative associativity", "LRU", -3, "associativity must be >= 1"},
+		{"constructor constraint", "PLRU", 6, "power of two"},
+	}
+	for _, c := range lookups {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := New(c.policy, c.assoc)
+			if err == nil {
+				t.Fatalf("New(%q, %d) = %v, want error", c.policy, c.assoc, p)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("New(%q, %d) error %q does not contain %q", c.policy, c.assoc, err, c.wantErr)
+			}
+		})
+	}
+
+	// The unknown-name error lists the registry so typos are self-serviceable.
+	_, err := New("lru2", 4)
+	if err == nil || !strings.Contains(err.Error(), "lru") || !strings.Contains(err.Error(), "srrip-hp") {
+		t.Fatalf("unknown-name error %q does not list the known policies", err)
+	}
+}
+
 func TestInputOutputStrings(t *testing.T) {
 	if got := InputString(4, 2); got != "Ln(2)" {
 		t.Errorf("InputString = %q", got)
