@@ -328,6 +328,12 @@ func BenchmarkAblationTrie(b *testing.B) {
 // deterministic counters (probes/op, accesses/op) are identical across
 // legs by construction — the kernel changes only ns/op and allocs/op,
 // which is exactly what this benchmark tracks.
+//
+// The batched leg answers the same load through the structure-of-arrays
+// engine (polca.WithBatchedQueries): one OutputQueryBatch over the whole
+// word set, lanes advancing in positional lockstep over a contiguous state
+// vector instead of one heap session per word. Same counters, same
+// answers; ns/op is the SoA payoff over the per-session compiled leg.
 func BenchmarkAblationKernel(b *testing.B) {
 	cases := []struct {
 		name  string
@@ -336,11 +342,13 @@ func BenchmarkAblationKernel(b *testing.B) {
 		{"LRU", 4}, {"SRRIP-HP", 4}, {"New1", 4},
 	}
 	legs := []struct {
-		name string
-		mk   func(name string, assoc int) polca.Prober
+		name    string
+		batched bool
+		mk      func(name string, assoc int) polca.Prober
 	}{
-		{"compiled", func(n string, a int) polca.Prober { return polca.NewSimProber(policy.MustNew(n, a)) }},
-		{"interpreted", func(n string, a int) polca.Prober { return polca.NewInterpretedSimProber(policy.MustNew(n, a)) }},
+		{"compiled", false, func(n string, a int) polca.Prober { return polca.NewSimProber(policy.MustNew(n, a)) }},
+		{"batched", true, func(n string, a int) polca.Prober { return polca.NewSimProber(policy.MustNew(n, a)) }},
+		{"interpreted", false, func(n string, a int) polca.Prober { return polca.NewInterpretedSimProber(policy.MustNew(n, a)) }},
 	}
 	for _, c := range cases {
 		words := qstore.Enumerate(policy.NumInputs(c.assoc), 5)[1:]
@@ -350,10 +358,20 @@ func BenchmarkAblationKernel(b *testing.B) {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					oracle := polca.NewOracle(prober, polca.WithoutMemo())
-					for _, w := range words {
-						if _, err := oracle.OutputQuery(w); err != nil {
+					opts := []polca.Option{polca.WithoutMemo()}
+					if l.batched {
+						opts = append(opts, polca.WithBatchedQueries())
+					}
+					oracle := polca.NewOracle(prober, opts...)
+					if l.batched {
+						if _, err := oracle.OutputQueryBatch(words); err != nil {
 							b.Fatal(err)
+						}
+					} else {
+						for _, w := range words {
+							if _, err := oracle.OutputQuery(w); err != nil {
+								b.Fatal(err)
+							}
 						}
 					}
 					st := oracle.Stats()
@@ -457,6 +475,49 @@ func BenchmarkStoreParallel(b *testing.B) {
 	}
 	b.Run("store/stripes=1", func(b *testing.B) { store(b, 1) })
 	b.Run("store/striped", func(b *testing.B) { store(b, 5) })
+
+	// The fastpath legs quantify the store-side fast path of the batched
+	// refactor under the same 8-goroutine contention: trie-only builds a
+	// fresh store every iteration and pays the full node/arena build cost
+	// for each round of misses; bloom keeps one store alive across
+	// iterations (Reset reuses the arena blocks) with the per-shard bloom
+	// filter short-circuiting absent-key Gets before the trie descent. The
+	// pairing is deliberate — bloom exists to make the persistent,
+	// epoch-reset store the cheap configuration, so the leg carries its
+	// whole fast path: allocs/op must sit strictly below the trie-only leg.
+	fastpath := func(b *testing.B, bloom bool) {
+		b.ReportAllocs()
+		mk := func() *qstore.Store[int, int] {
+			return qstore.New[int, int](qstore.Options{Degree: 5, Stripes: 5, Sync: true, Bloom: bloom})
+		}
+		st := mk()
+		const workers = 8
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if bloom {
+				st.Reset()
+			} else {
+				st = mk()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for j, word := range words {
+						if (j+w)%2 == 0 {
+							st.Set(word, j)
+						} else {
+							st.Get(word)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+	}
+	b.Run("store/fastpath/trie-only", func(b *testing.B) { fastpath(b, false) })
+	b.Run("store/fastpath/bloom", func(b *testing.B) { fastpath(b, true) })
 
 	learnLeg := func(b *testing.B, opts ...polca.Option) {
 		b.ReportAllocs()

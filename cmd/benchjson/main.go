@@ -11,8 +11,10 @@
 // held to -tolerance; wall-clock ns/op — noisy at -benchtime=1x on shared
 // runners — is held to the looser -time-tolerance. A benchmark present only
 // in the baseline is reported but does not fail the gate (benchmarks get
-// renamed); a deliberate perf-relevant change is acknowledged by
-// regenerating the baseline in the same PR.
+// renamed); a benchmark present only in the current run passes but warns
+// once — it is ungated until a regenerated baseline covers it. A deliberate
+// perf-relevant change is acknowledged by regenerating the baseline in the
+// same PR.
 //
 //	go run repro/cmd/benchjson                  # writes BENCH_<today>.json
 //	go run repro/cmd/benchjson -bench Ablation  # only the ablation suites
@@ -145,6 +147,9 @@ func main() {
 		for _, m := range rep.Missing {
 			fmt.Fprintf(os.Stderr, "benchjson: note: baseline benchmark %s not in this run\n", m)
 		}
+		for _, n := range rep.New {
+			fmt.Fprintf(os.Stderr, "benchjson: WARNING: %s is not in the baseline and is not gated; regenerate the baseline to cover it\n", n)
+		}
 		fmt.Fprintf(os.Stderr, "benchjson: compared %d benchmarks against %s\n", rep.Compared, *comparePath)
 		if len(rep.Regressions) > 0 {
 			for _, r := range rep.Regressions {
@@ -246,6 +251,7 @@ type compareReport struct {
 	Compared    int      // benchmarks present in both runs
 	Regressions []string // human-readable regression descriptions
 	Missing     []string // baseline benchmarks absent from the current run
+	New         []string // current-run benchmarks absent from the baseline
 }
 
 // compareBaselines checks every benchmark of the current run against the
@@ -298,7 +304,11 @@ func compareBaselines(base, cur *Baseline, tol, timeTol float64) compareReport {
 	for _, r := range cur.Results {
 		bi, ok := lookup(r.Name)
 		if !ok {
-			continue // new benchmark: becomes part of the next baseline
+			// New benchmark: ungated until it lands in a regenerated
+			// baseline. Report it — a leg the baseline never covers would
+			// otherwise pass silently forever.
+			rep.New = append(rep.New, r.Name)
+			continue
 		}
 		b := base.Results[bi]
 		matched[bi] = true

@@ -109,6 +109,37 @@ func TestCompareFlagsVanishedMetric(t *testing.T) {
 
 func baselineOf(results ...Result) *Baseline { return &Baseline{Results: results} }
 
+// TestCompareReportsNewBenchmarks: a leg present in the current run but not
+// in the baseline must be surfaced once in the New list (it is ungated
+// until the baseline is regenerated — silence would read as coverage), and
+// it must never fail the gate or count as compared. Matched legs must not
+// leak into the list under either matching mode.
+func TestCompareReportsNewBenchmarks(t *testing.T) {
+	base := baselineOf(Result{Name: "BenchmarkOld-8", NsPerOp: 1000})
+	base.Gomaxprocs = 8
+	cur := baselineOf(
+		Result{Name: "BenchmarkOld-4", NsPerOp: 1000},
+		Result{Name: "BenchmarkShiny/new-leg-4", NsPerOp: 123456,
+			Metrics: map[string]float64{"probes/op": 1e9}},
+	)
+	cur.Gomaxprocs = 4
+	rep := compareBaselines(base, cur, 0.25, 1.0)
+	if len(rep.New) != 1 || rep.New[0] != "BenchmarkShiny/new-leg-4" {
+		t.Errorf("new list wrong: %+v", rep.New)
+	}
+	if rep.Compared != 1 || len(rep.Regressions) != 0 || len(rep.Missing) != 0 {
+		t.Errorf("new benchmark disturbed the comparison: %+v", rep)
+	}
+
+	// Legacy baselines (no Gomaxprocs) use heuristic matching; an entry
+	// matched through the normalized fallback is not new.
+	base = baselineOf(Result{Name: "BenchmarkOld-8", NsPerOp: 1000})
+	cur = baselineOf(Result{Name: "BenchmarkOld-4", NsPerOp: 1000})
+	if rep = compareBaselines(base, cur, 0.25, 1.0); len(rep.New) != 0 || rep.Compared != 1 {
+		t.Errorf("legacy-matched benchmark reported as new: %+v", rep)
+	}
+}
+
 func TestCompareDetectsRegressions(t *testing.T) {
 	base := baselineOf(
 		Result{Name: "BenchmarkA-8", NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10,
@@ -151,7 +182,7 @@ func TestCompareDetectsRegressions(t *testing.T) {
 	}
 
 	// A renamed/removed benchmark is reported but does not fail the gate; a
-	// brand-new benchmark is ignored.
+	// brand-new benchmark passes but is surfaced in the New list.
 	cur = baselineOf(
 		Result{Name: "BenchmarkA-8", NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10,
 			Metrics: map[string]float64{"probes/op": 50}},
@@ -163,6 +194,9 @@ func TestCompareDetectsRegressions(t *testing.T) {
 	}
 	if len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkB-8" {
 		t.Errorf("missing list wrong: %+v", rep.Missing)
+	}
+	if len(rep.New) != 1 || rep.New[0] != "BenchmarkC-8" {
+		t.Errorf("new list wrong: %+v", rep.New)
 	}
 
 	// Zero-valued baseline entries (no -benchmem, no metric) never divide.

@@ -56,9 +56,10 @@ func main() {
 	warm := flag.String("warm", "", "warm start: load an oracle query-store snapshot from this file before learning")
 	snapshot := flag.String("snapshot", "", "save the oracle query-store snapshot to this file after learning")
 	compiled := flag.Bool("compiled", true, "run simulated caches on the compiled policy kernel (dense transition tables); false interprets policies through the Policy interface — bit-identical results, slower probes")
+	batch := flag.Bool("batch", false, "answer query batches on the structure-of-arrays batched engine (simulator mode; requires -compiled) / group eviction probes over the replica pool (hardware mode) — bit-identical results")
 	flag.Parse()
 	snap := core.SnapshotOptions{WarmPath: *warm, SavePath: *snapshot}
-	sim := core.SimOptions{Interpreted: !*compiled}
+	sim := core.SimOptions{Interpreted: !*compiled, Batched: *batch}
 
 	algo, err := learn.ParseAlgo(*algoName)
 	if err != nil {
@@ -177,6 +178,7 @@ func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, lopt le
 		Learn:            lopt,
 		DeterminismEvery: 128,
 		Snapshot:         snap,
+		Batched:          sim.Batched,
 	}
 	if reset != "" && reset != "F+R" {
 		seq := strings.Fields(reset)

@@ -120,6 +120,34 @@ func (p *ParallelProber) ProbeFresh(q []blocks.Block) (cache.Outcome, error) {
 // ConcurrentProbes implements polca.ConcurrentProber.
 func (p *ParallelProber) ConcurrentProbes() bool { return len(p.probers) > 1 }
 
+// ProbeBatch implements polca.ProbeBatcher: the queries fan out over the
+// replica pool on one goroutine each, so up to Replicas() of them execute
+// concurrently and the rest wait for a free replica. Reset-rooted probes
+// are independent, so results slot into place by index regardless of
+// completion order. The batched membership engine (polca.WithBatchedQueries)
+// uses this to group the associativity-many eviction probes of one miss.
+func (p *ParallelProber) ProbeBatch(qs [][]blocks.Block) ([]cache.Outcome, error) {
+	out := make([]cache.Outcome, len(qs))
+	errs := make([]error, len(qs))
+	var wg sync.WaitGroup
+	for i, q := range qs {
+		wg.Add(1)
+		go func(i int, q []blocks.Block) {
+			defer wg.Done()
+			r := <-p.pool
+			out[i], errs[i] = r.Probe(q)
+			p.pool <- r
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // FrontendStats aggregates the counters of every replica's frontend. Only
 // call it while no probes are in flight.
 func (p *ParallelProber) FrontendStats() FrontendStats {
@@ -133,4 +161,5 @@ func (p *ParallelProber) FrontendStats() FrontendStats {
 var (
 	_ polca.ConcurrentProber = (*ParallelProber)(nil)
 	_ polca.FreshProber      = (*ParallelProber)(nil)
+	_ polca.ProbeBatcher     = (*ParallelProber)(nil)
 )

@@ -127,6 +127,18 @@ type SimOptions struct {
 	// deterministic oracle counter are bit-identical either way; only the
 	// wall-clock cost of simulated probes changes.
 	Interpreted bool
+	// Batched enables the structure-of-arrays batched query engine
+	// (polca.WithBatchedQueries): output-query batches execute over one
+	// contiguous state vector and content matrix instead of per-session
+	// goroutines. Requires the compiled kernel; with Interpreted set the
+	// oracle quietly keeps the per-session path. Answers and every
+	// deterministic counter are bit-identical to the per-session path.
+	Batched bool
+	// Workers caps the per-session path's goroutine fan-out
+	// (polca.WithParallelism); 0 keeps the oracle's GOMAXPROCS default.
+	// Pinning Workers to 1 makes per-session runs reproduce the exact
+	// serial trajectory the batched engine is tested against.
+	Workers int
 }
 
 // SimProber builds the simulator prober for a policy according to the
@@ -169,7 +181,14 @@ func LearnSimulatedSim(policyName string, assoc int, opt learn.Options, snap Sna
 	if err != nil {
 		return nil, err
 	}
-	oracle := polca.NewOracle(sim.SimProber(pol))
+	var opts []polca.Option
+	if sim.Batched {
+		opts = append(opts, polca.WithBatchedQueries())
+	}
+	if sim.Workers > 0 {
+		opts = append(opts, polca.WithParallelism(sim.Workers))
+	}
+	oracle := polca.NewOracle(sim.SimProber(pol), opts...)
 	scope := SimSnapshotScope(pol.Name(), assoc)
 	if snap.WarmPath != "" {
 		if err := loadSnapshot(oracle, snap.WarmPath, scope); err != nil {
@@ -220,6 +239,12 @@ type HardwareRequest struct {
 	Learn learn.Options
 	// DeterminismEvery re-checks every n-th Polca query (0 disables).
 	DeterminismEvery int
+	// Batched enables the batched membership-query engine on the hardware
+	// pipeline: the oracle groups the associativity-many eviction probes of
+	// each miss into one ProbeBatch fanned over the replica pool. Only
+	// effective with a replica pool (NewCPU set, Replicas > 1) — a single
+	// frontend executes probes one at a time regardless.
+	Batched bool
 	// Snapshot controls oracle query-store persistence. Snapshots are
 	// scoped to (CPU model, target, reset): a warm path recorded under a
 	// different reset fails that candidate and the next reset is tried.
@@ -326,6 +351,9 @@ func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
 		}
 		if req.Replicas > 0 {
 			opts = append(opts, polca.WithParallelism(req.Replicas))
+		}
+		if req.Batched {
+			opts = append(opts, polca.WithBatchedQueries())
 		}
 		oracle := polca.NewOracle(prober, opts...)
 		scope := hardwareSnapshotScope(req, rst)

@@ -60,22 +60,29 @@ const hwCompileStates = 1 << 14
 // policy name and associativity. Tables are immutable, so thousands of sets
 // across every CPU replica share one table and each set carries only its
 // int32 control state; a nil entry records that the policy exceeds the
-// bound and stays interpreted.
-var compiledPolicies sync.Map // "name/assoc" -> *policy.Table (nil: interpreted)
+// bound and stays interpreted. Each key maps to a single-flight slot:
+// replica CPUs built on parallel goroutines used to race on the compile and
+// throw away the losers, which for a 16K-state bound is real work — now the
+// first goroutine compiles and the rest wait on its result.
+var compiledPolicies sync.Map // "name/assoc" -> *compileSlot
+
+type compileSlot struct {
+	once sync.Once
+	tab  *policy.Table // nil: the policy exceeds the bound, stays interpreted
+}
 
 func compiledPolicy(name string, assoc int) *policy.Table {
 	key := name + "/" + strconv.Itoa(assoc)
-	if v, ok := compiledPolicies.Load(key); ok {
-		return v.(*policy.Table)
-	}
-	t, err := policy.CompileBound(policy.MustNew(name, assoc), hwCompileStates)
-	if err != nil {
-		t = nil
-	}
-	// LoadOrStore so replica CPUs built on parallel goroutines converge on
-	// one table instance even when they raced on the compile.
-	v, _ := compiledPolicies.LoadOrStore(key, t)
-	return v.(*policy.Table)
+	v, _ := compiledPolicies.LoadOrStore(key, &compileSlot{})
+	slot := v.(*compileSlot)
+	slot.once.Do(func() {
+		t, err := policy.CompileBound(policy.MustNew(name, assoc), hwCompileStates)
+		if err != nil {
+			t = nil
+		}
+		slot.tab = t
+	})
+	return slot.tab
 }
 
 // newPolicy instantiates one set's policy: a fresh view of the shared

@@ -1,0 +1,547 @@
+package polca
+
+// Batched output queries over the compiled policy kernel. The per-session
+// trie path (sessionQueryTrie) answers one word at a time: walk the store,
+// fork a parked session, feed the suffix block by block through interface
+// calls and string scans. BatchProber replaces that with a three-phase
+// engine over one structure-of-arrays block (policy.Batch):
+//
+//  1. Plan (serial, word order): walk every word's known prefix under its
+//     shard lock — exactly walkKnownPrefix, extended with a batch-local
+//     overlay so a word sees the prefixes earlier words of the same batch
+//     will record. Pending words get a lane; their suffix paths are
+//     created up front and placeholder sessions are parked through the
+//     regular LRU, reserving each node with the recency the per-session
+//     path would give it.
+//  2. Execute (one pass per lane over the SoA block): a lane's cache state
+//     is one int32 table state plus one int32 content row. The policy
+//     input encoding coincides with the kernel's table inputs, and a
+//     reset-rooted session's content mirrors the oracle's tracked content
+//     cc exactly (Definition 2.3: Ln(i) hits at line i, Evct misses into
+//     the table's victim), so replaying a suffix is pure table stepping —
+//     no block strings, no membership scans, no session allocations. Park
+//     snapshots are row copies within the block.
+//  3. Record (serial, word order): write outputs along each word's path
+//     and replace every placeholder that survived the LRU with a kernel
+//     session materialized from its park row. Placeholders the LRU evicted
+//     are dropped, exactly as the serial path would have dropped the fork.
+//
+// Counters are bit-identical to the per-session path by construction:
+// memo hits = known-prefix symbols (overlay included, which is what the
+// serial memo would have recorded by then), one probe per pending word,
+// and accesses = fast-forward length + suffix length + associativity per
+// Evct (the eviction probes a session would have issued). The equivalence
+// is asserted by TestBatchedOracleMatchesSerial down to the final store
+// state.
+//
+// A batch must not interleave with concurrent serial queries on the same
+// oracle: between plan and record, store nodes hold placeholder sessions
+// that only this batch can resolve (the learner's prefetch loop, the only
+// batching caller, is sequential). Foreign words — symbols out of range —
+// drop the whole batch to the serial loop so error semantics, including
+// partially recorded batches, stay exactly serial.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blocks"
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+// WithBatchedQueries turns on the batched SoA query engine for compiled
+// simulator probers: OutputQueryBatch plans whole chunks against the store
+// and replays pending suffixes in lockstep over a policy.Batch block
+// instead of one session per word. Answers, recorded store contents and
+// cost counters are bit-identical to the per-session path; probers without
+// a compiled kernel (or oracles in a flat-memo ablation mode) keep the
+// per-session path. It also raises the oracle's BatchHint so the learner
+// forms chunks worth planning even over a single-threaded prober.
+func WithBatchedQueries() Option {
+	return func(o *Oracle) { o.batched = true }
+}
+
+// Batched reports whether the batched SoA query engine is enabled.
+func (o *Oracle) Batched() bool { return o.batched }
+
+// batchedHint is the BatchHint of a batched oracle: lockstep planning pays
+// off with deep chunks even when the prober itself is single-threaded, so
+// the hint no longer tracks goroutine parallelism.
+const batchedHint = 16
+
+// ProbeBatcher is an optional Prober extension executing several
+// independent reset-rooted probes in one call — cachequery's replica pool
+// implements it by fanning the probes over its frontends. A batched oracle
+// groups the associativity-many findEvicted probes of an unmemoized Evct
+// through it. Counters are maintained per probe exactly as on the serial
+// path; only error paths differ (a failing batch aborts after issuing all
+// probes where the serial loop stops at the first).
+type ProbeBatcher interface {
+	Prober
+	ProbeBatch(qs [][]blocks.Block) ([]cache.Outcome, error)
+}
+
+// errBatchPlaceholder surfaces if a placeholder session escapes its batch
+// — the symptom of serial queries interleaved with an in-flight batch.
+var errBatchPlaceholder = errors.New("polca: batch placeholder session used outside its batch")
+
+// batchPark is the placeholder Session parked during the plan phase: it
+// holds a node's LRU slot with the recency the per-session path would give
+// the real fork, and names the lane and depth whose park row materializes
+// it at record time.
+type batchPark struct {
+	lane  int
+	depth int
+}
+
+// Access implements Session (never legitimately called).
+func (p *batchPark) Access(blocks.Block) (cache.Outcome, error) {
+	return Missed(), errBatchPlaceholder
+}
+
+// Fork implements Session (never legitimately called).
+func (p *batchPark) Fork() (Session, error) { return nil, errBatchPlaceholder }
+
+// plannedPark is one placeholder parked at a store node, with the SoA row
+// its snapshot lands in.
+type plannedPark struct {
+	depth int
+	node  int32
+	row   int
+	ph    *batchPark
+}
+
+// outPatch fills out[pos] from a producer lane once it has executed: the
+// position was known at plan time only through the batch-local overlay.
+type outPatch struct {
+	pos     int
+	srcLane int
+	srcPos  int
+}
+
+// batchPlan is one word's plan.
+type batchPlan struct {
+	word []int
+	out  []int
+	seq  int // query sequence number (determinism audit schedule)
+
+	lane        int // SoA lane, -1 when the word is fully known
+	k           int // known-prefix length at plan time
+	resumeDepth int
+	resumeSess  *kernelSession // plan-time fork of a real parked session
+	srcLane     int            // producer lane when resuming a placeholder, -1 otherwise
+	srcDepth    int
+
+	parks   []plannedPark
+	patches []outPatch
+}
+
+// ovKey identifies a store node across shards for the batch-local overlay.
+type ovKey struct {
+	shard int
+	node  int32
+}
+
+// ovVal names the lane and position that will produce the node's output.
+type ovVal struct {
+	lane int
+	pos  int
+}
+
+// BatchProber is the batched execution engine the oracle builds over a
+// compiled SimProber for one OutputQueryBatch call. See the file comment
+// for the three phases.
+type BatchProber struct {
+	o       *Oracle
+	tab     *policy.Table
+	n       int // associativity
+	plans   []batchPlan
+	byLane  []*batchPlan
+	overlay map[ovKey]ovVal
+	bt      *policy.Batch
+}
+
+func newBatchProber(o *Oracle, sp *SimProber) *BatchProber {
+	return &BatchProber{o: o, tab: sp.tab, n: sp.n, overlay: make(map[ovKey]ovVal)}
+}
+
+// tryBatchedKernel dispatches an OutputQueryBatch to the SoA engine when
+// the oracle and prober support it, reporting done=false for the serial
+// fallback. Sequence numbers, symbol counters and determinism audits are
+// issued in word order exactly as the serial loop would.
+func (o *Oracle) tryBatchedKernel(words [][]int) (out [][]int, done bool, err error) {
+	if !o.batched || len(words) == 0 {
+		return nil, false, nil
+	}
+	sp, ok := o.prober.(*SimProber)
+	if !ok || sp.tab == nil {
+		return nil, false, nil
+	}
+	if o.useMemo && !o.useTrie {
+		return nil, false, nil // flat-memo ablation keeps its exact serial trajectory
+	}
+	n := o.prober.Assoc()
+	for _, w := range words {
+		for _, ip := range w {
+			if ip < 0 || ip > n {
+				// Out-of-range symbols take the serial loop so error
+				// semantics — including which earlier words get recorded —
+				// stay identical.
+				return nil, false, nil
+			}
+		}
+	}
+	seqs := make([]int, len(words))
+	for i, w := range words {
+		seqs[i] = int(o.outputQueries.Add(1))
+		o.symbols.Add(int64(len(w)))
+	}
+	if o.trieOn() {
+		bp := newBatchProber(o, sp)
+		out, err = bp.run(words, seqs)
+	} else {
+		out, err = o.batchedQueryNoMemo(sp, words)
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	if o.recheck > 0 {
+		for i, w := range words {
+			if seqs[i]%o.recheck != 0 || len(w) == 0 {
+				continue
+			}
+			again, aerr := o.outputQueryOnce(w, true)
+			if aerr != nil {
+				return nil, true, aerr
+			}
+			for j := range out[i] {
+				if out[i][j] != again[j] {
+					return nil, true, fmt.Errorf("%w: repeated query diverged at position %d (%d vs %d)",
+						ErrNondeterministic, j, out[i][j], again[j])
+				}
+			}
+		}
+	}
+	return out, true, nil
+}
+
+// run answers one batch through the trie-backed engine.
+func (bp *BatchProber) run(words [][]int, seqs []int) ([][]int, error) {
+	if err := bp.plan(words, seqs); err != nil {
+		return nil, err
+	}
+	bp.execute()
+	bp.record()
+	out := make([][]int, len(bp.plans))
+	for i := range bp.plans {
+		out[i] = bp.plans[i].out
+	}
+	return out, nil
+}
+
+// plan walks every word in order, splitting it into a known prefix and a
+// pending suffix, and parks placeholders along the suffix path. It is the
+// serial prefix walk with the overlay added; all store and LRU mutations
+// happen in exactly the order the per-session path would perform them.
+func (bp *BatchProber) plan(words [][]int, seqs []int) error {
+	o := bp.o
+	bp.plans = make([]batchPlan, len(words))
+	parkRows := 0
+	for i, word := range words {
+		p := &bp.plans[i]
+		p.word = word
+		p.out = make([]int, len(word))
+		p.seq = seqs[i]
+		p.lane = -1
+		p.srcLane = -1
+
+		sh := o.out.Acquire(word)
+		node := int32(0)
+		k := 0
+		resumeNode := int32(-1)
+		resumeDepth := 0
+		for k < len(word) {
+			ip := word[k]
+			c := sh.Child(node, ip)
+			if c < 0 {
+				break
+			}
+			if sh.Has(c) {
+				p.out[k] = int(sh.Val(c).out)
+			} else if ov, ok := bp.overlay[ovKey{shard: sh.Index(), node: c}]; ok {
+				p.patches = append(p.patches, outPatch{pos: k, srcLane: ov.lane, srcPos: ov.pos})
+			} else {
+				break
+			}
+			node = c
+			k++
+			if sh.Val(c).sess != nil {
+				resumeNode, resumeDepth = c, k
+			}
+		}
+		p.k = k
+		if k == len(word) {
+			if resumeNode >= 0 {
+				o.touch(sh, resumeNode)
+			}
+			sh.Release()
+			o.memoHits.Add(int64(k))
+			continue
+		}
+		if resumeNode >= 0 {
+			o.touch(sh, resumeNode)
+			switch s := sh.Val(resumeNode).sess.(type) {
+			case *batchPark:
+				p.srcLane, p.srcDepth = s.lane, s.depth
+			case *kernelSession:
+				f, _ := s.Fork()
+				p.resumeSess = f.(*kernelSession)
+			default:
+				// A foreign session type under a compiled prober cannot
+				// happen in this oracle; fail loudly rather than diverge.
+				sh.Release()
+				return fmt.Errorf("polca: non-kernel session parked under a compiled prober at depth %d", resumeDepth)
+			}
+			p.resumeDepth = resumeDepth
+		}
+		o.memoHits.Add(int64(k))
+		p.lane = len(bp.byLane)
+		bp.byLane = append(bp.byLane, p)
+		if p.resumeDepth < k {
+			ph := &batchPark{lane: p.lane, depth: k}
+			o.park(sh, node, ph)
+			p.parks = append(p.parks, plannedPark{depth: k, node: node, ph: ph})
+		}
+		for d := k; d < len(word); d++ {
+			node = sh.Extend(node, word[d])
+			bp.overlay[ovKey{shard: sh.Index(), node: node}] = ovVal{lane: p.lane, pos: d}
+			ph := &batchPark{lane: p.lane, depth: d + 1}
+			o.park(sh, node, ph)
+			p.parks = append(p.parks, plannedPark{depth: d + 1, node: node, ph: ph})
+		}
+		parkRows += len(p.parks)
+		sh.Release()
+	}
+	// Assign SoA rows: one lane per pending word, then one row per park.
+	row := len(bp.byLane)
+	for i := range bp.plans {
+		p := &bp.plans[i]
+		for j := range p.parks {
+			p.parks[j].row = row
+			row++
+		}
+	}
+	bp.bt = policy.NewBatch(bp.tab, len(bp.byLane)+parkRows, bp.o.cc0IDs)
+	return nil
+}
+
+// execute replays every pending lane over the SoA block, in word order so
+// producer lanes complete before the lanes that copy their park rows.
+func (bp *BatchProber) execute() {
+	o, bt, tab, n := bp.o, bp.bt, bp.tab, bp.n
+	for i := range bp.plans {
+		p := &bp.plans[i]
+		// Overlay-known positions resolve now: their producers ran already.
+		for _, pt := range p.patches {
+			p.out[pt.pos] = bp.byLane[pt.srcLane].out[pt.srcPos]
+		}
+		if p.lane < 0 {
+			continue
+		}
+		switch {
+		case p.resumeSess != nil:
+			row := make([]int32, n)
+			for j, b := range p.resumeSess.content {
+				id, _ := blocks.Index(b)
+				row[j] = int32(id)
+			}
+			bt.LoadLane(p.lane, p.resumeSess.state, row)
+		case p.srcLane >= 0:
+			bt.CopyLane(p.lane, bp.rowOf(p.srcLane, p.srcDepth))
+		default:
+			// Fresh from reset: NewBatch seeded the lane already.
+		}
+		st := bt.State(p.lane)
+		row := bt.Row(p.lane)
+		accesses := 0
+		// Fast-forward the known tail: outputs are recorded, so this is
+		// pure stepping — the serial path's "pure feeding, no probes".
+		for d := p.resumeDepth; d < p.k; d++ {
+			st, _ = tab.Step(st, p.word[d])
+			if op := p.out[d]; op != policy.Bottom {
+				row[op] = freshID(row)
+			}
+			accesses++
+		}
+		pk := 0
+		if pk < len(p.parks) && p.parks[pk].depth == p.k {
+			bt.SetState(p.lane, st)
+			bt.CopyLane(p.parks[pk].row, p.lane)
+			pk++
+		}
+		for d := p.k; d < len(p.word); d++ {
+			ip := p.word[d]
+			if ip < n {
+				// Ln(ip): the fed block is the content of line ip, so it
+				// hits there by the content/cc invariant — table input ip.
+				st, _ = tab.Step(st, ip)
+				p.out[d] = policy.Bottom
+				accesses++
+			} else {
+				// Evct: a fresh block misses; the table's output is the
+				// victim the findEvicted probes would identify, and those
+				// associativity-many probes are accounted as the session
+				// path would issue them.
+				var v int32
+				st, v = tab.Step(st, n)
+				p.out[d] = int(v)
+				row[v] = freshID(row)
+				accesses += 1 + n
+			}
+			if pk < len(p.parks) && p.parks[pk].depth == d+1 {
+				bt.SetState(p.lane, st)
+				bt.CopyLane(p.parks[pk].row, p.lane)
+				pk++
+			}
+		}
+		bt.SetState(p.lane, st)
+		o.probesN.Add(1)
+		o.accessesN.Add(int64(accesses))
+	}
+}
+
+// rowOf returns the park row of (lane, depth).
+func (bp *BatchProber) rowOf(lane, depth int) int {
+	for _, pk := range bp.byLane[lane].parks {
+		if pk.depth == depth {
+			return pk.row
+		}
+	}
+	panic(fmt.Sprintf("polca: no park row for lane %d depth %d", lane, depth))
+}
+
+// record writes every pending word's outputs into the store and swaps
+// surviving placeholders for kernel sessions materialized from their park
+// rows — recordOutputs with parking replaced by resolution.
+func (bp *BatchProber) record() {
+	o := bp.o
+	for i := range bp.plans {
+		p := &bp.plans[i]
+		if p.lane < 0 {
+			continue
+		}
+		sh := o.out.Acquire(p.word)
+		node := int32(0)
+		pk := 0
+		for d, ip := range p.word {
+			node = sh.Extend(node, ip)
+			v := sh.Val(node)
+			v.out = int16(p.out[d])
+			sh.SetHas(node)
+			for pk < len(p.parks) && p.parks[pk].depth == d+1 {
+				park := p.parks[pk]
+				if sh.Val(park.node).sess == park.ph {
+					sh.Val(park.node).sess = bp.materialize(park.row)
+				}
+				pk++
+			}
+		}
+		sh.Release()
+	}
+}
+
+// materialize builds the kernel session a park row snapshot stands for.
+func (bp *BatchProber) materialize(row int) Session {
+	ids := bp.bt.Row(row)
+	content := make([]blocks.Block, len(ids))
+	for i, id := range ids {
+		content[i] = blocks.Interned(int(id))
+	}
+	return &kernelSession{tab: bp.tab, state: bp.bt.State(row), content: content}
+}
+
+// batchedQueryNoMemo is the memo-less SoA path (the WithoutMemo ablation):
+// every word runs from reset, so all lanes advance position by position and
+// runs of lanes sharing a symbol step through the table in one StepBatchOut
+// pass over the contiguous state vector. Counters match the memo-less
+// session path: one probe per word, len + assoc·#Evct accesses.
+func (o *Oracle) batchedQueryNoMemo(sp *SimProber, words [][]int) ([][]int, error) {
+	n := sp.n
+	tab := sp.tab
+	L := len(words)
+	bt := policy.NewBatch(tab, L, o.cc0IDs)
+	out := make([][]int, L)
+	maxLen := 0
+	for i, w := range words {
+		out[i] = make([]int, len(w))
+		if len(w) > maxLen {
+			maxLen = len(w)
+		}
+	}
+	vout := make([]int32, L)
+	var accesses int64
+	for pos := 0; pos < maxLen; pos++ {
+		for lo := 0; lo < L; {
+			if len(words[lo]) <= pos {
+				lo++
+				continue
+			}
+			sym := words[lo][pos]
+			hi := lo + 1
+			for hi < L && len(words[hi]) > pos && words[hi][pos] == sym {
+				hi++
+			}
+			bt.StepRun(lo, hi, sym, vout)
+			if sym == n {
+				for l := lo; l < hi; l++ {
+					row := bt.Row(l)
+					v := vout[l]
+					row[v] = freshID(row)
+					out[l][pos] = int(v)
+				}
+				accesses += int64(hi-lo) * int64(1+n)
+			} else {
+				for l := lo; l < hi; l++ {
+					out[l][pos] = policy.Bottom
+				}
+				accesses += int64(hi - lo)
+			}
+			lo = hi
+		}
+	}
+	o.probesN.Add(int64(L))
+	o.accessesN.Add(accesses)
+	return out, nil
+}
+
+// findEvictedBatched is mapOutputProbes' eviction-probe loop grouped into
+// one ProbeBatch call: the associativity-many probes are independent and
+// reset-rooted, so a replica pool executes them concurrently. Counters per
+// probe match the serial loop.
+func (o *Oracle) findEvictedBatched(bpr ProbeBatcher, ic []blocks.Block, cc []blocks.Block) (int, error) {
+	n := o.prober.Assoc()
+	qs := make([][]blocks.Block, n)
+	for i := 0; i < n; i++ {
+		qs[i] = append(append(make([]blocks.Block, 0, len(ic)+1), ic...), cc[i])
+	}
+	ocs, err := bpr.ProbeBatch(qs)
+	if err != nil {
+		return 0, err
+	}
+	evicted := -1
+	for i, poc := range ocs {
+		o.probesN.Add(1)
+		o.accessesN.Add(int64(len(qs[i])))
+		if poc == cache.Miss {
+			if evicted != -1 {
+				return 0, fmt.Errorf("%w: blocks %s and %s both evicted by one miss", ErrNondeterministic, cc[evicted], cc[i])
+			}
+			evicted = i
+		}
+	}
+	if evicted == -1 {
+		return 0, fmt.Errorf("%w: no resident block evicted by a miss", ErrNondeterministic)
+	}
+	return evicted, nil
+}

@@ -168,6 +168,7 @@ type Oracle struct {
 	workers int     // parallel batch width (defaults to GOMAXPROCS)
 	useMemo bool
 	useTrie bool
+	batched bool // SoA batched query engine (see batch.go)
 	sessCap int
 	stripes int // lock stripes per store (0 = one per input symbol)
 
@@ -322,8 +323,17 @@ func (o *Oracle) Stats() Stats {
 // BatchHint implements learn.BatchHinter (duck-typed to avoid an import
 // cycle with package learn's tests): the learner scales its prefetch chunks
 // to the oracle's usable parallelism, so a serial prober keeps the exact
-// serial query trajectory.
-func (o *Oracle) BatchHint() int { return o.parallelism() }
+// serial query trajectory. A batched oracle over a compiled simulator
+// instead advertises a fixed lockstep width: planning whole chunks against
+// the store pays off independently of goroutine parallelism.
+func (o *Oracle) BatchHint() int {
+	if o.batched {
+		if sp, ok := o.prober.(*SimProber); ok && sp.tab != nil {
+			return batchedHint
+		}
+	}
+	return o.parallelism()
+}
 
 // parallelism reports how many goroutines a batch may use against the
 // underlying prober: 1 unless the prober explicitly supports concurrency.
@@ -496,6 +506,9 @@ func (o *Oracle) OutputQuery(word []int) ([]int, error) {
 // otherwise. Answers, memo contents and counters are identical to asking the
 // words one by one; only the wall-clock cost changes.
 func (o *Oracle) OutputQueryBatch(words [][]int) ([][]int, error) {
+	if out, done, err := o.tryBatchedKernel(words); done {
+		return out, err
+	}
 	workers := o.parallelism()
 	if workers > len(words) {
 		workers = len(words)
@@ -593,6 +606,12 @@ func (o *Oracle) mapOutputProbes(ip int, oc cache.Outcome, ic []blocks.Block, cc
 	// been displaced.
 	if oc != cache.Miss {
 		return 0, fmt.Errorf("%w: access to fresh block %s hit", ErrNondeterministic, ic[len(ic)-1])
+	}
+	if bpr, ok := o.prober.(ProbeBatcher); ok && o.batched && !fresh && !o.useMemo {
+		// Unmemoized eviction probes are independent; a batched oracle over
+		// a replica pool issues them in one grouped call. The memoized and
+		// audit paths keep the serial loop (their bookkeeping is per probe).
+		return o.findEvictedBatched(bpr, ic, cc)
 	}
 	evicted := -1
 	for i := 0; i < n; i++ {

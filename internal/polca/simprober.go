@@ -52,6 +52,11 @@ func NewInterpretedSimProber(pol policy.Policy) *SimProber {
 // Compiled reports whether the prober runs on the compiled policy kernel.
 func (p *SimProber) Compiled() bool { return p.tab != nil }
 
+// KernelTable returns the compiled transition table driving this prober's
+// sessions, or nil on the interpreted path. The batched SoA query engine
+// (WithBatchedQueries) requires it: lanes advance by direct table stepping.
+func (p *SimProber) KernelTable() *policy.Table { return p.tab }
+
 // Assoc implements Prober.
 func (p *SimProber) Assoc() int { return p.n }
 

@@ -1,0 +1,73 @@
+package qstore
+
+// Per-shard blocked bloom filter, after RocksDB's cache-locality variant:
+// a key hashes to one 64-byte line and all probe bits land inside that
+// line, so a cold lookup costs one hash, one line, and at most probes bit
+// tests — no trie descent, no pointer chase. The filter over-approximates
+// the set of keys recorded through Store.Set; Get consults it under the
+// shard lock before descending, so "definitely absent" answers return
+// after a single cache-line touch.
+//
+// The filter tracks recorded values only. Epoch marks (InsertMark /
+// ResetMarks) and shard-level decorations bypass it by design: marks are
+// transient and never answered by Get. Store.Reset clears it alongside
+// the nodes; snapshot Load rebuilds it for free, because entries replay
+// through Store.Set.
+
+const (
+	bloomLog2Lines = 6 // 64 lines of 512 bits = 4 KiB per shard
+	bloomProbes    = 6
+)
+
+type shardBloom struct {
+	lineMask uint32
+	data     []uint32 // lineCount * 16 words; one line = 16 words = 64 bytes
+}
+
+func newShardBloom() *shardBloom {
+	lines := uint32(1) << bloomLog2Lines
+	return &shardBloom{lineMask: lines - 1, data: make([]uint32, lines*16)}
+}
+
+func (b *shardBloom) clear() {
+	for i := range b.data {
+		b.data[i] = 0
+	}
+}
+
+// add inserts hash h. Probe bits are driven by the rotated-delta schedule
+// of the reference implementation, all within one 512-bit line.
+func (b *shardBloom) add(h uint32) {
+	base := (h & b.lineMask) * 16
+	delta := h>>17 | h<<15
+	for i := 0; i < bloomProbes; i++ {
+		h += delta
+		bit := h & 511
+		b.data[base+bit>>5] |= 1 << (bit & 31)
+	}
+}
+
+// mayContain reports whether h could have been added: false means
+// definitely absent, true means descend the trie.
+func (b *shardBloom) mayContain(h uint32) bool {
+	base := (h & b.lineMask) * 16
+	delta := h>>17 | h<<15
+	for i := 0; i < bloomProbes; i++ {
+		h += delta
+		bit := h & 511
+		if b.data[base+bit>>5]&(1<<(bit&31)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// hashKey folds a key's symbols into the 32-bit filter hash.
+func hashKey[K Key](key []K) uint32 {
+	h := uint64(0xcbf29ce484222325)
+	for _, a := range key {
+		h ^= uint64(a) + 1
+		h *= 0x100000001b3
+	}
+	return uint32(h ^ h>>32)
+}

@@ -76,14 +76,25 @@ type Options struct {
 	// (default 1). Prefix walks require 1; exact-match stores may route
 	// deeper to spread keys whose leading symbols are near-constant.
 	RouteDepth int
+	// Bloom attaches a per-shard blocked bloom filter consulted by Get
+	// before trie descent, so cold lookups cost one hash probe. The
+	// filter tracks keys recorded through Store.Set (snapshot Load
+	// included); stores whose values are written through shard-level
+	// Put/SetHas bypass it and must leave Bloom off, or Get would
+	// miss their keys.
+	Bloom bool
 }
 
-// node is one key prefix in a shard's arena.
+// node is one key prefix in a shard's arena. Children live in the shard's
+// flat child arena (see arena.go): childOff is the block offset in the
+// node's size class, childLen the number of valid entries, and
+// childOff < 0 means no children yet.
 type node[V any] struct {
-	child []int32 // per dense edge id; entries are -1 until extended
-	mark  uint32  // epoch stamp (set membership)
-	set   bool    // val has been recorded
-	val   V
+	childOff int32
+	childLen int32
+	mark     uint32 // epoch stamp (set membership)
+	set      bool   // val has been recorded
+	val      V
 }
 
 // Shard is one lock-striped subtree of a Store. Node ids are local to the
@@ -91,12 +102,15 @@ type node[V any] struct {
 // methods require the shard to be held (Acquire on a Sync store; by the
 // owning goroutine otherwise).
 type Shard[K Key, V any] struct {
-	mu    sync.Mutex
-	st    *Store[K, V]
-	idx   int
-	dense map[K]int32 // raw edge label -> dense id (dynamic stores only)
-	edges []K         // dense id -> raw edge label (dynamic stores only)
-	nodes []node[V]
+	mu     sync.Mutex
+	st     *Store[K, V]
+	idx    int
+	dense  map[K]int32 // raw edge label -> dense id (dynamic stores only)
+	edges  []K         // dense id -> raw edge label (dynamic stores only)
+	nodes  []node[V]
+	arenas [][]int32  // child blocks, one flat arena per size class
+	free   []freebits // freed blocks per class, for reuse
+	bloom  *shardBloom
 }
 
 // Store is a sharded prefix-trie store. See the package comment for the
@@ -131,9 +145,12 @@ func New[K Key, V any](opt Options) *Store[K, V] {
 		sh := &s.shards[i]
 		sh.st = s
 		sh.idx = i
-		sh.nodes = []node[V]{{}}
+		sh.nodes = []node[V]{{childOff: -1}}
 		if opt.Degree == 0 {
 			sh.dense = make(map[K]int32)
+		}
+		if opt.Bloom {
+			sh.bloom = newShardBloom()
 		}
 	}
 	return s
@@ -228,11 +245,11 @@ func (sh *Shard[K, V]) Child(n int32, a K) int32 {
 			return -1
 		}
 	}
-	c := sh.nodes[n].child
-	if int(e) >= len(c) {
+	nd := &sh.nodes[n]
+	if nd.childOff < 0 || e >= nd.childLen {
 		return -1
 	}
-	return c[e]
+	return sh.arenas[sh.classOf(nd.childLen)][nd.childOff+e]
 }
 
 // Extend returns the child of n along edge a, creating it if absent.
@@ -251,28 +268,39 @@ func (sh *Shard[K, V]) Extend(n int32, a K) int32 {
 			sh.edges = append(sh.edges, a)
 		}
 	}
-	ch := sh.nodes[n].child
-	if int(e) >= len(ch) {
-		// Fixed-degree stores allocate the full fanout on first use;
-		// dynamic stores grow to the edges actually seen.
-		want := int(e) + 1
-		if sh.dense == nil {
-			want = sh.st.degree
-		}
-		grown := make([]int32, want)
-		copy(grown, ch)
-		for i := len(ch); i < len(grown); i++ {
-			grown[i] = -1
-		}
-		sh.nodes[n].child = grown
-		ch = grown
+	// Fixed-degree stores allocate the full fanout on first use; dynamic
+	// stores grow to the power-of-two class covering the edges seen, and
+	// blocks outgrown by reallocation return to the freebits bitmap.
+	want := e + 1
+	if sh.dense == nil {
+		want = int32(sh.st.degree)
 	}
-	if c := ch[e]; c != -1 {
+	if nd := &sh.nodes[n]; nd.childOff < 0 {
+		nd.childOff = sh.allocBlock(sh.classOf(want))
+		nd.childLen = want
+	} else if e >= nd.childLen {
+		oldClass := sh.classOf(nd.childLen)
+		newClass := sh.classOf(want)
+		if newClass != oldClass {
+			off := sh.allocBlock(newClass)
+			nd = &sh.nodes[n] // arena append does not move nodes, but re-read for clarity
+			copy(sh.arenas[newClass][off:off+nd.childLen], sh.arenas[oldClass][nd.childOff:nd.childOff+nd.childLen])
+			sh.freeBlock(oldClass, nd.childOff)
+			nd.childOff = off
+		}
+		// Entries between the old and new length are -1 already: blocks
+		// are -1-initialized at allocation and never shrink.
+		nd.childLen = want
+	}
+	nd := &sh.nodes[n]
+	slot := nd.childOff + e
+	class := sh.classOf(nd.childLen)
+	if c := sh.arenas[class][slot]; c != -1 {
 		return c
 	}
 	id := int32(len(sh.nodes))
-	sh.nodes = append(sh.nodes, node[V]{})
-	sh.nodes[n].child[e] = id
+	sh.nodes = append(sh.nodes, node[V]{childOff: -1})
+	sh.arenas[class][slot] = id
 	return id
 }
 
@@ -338,13 +366,49 @@ func (sh *Shard[K, V]) EdgeWidth() int {
 }
 
 // ResetMarks starts a new epoch, emptying every shard's mark set in O(1).
-// Callers must not reset concurrently with marking.
+// Callers must not reset concurrently with marking. Recorded values — and
+// any bloom filter tracking them — are untouched.
 func (s *Store[K, V]) ResetMarks() { s.epoch.Add(1) }
 
-// Get returns the recorded value at key, acquiring the shard itself.
+// Reset empties the store — values, marks, interned edges, bloom filters —
+// while retaining capacity: every child block returns to its shard's
+// freebits bitmap and the node arrays keep their backing arrays, so the
+// next fill cycle reuses what this one allocated. Truncated node slots are
+// zeroed so caller-side decorations (parked sessions) are released to the
+// garbage collector. Callers must not reset concurrently with any other
+// operation.
+func (s *Store[K, V]) Reset() {
+	s.epoch.Add(1)
+	for i := range s.shards {
+		sh := s.AcquireIdx(i)
+		for c := range sh.free {
+			sh.free[c].freeAll()
+		}
+		for j := range sh.nodes {
+			sh.nodes[j] = node[V]{childOff: -1}
+		}
+		sh.nodes = sh.nodes[:1]
+		if sh.dense != nil {
+			clear(sh.dense)
+			sh.edges = sh.edges[:0]
+		}
+		if sh.bloom != nil {
+			sh.bloom.clear()
+		}
+		sh.Release()
+	}
+}
+
+// Get returns the recorded value at key, acquiring the shard itself. On a
+// bloom-equipped store, a definitely-absent key returns after one hash
+// probe of the shard's filter, with no trie descent.
 func (s *Store[K, V]) Get(key []K) (V, bool) {
 	sh := s.Acquire(key)
 	defer sh.Release()
+	if sh.bloom != nil && !sh.bloom.mayContain(hashKey(key)) {
+		var zero V
+		return zero, false
+	}
 	n := sh.Find(key)
 	if n < 0 || !sh.nodes[n].set {
 		var zero V
@@ -357,6 +421,9 @@ func (s *Store[K, V]) Get(key []K) (V, bool) {
 func (s *Store[K, V]) Set(key []K, v V) bool {
 	sh := s.Acquire(key)
 	defer sh.Release()
+	if sh.bloom != nil {
+		sh.bloom.add(hashKey(key))
+	}
 	return sh.Put(sh.Ensure(key), v)
 }
 

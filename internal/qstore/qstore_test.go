@@ -59,7 +59,7 @@ func TestDynamicEdgesStayCompact(t *testing.T) {
 		t.Fatalf("dense remap holds %d edges, want 4", w)
 	}
 	for n := 0; n < sh.Len(); n++ {
-		if got := len(sh.nodes[n].child); got > 4 {
+		if got := len(sh.childSlice(int32(n))); got > 4 {
 			t.Fatalf("node %d has %d child slots for 4 distinct edges", n, got)
 		}
 	}

@@ -142,7 +142,7 @@ func (s *Store[K, V]) Save(w io.Writer, c Codec[V]) error {
 		}
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			ch := sh.nodes[f.n].child
+			ch := sh.childSlice(f.n)
 			if f.edge >= len(ch) {
 				stack = stack[:len(stack)-1]
 				if len(key) > 0 {
