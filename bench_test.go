@@ -9,6 +9,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -32,7 +33,7 @@ import (
 // 2-way set.
 func BenchmarkFig1Pipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFigure1(); err != nil {
+		if _, err := experiments.RunFigure1(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -52,7 +53,7 @@ func BenchmarkTable2(b *testing.B) {
 	for _, c := range cases {
 		b.Run(fmt.Sprintf("%s-%d", c.name, c.assoc), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				row := experiments.RunTable2Row(c.name, c.assoc)
+				row := experiments.RunTable2Row(context.Background(), c.name, c.assoc)
 				if !row.Verified {
 					b.Fatalf("row failed: %+v", row)
 				}
@@ -91,7 +92,7 @@ func BenchmarkTable4(b *testing.B) {
 					Learn:            learn.Options{Depth: 1, MaxStates: 4096},
 					DeterminismEvery: 128,
 				}
-				res, err := core.LearnHardware(req)
+				res, err := core.LearnHardware(context.Background(), req)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -144,7 +145,7 @@ func BenchmarkQueryCost(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := f.Query(tgt, "@ M _?"); err != nil {
+				if _, err := f.Query(context.Background(), tgt, "@ M _?"); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -159,7 +160,7 @@ func BenchmarkLeaderScan(b *testing.B) {
 	model := hw.Skylake()
 	sample := []int{0, 1, 33, 62, 63, 5}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunLeaderScan(model, sample, 2)
+		res, err := experiments.RunLeaderScan(context.Background(), model, sample, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,14 +178,14 @@ func BenchmarkBaselines(b *testing.B) {
 	b.Run("permutation-LRU4", func(b *testing.B) {
 		truth, _ := mealy.FromPolicy(policy.MustNew("LRU", 4), 0)
 		for i := 0; i < b.N; i++ {
-			if _, err := permpol.InferAndValidate(polca.NewSimProber(policy.MustNew("LRU", 4)), truth); err != nil {
+			if _, err := permpol.InferAndValidate(context.Background(), polca.NewSimProber(policy.MustNew("LRU", 4)), truth); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("fingerprint-MRU4", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := fingerprint.Identify(polca.NewSimProber(policy.MustNew("MRU", 4)),
+			res, err := fingerprint.Identify(context.Background(), polca.NewSimProber(policy.MustNew("MRU", 4)),
 				fingerprint.DefaultPool(), fingerprint.Options{Seed: 42})
 			if err != nil || len(res.Matches) != 1 || res.Matches[0] != "MRU" {
 				b.Fatalf("fingerprinting failed: %v %v", res, err)
@@ -193,7 +194,7 @@ func BenchmarkBaselines(b *testing.B) {
 	})
 	b.Run("learning-MRU4", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.LearnSimulated("MRU", 4, learn.Options{Depth: 1}); err != nil {
+			if _, err := core.LearnSimulated(context.Background(), "MRU", 4, learn.Options{Depth: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -211,7 +212,7 @@ func BenchmarkAblationSuite(b *testing.B) {
 		b.Run(suite.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := learn.Learn(learn.MachineTeacher{M: truth}, learn.Options{Depth: 1, Suite: suite.s})
+				res, err := learn.Learn(context.Background(), learn.MachineTeacher{M: truth}, learn.Options{Depth: 1, Suite: suite.s})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -234,7 +235,7 @@ func BenchmarkAblationMemo(b *testing.B) {
 				prober = polca.SlowProber{P: polca.NewSimProber(policy.MustNew("LRU", 4))}
 			}
 			oracle := polca.NewOracle(prober, opts...)
-			if _, err := learn.Learn(oracle, lopt); err != nil {
+			if _, err := learn.Learn(context.Background(), oracle, lopt); err != nil {
 				b.Fatal(err)
 			}
 			st := oracle.Stats()
@@ -298,7 +299,7 @@ func BenchmarkAblationTrie(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					oracle := polca.NewOracle(l.mk(c.name, c.assoc), l.opts...)
-					res, err := learn.Learn(oracle, l.lopt)
+					res, err := learn.Learn(context.Background(), oracle, l.lopt)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -364,12 +365,12 @@ func BenchmarkAblationKernel(b *testing.B) {
 					}
 					oracle := polca.NewOracle(prober, opts...)
 					if l.batched {
-						if _, err := oracle.OutputQueryBatch(words); err != nil {
+						if _, err := oracle.OutputQueryBatch(context.Background(), words); err != nil {
 							b.Fatal(err)
 						}
 					} else {
 						for _, w := range words {
-							if _, err := oracle.OutputQuery(w); err != nil {
+							if _, err := oracle.OutputQuery(context.Background(), w); err != nil {
 								b.Fatal(err)
 							}
 						}
@@ -415,7 +416,7 @@ func BenchmarkAblationAlgo(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					oracle := polca.NewOracle(polca.NewSimProber(policy.MustNew(c.name, c.assoc)))
-					res, err := learn.Learn(oracle, learn.Options{Depth: 1, Algo: al.a})
+					res, err := learn.Learn(context.Background(), oracle, learn.Options{Depth: 1, Algo: al.a})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -524,7 +525,7 @@ func BenchmarkStoreParallel(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			oracle := polca.NewOracle(polca.NewSimProber(policy.MustNew("New1", 4)),
 				append([]polca.Option{polca.WithParallelism(8)}, opts...)...)
-			res, err := learn.Learn(oracle, learn.Options{Depth: 1})
+			res, err := learn.Learn(context.Background(), oracle, learn.Options{Depth: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -547,7 +548,7 @@ func BenchmarkSnapshotWarm(b *testing.B) {
 	const scope = "bench:New1-4"
 	var snap bytes.Buffer
 	seed := polca.NewOracle(polca.NewSimProber(policy.MustNew("New1", 4)))
-	if _, err := learn.Learn(seed, learn.Options{Depth: 1}); err != nil {
+	if _, err := learn.Learn(context.Background(), seed, learn.Options{Depth: 1}); err != nil {
 		b.Fatal(err)
 	}
 	if err := seed.SaveSnapshot(&snap, scope); err != nil {
@@ -563,7 +564,7 @@ func BenchmarkSnapshotWarm(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			res, err := learn.Learn(oracle, learn.Options{Depth: 1})
+			res, err := learn.Learn(context.Background(), oracle, learn.Options{Depth: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -586,7 +587,7 @@ func BenchmarkAblationPolca(b *testing.B) {
 	b.Run("polca-LRU4", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, err := core.LearnSimulated("LRU", 4, learn.Options{Depth: 1})
+			res, err := core.LearnSimulated(context.Background(), "LRU", 4, learn.Options{Depth: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -596,7 +597,7 @@ func BenchmarkAblationPolca(b *testing.B) {
 	b.Run("direct-LRU4", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, err := learn.Learn(&cacheTeacher{name: "LRU", assoc: 4, numBlocks: 5}, learn.Options{Depth: 1})
+			res, err := learn.Learn(context.Background(), &cacheTeacher{name: "LRU", assoc: 4, numBlocks: 5}, learn.Options{Depth: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -617,7 +618,7 @@ type cacheTeacher struct {
 
 func (t *cacheTeacher) NumInputs() int { return t.numBlocks }
 
-func (t *cacheTeacher) OutputQuery(word []int) ([]int, error) {
+func (t *cacheTeacher) OutputQuery(ctx context.Context, word []int) ([]int, error) {
 	prober := polca.NewSimProber(policy.MustNew(t.name, t.assoc))
 	sess, err := prober.NewSession()
 	if err != nil {
@@ -650,7 +651,7 @@ func BenchmarkAblationBatch(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				oracle := polca.NewOracle(polca.NewSimProber(policy.MustNew("New1", 4)),
 					polca.WithParallelism(mode.par))
-				res, err := learn.Learn(oracle, learn.Options{Depth: 1})
+				res, err := learn.Learn(context.Background(), oracle, learn.Options{Depth: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -669,7 +670,7 @@ func BenchmarkAblationDepth(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d", depth), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := core.LearnSimulated("MRU", 4, learn.Options{Depth: depth})
+				res, err := core.LearnSimulated(context.Background(), "MRU", 4, learn.Options{Depth: depth})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -23,6 +23,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -79,22 +80,14 @@ func main() {
 		path = "BENCH_" + date + ".json"
 	}
 
-	// Load the baseline up front: a typo'd path or corrupt JSON should fail
-	// in milliseconds, not after the multi-minute benchmark run.
+	// Load the baseline up front: a typo'd path, truncated file, or corrupt
+	// JSON should fail in milliseconds, not after the multi-minute benchmark
+	// run.
 	var base *Baseline
 	if *comparePath != "" {
-		data, err := os.ReadFile(*comparePath)
-		if err != nil {
+		var err error
+		if base, err = loadBaseline(*comparePath); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
-		}
-		base = &Baseline{}
-		if err := json.Unmarshal(data, base); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *comparePath, err)
-			os.Exit(1)
-		}
-		if len(base.Results) == 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %s holds no results\n", *comparePath)
 			os.Exit(1)
 		}
 	}
@@ -159,6 +152,39 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "benchjson: no regressions past tolerance")
 	}
+}
+
+// loadBaseline reads and validates a committed baseline. Every failure mode a
+// damaged checkout can produce — missing file, truncated or otherwise invalid
+// JSON, a JSON document of the wrong shape, a well-formed file holding no
+// results, a result row with no name — gets a distinct, path-prefixed message,
+// because the caller exits nonzero on any of them and the message is all the
+// CI log will show.
+func loadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%s: baseline file is empty", path)
+	}
+	base := &Baseline{}
+	if err := json.Unmarshal(data, base); err != nil {
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) && syn.Offset >= int64(len(data))-1 {
+			return nil, fmt.Errorf("%s: baseline JSON is truncated (%v); regenerate it with benchjson", path, err)
+		}
+		return nil, fmt.Errorf("%s: baseline is not valid JSON: %v", path, err)
+	}
+	if len(base.Results) == 0 {
+		return nil, fmt.Errorf("%s: baseline holds no results (wrong file, or a run that produced none?)", path)
+	}
+	for i, r := range base.Results {
+		if r.Name == "" {
+			return nil, fmt.Errorf("%s: baseline result %d has no name; regenerate it with benchjson", path, i)
+		}
+	}
+	return base, nil
 }
 
 // parseRun extracts the platform header and benchmark lines of one `go test

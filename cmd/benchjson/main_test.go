@@ -1,9 +1,61 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestLoadBaselineRejectsDamagedFiles: -compare must fail fast with a clear,
+// path-bearing message on every way a committed baseline can be damaged —
+// most importantly a truncated JSON file, which is what an interrupted
+// regeneration or a bad merge leaves behind.
+func TestLoadBaselineRejectsDamagedFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	valid := `{"date":"2026-08-08","bench":".","benchtime":"1x","results":[{"name":"BenchmarkA-8","iterations":1,"ns_per_op":100}]}`
+
+	if b, err := loadBaseline(write("good.json", valid)); err != nil {
+		t.Fatalf("valid baseline rejected: %v", err)
+	} else if len(b.Results) != 1 || b.Results[0].Name != "BenchmarkA-8" {
+		t.Fatalf("valid baseline parsed wrongly: %+v", b)
+	}
+
+	cases := []struct {
+		name    string
+		path    string
+		wantMsg string
+	}{
+		{"missing", filepath.Join(dir, "nope.json"), "no such file"},
+		{"empty", write("empty.json", ""), "empty"},
+		{"truncated", write("trunc.json", valid[:len(valid)/2]), "truncated"},
+		{"garbage", write("garbage.json", "goos: linux\nBenchmarkA 1 100 ns/op\n"), "not valid JSON"},
+		{"wrong-shape", write("shape.json", `["BenchmarkA-8"]`), "not valid JSON"},
+		{"no-results", write("nores.json", `{"date":"2026-08-08","results":[]}`), "no results"},
+		{"nameless", write("noname.json", `{"results":[{"iterations":1,"ns_per_op":100}]}`), "no name"},
+	}
+	for _, c := range cases {
+		_, err := loadBaseline(c.path)
+		if err == nil {
+			t.Errorf("%s: damaged baseline accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantMsg)
+		}
+		if c.name != "missing" && !strings.Contains(err.Error(), c.path) {
+			t.Errorf("%s: error %q does not name the file", c.name, err)
+		}
+	}
+}
 
 func TestParseRun(t *testing.T) {
 	raw := `goos: linux

@@ -18,11 +18,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/cachequery"
 	"repro/internal/experiments"
@@ -36,7 +39,16 @@ func main() {
 	set := flag.Int("set", 0, "cache set")
 	seed := flag.Int64("seed", 1, "simulator seed")
 	catWays := flag.Int("cat", 0, "virtually reduce L3 associativity via CAT (0 = off)")
+	timeout := flag.Duration("timeout", 0, "abort batch queries after this long (0 = no deadline)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg, err := model(*cpuName)
 	if err != nil {
@@ -57,13 +69,13 @@ func main() {
 
 	if flag.NArg() > 0 {
 		for _, src := range flag.Args() {
-			if err := runQuery(front, tgt, src); err != nil {
+			if err := runQuery(ctx, front, tgt, src); err != nil {
 				fatal(err)
 			}
 		}
 		return
 	}
-	repl(front, tgt)
+	repl(ctx, front, tgt)
 }
 
 func model(name string) (hw.CPUConfig, error) {
@@ -80,8 +92,8 @@ func model(name string) (hw.CPUConfig, error) {
 	return hw.CPUConfig{}, fmt.Errorf("unknown CPU model %q", name)
 }
 
-func runQuery(front *cachequery.Frontend, tgt cachequery.Target, src string) error {
-	results, err := front.Query(tgt, src)
+func runQuery(ctx context.Context, front *cachequery.Frontend, tgt cachequery.Target, src string) error {
+	results, err := front.Query(ctx, tgt, src)
 	if err != nil {
 		return err
 	}
@@ -91,7 +103,7 @@ func runQuery(front *cachequery.Frontend, tgt cachequery.Target, src string) err
 	return nil
 }
 
-func repl(front *cachequery.Frontend, tgt cachequery.Target) {
+func repl(ctx context.Context, front *cachequery.Frontend, tgt cachequery.Target) {
 	in := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Printf("%s> ", tgt)
@@ -128,7 +140,7 @@ func repl(front *cachequery.Frontend, tgt cachequery.Target) {
 		case strings.HasPrefix(line, ":"):
 			fmt.Println("commands: :set <level> <set>, :stats, :quit")
 		default:
-			if err := runQuery(front, tgt, line); err != nil {
+			if err := runQuery(ctx, front, tgt, line); err != nil {
 				fmt.Println("error:", err)
 			}
 		}

@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cachequery"
 	"repro/internal/core"
@@ -26,31 +29,43 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); Ctrl-C cancels cleanly either way")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var err error
 	switch cmd {
 	case "fig1":
-		err = runFig1()
+		err = runFig1(ctx)
 	case "table2":
-		err = runTable2(args)
+		err = runTable2(ctx, args)
 	case "table3":
 		experiments.Table3Table().Render(os.Stdout)
 	case "table4":
-		err = runTable4(args)
+		err = runTable4(ctx, args)
 	case "table5":
 		err = runTable5(args)
 	case "costs":
-		err = runCosts(args)
+		err = runCosts(ctx, args)
 	case "appendixb":
-		err = runAppendixB(args)
+		err = runAppendixB(ctx, args)
 	case "baselines":
-		err = runBaselines()
+		err = runBaselines(ctx)
 	case "all":
-		err = runAll()
+		err = runAll(ctx)
 	default:
 		usage()
 		os.Exit(2)
@@ -62,11 +77,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table2|table3|table4|table5|costs|appendixb|baselines|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments [-timeout d] <fig1|table2|table3|table4|table5|costs|appendixb|baselines|all> [flags]`)
 }
 
-func runFig1() error {
-	report, err := experiments.RunFigure1()
+func runFig1(ctx context.Context) error {
+	report, err := experiments.RunFigure1(ctx)
 	if err != nil {
 		return err
 	}
@@ -74,7 +89,7 @@ func runFig1() error {
 	return nil
 }
 
-func runTable2(args []string) error {
+func runTable2(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	full := fs.Bool("full", false, "include the large instances (hours of runtime)")
 	workers := fs.Int("workers", 1, "learn up to this many rows concurrently (1 keeps per-row times comparable to the paper)")
@@ -99,7 +114,7 @@ func runTable2(args []string) error {
 	if *full {
 		spec = experiments.Table2Full()
 	}
-	rows := experiments.RunTable2ConcurrentSim(spec, *workers, opt, *snapshotDir, core.SimOptions{Interpreted: !*compiled, Batched: *batch})
+	rows := experiments.RunTable2ConcurrentSim(ctx, spec, *workers, opt, *snapshotDir, core.SimOptions{Interpreted: !*compiled, Batched: *batch})
 	experiments.Table2Table(rows).Render(os.Stdout)
 	return nil
 }
@@ -118,7 +133,7 @@ func learnOptions(algoName, suiteName string, seed int64, walkSteps int) (learn.
 		RandomWalkSeed: seed, RandomWalkSteps: walkSteps}, nil
 }
 
-func runTable4(args []string) error {
+func runTable4(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table4", flag.ExitOnError)
 	full := fs.Bool("full", false, "learn every CPU and level (slow)")
 	replicas := fs.Int("replicas", 1, "CPU replicas for the concurrent query engine per job (0 = all cores; 1 keeps per-row times comparable to the paper)")
@@ -140,7 +155,7 @@ func runTable4(args []string) error {
 		job.Interpreted = !*compiled
 		job.Batched = *batch
 		fmt.Fprintf(os.Stderr, "learning %s %s %s ...\n", job.Model.Name, job.Level, job.Target)
-		rows = append(rows, experiments.RunTable4Job(job, cachequery.DefaultBackendOptions()))
+		rows = append(rows, experiments.RunTable4Job(ctx, job, cachequery.DefaultBackendOptions()))
 	}
 	experiments.Table4Table(rows).Render(os.Stdout)
 	return nil
@@ -162,11 +177,11 @@ func runTable5(args []string) error {
 	return nil
 }
 
-func runCosts(args []string) error {
+func runCosts(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("costs", flag.ExitOnError)
 	reps := fs.Int("reps", 100, "repetitions of the per-level query measurement")
 	fs.Parse(args)
-	res, err := experiments.RunCosts(*reps)
+	res, err := experiments.RunCosts(ctx, *reps)
 	if err != nil {
 		return err
 	}
@@ -174,8 +189,8 @@ func runCosts(args []string) error {
 	return nil
 }
 
-func runBaselines() error {
-	rows, err := experiments.RunBaselines(4)
+func runBaselines(ctx context.Context) error {
+	rows, err := experiments.RunBaselines(ctx, 4)
 	if err != nil {
 		return err
 	}
@@ -183,12 +198,12 @@ func runBaselines() error {
 	return nil
 }
 
-func runAppendixB(args []string) error {
+func runAppendixB(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("appendixb", flag.ExitOnError)
 	reps := fs.Int("reps", 5, "thrashing repetitions per set")
 	fs.Parse(args)
 	model := hw.Skylake()
-	res, err := experiments.RunLeaderScan(model, experiments.DefaultLeaderSample(model), *reps)
+	res, err := experiments.RunLeaderScan(ctx, model, experiments.DefaultLeaderSample(model), *reps)
 	if err != nil {
 		return err
 	}
@@ -198,18 +213,18 @@ func runAppendixB(args []string) error {
 	return nil
 }
 
-func runAll() error {
-	if err := runFig1(); err != nil {
+func runAll(ctx context.Context) error {
+	if err := runFig1(ctx); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := runTable2(nil); err != nil {
+	if err := runTable2(ctx, nil); err != nil {
 		return err
 	}
 	fmt.Println()
 	experiments.Table3Table().Render(os.Stdout)
 	fmt.Println()
-	if err := runTable4(nil); err != nil {
+	if err := runTable4(ctx, nil); err != nil {
 		return err
 	}
 	fmt.Println()
@@ -217,13 +232,13 @@ func runAll() error {
 		return err
 	}
 	fmt.Println()
-	if err := runCosts(nil); err != nil {
+	if err := runCosts(ctx, nil); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := runAppendixB(nil); err != nil {
+	if err := runAppendixB(ctx, nil); err != nil {
 		return err
 	}
 	fmt.Println()
-	return runBaselines()
+	return runBaselines(ctx)
 }

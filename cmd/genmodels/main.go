@@ -20,11 +20,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sync"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/learn"
@@ -39,7 +42,16 @@ func main() {
 	algoName := flag.String("algo", "lstar", "learning algorithm for the cross-check: lstar or tree")
 	compiled := flag.Bool("compiled", true, "run the cross-check's simulated caches on the compiled policy kernel; false interprets policies")
 	snapshotDir := flag.String("snapshot-dir", "", "per-policy oracle snapshot directory for the cross-check: existing snapshots warm-start the re-learn, fresh stores are saved back")
+	timeout := flag.Duration("timeout", 0, "abort the regeneration after this long (0 = no deadline); Ctrl-C cancels cleanly either way")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	algo, err := learn.ParseAlgo(*algoName)
 	if err != nil {
@@ -66,7 +78,7 @@ func main() {
 		go func(i int, s mealy.PublishedModel) {
 			defer wg.Done()
 			verify := !*quick && (!s.Heavy || *verifyHeavy)
-			errs[i] = generate(*out, s, verify, algo, *snapshotDir, sim)
+			errs[i] = generate(ctx, *out, s, verify, algo, *snapshotDir, sim)
 		}(i, s)
 	}
 	wg.Wait()
@@ -85,14 +97,14 @@ func main() {
 }
 
 // generate extracts (and optionally learns and cross-checks) one artifact.
-func generate(dir string, s mealy.PublishedModel, verify bool, algo learn.Algo, snapshotDir string, sim core.SimOptions) error {
+func generate(ctx context.Context, dir string, s mealy.PublishedModel, verify bool, algo learn.Algo, snapshotDir string, sim core.SimOptions) error {
 	truth, err := mealy.FromPolicy(policy.MustNew(s.Name, s.Assoc), 0)
 	if err != nil {
 		return err
 	}
 	if verify {
 		snap := core.SnapshotInDir(snapshotDir, s.Name, s.Assoc)
-		res, err := core.LearnSimulatedSim(s.Name, s.Assoc, learn.Options{Algo: algo, Depth: 1}, snap, sim)
+		res, err := core.LearnSimulatedSim(ctx, s.Name, s.Assoc, learn.Options{Algo: algo, Depth: 1}, snap, sim)
 		if err != nil {
 			return fmt.Errorf("learning: %w", err)
 		}

@@ -15,18 +15,29 @@
 //	# (bit-identical machine, backend probed only for new words):
 //	polca -policy New1 -assoc 4 -snapshot new1.qs
 //	polca -policy New1 -assoc 4 -warm new1.qs
+//
+//	# Crash-resume: checkpoint the store during the run; after a crash or
+//	# kill, the same command replays from the latest checkpoint:
+//	polca -policy New1 -assoc 4 -resume new1.ck
+//
+//	# Fault injection: learn under a seeded fault plan (soak testing):
+//	polca -policy New1 -assoc 4 -faults "seed=42,err=0.05,flip=0.001"
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/blocks"
 	"repro/internal/cachequery"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faulty"
 	"repro/internal/hw"
 	"repro/internal/learn"
 	"repro/internal/mealy"
@@ -57,9 +68,42 @@ func main() {
 	snapshot := flag.String("snapshot", "", "save the oracle query-store snapshot to this file after learning")
 	compiled := flag.Bool("compiled", true, "run simulated caches on the compiled policy kernel (dense transition tables); false interprets policies through the Policy interface — bit-identical results, slower probes")
 	batch := flag.Bool("batch", false, "answer query batches on the structure-of-arrays batched engine (simulator mode; requires -compiled) / group eviction probes over the replica pool (hardware mode) — bit-identical results")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); Ctrl-C cancels cleanly either way")
+	faults := flag.String("faults", "", `deterministic fault-injection plan, e.g. "seed=42,err=0.05,flip=0.001,stall=0.01:5ms,die=1@500"`)
+	resume := flag.String("resume", "", "crash-resume file: checkpoint the oracle's query store here during the run and warm-start from it when present (missing or damaged file = cold start)")
+	ckEvery := flag.Int("checkpoint-every", 0, "auto-snapshot the query store every N output queries (0 = off; defaults to 256 with -resume); requires -snapshot or -resume")
 	flag.Parse()
-	snap := core.SnapshotOptions{WarmPath: *warm, SavePath: *snapshot}
+	snap := core.SnapshotOptions{WarmPath: *warm, SavePath: *snapshot, CheckpointEvery: *ckEvery}
+	if *resume != "" {
+		if *warm != "" || *snapshot != "" {
+			fatal(fmt.Errorf("-resume replaces -warm/-snapshot; use one or the other"))
+		}
+		snap.WarmPath = *resume
+		snap.SavePath = *resume
+		snap.ColdOnDamage = true
+		if snap.CheckpointEvery == 0 {
+			snap.CheckpointEvery = 256
+		}
+	}
 	sim := core.SimOptions{Interpreted: !*compiled, Batched: *batch}
+	if *faults != "" {
+		plan, err := faulty.ParsePlan(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		sim.Faults = &plan
+	}
+
+	// A canceled context unwinds the learner at the next query boundary,
+	// leaving stores consistent — so a timed-out or interrupted run with
+	// -resume keeps its latest checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	algo, err := learn.ParseAlgo(*algoName)
 	if err != nil {
@@ -83,9 +127,9 @@ func main() {
 	case *polName != "" && *hwName != "":
 		fatal(fmt.Errorf("choose either -policy (simulator) or -hw (hardware)"))
 	case *polName != "":
-		machine, err = learnSim(*polName, *assoc, lopt, snap, sim)
+		machine, err = learnSim(ctx, *polName, *assoc, lopt, snap, sim)
 	case *hwName != "":
-		machine, err = learnHW(*hwName, *levelName, *slice, *set, *cat, *seed, lopt, *replicas, *reset, snap, sim)
+		machine, err = learnHW(ctx, *hwName, *levelName, *slice, *set, *cat, *seed, lopt, *replicas, *reset, snap, sim)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -124,8 +168,8 @@ func main() {
 	}
 }
 
-func learnSim(name string, assoc int, lopt learn.Options, snap core.SnapshotOptions, sim core.SimOptions) (*mealy.Machine, error) {
-	res, err := core.LearnSimulatedSim(name, assoc, lopt, snap, sim)
+func learnSim(ctx context.Context, name string, assoc int, lopt learn.Options, snap core.SnapshotOptions, sim core.SimOptions) (*mealy.Machine, error) {
+	res, err := core.LearnSimulatedSim(ctx, name, assoc, lopt, snap, sim)
 	if err != nil {
 		return nil, err
 	}
@@ -135,6 +179,10 @@ func learnSim(name string, assoc int, lopt learn.Options, snap core.SnapshotOpti
 	// snapshot job) parses: probes drop to ~0 on a warm re-learn.
 	fmt.Printf("oracle: %d probes, %d accesses, %d memo hits\n",
 		res.OracleStats.Probes, res.OracleStats.Accesses, res.OracleStats.MemoHits)
+	if res.OracleStats.Retries > 0 || res.OracleStats.Disagreements > 0 || res.OracleStats.Reprobes > 0 {
+		fmt.Printf("resilience: %d probe retries, %d vote disagreements, %d consistency re-probes\n",
+			res.OracleStats.Retries, res.OracleStats.Disagreements, res.OracleStats.Reprobes)
+	}
 	// Verify against the installed ground truth, which we know in
 	// simulator mode.
 	pol := policy.MustNew(name, assoc)
@@ -149,7 +197,7 @@ func learnSim(name string, assoc int, lopt learn.Options, snap core.SnapshotOpti
 	return res.Machine, nil
 }
 
-func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, lopt learn.Options, replicas int, reset string, snap core.SnapshotOptions, sim core.SimOptions) (*mealy.Machine, error) {
+func learnHW(ctx context.Context, cpuName, levelName string, slice, set, cat int, seed int64, lopt learn.Options, replicas int, reset string, snap core.SnapshotOptions, sim core.SimOptions) (*mealy.Machine, error) {
 	var cfg hw.CPUConfig
 	switch strings.ToLower(cpuName) {
 	case "haswell":
@@ -179,6 +227,7 @@ func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, lopt le
 		DeterminismEvery: 128,
 		Snapshot:         snap,
 		Batched:          sim.Batched,
+		Faults:           sim.Faults,
 	}
 	if reset != "" && reset != "F+R" {
 		seq := strings.Fields(reset)
@@ -189,7 +238,7 @@ func learnHW(cpuName, levelName string, slice, set, cat int, seed int64, lopt le
 		}
 		req.Resets = []cachequery.Reset{parseReset(seq, cfg.Config(level).Assoc, cat)}
 	}
-	res, err := core.LearnHardware(req)
+	res, err := core.LearnHardware(ctx, req)
 	if err != nil {
 		return nil, err
 	}

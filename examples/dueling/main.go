@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"os"
@@ -24,7 +26,7 @@ func main() {
 	fmt.Printf("Scanning %d L3 sets of %s (slice 0) with thrashing queries...\n\n",
 		len(sample), model.Name)
 
-	res, err := experiments.RunLeaderScan(model, sample, 5)
+	res, err := experiments.RunLeaderScan(context.Background(), model, sample, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

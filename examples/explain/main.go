@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -33,7 +35,7 @@ var paperDescriptions = map[string]string{
 func main() {
 	for _, name := range []string{"New1", "New2"} {
 		// Learn the policy from a simulated cache, as in §6.
-		res, err := core.LearnSimulated(name, 4, learn.Options{Depth: 1})
+		res, err := core.LearnSimulated(context.Background(), name, 4, learn.Options{Depth: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"log"
@@ -52,7 +54,7 @@ func main() {
 		Learn:            learn.Options{Depth: 1, MaxStates: 4096},
 		DeterminismEvery: 128,
 	}
-	res, err := core.LearnHardware(req)
+	res, err := core.LearnHardware(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -39,7 +41,7 @@ func main() {
 	// 2. Polca inverts the cache's transition rules and exposes the policy.
 	oracle := polca.NewOracle(polca.NewSimProber(pol.Clone()))
 	word := []int{2, 0, 2} // Evct, Ln(0), Evct
-	outs, err := oracle.OutputQuery(word)
+	outs, err := oracle.OutputQuery(context.Background(), word)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func main() {
 	}
 
 	// 3. The learner reconstructs the policy as a Mealy machine.
-	res, err := learn.Learn(oracle, learn.Options{Depth: 1})
+	res, err := learn.Learn(context.Background(), oracle, learn.Options{Depth: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

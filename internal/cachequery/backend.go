@@ -13,6 +13,8 @@
 package cachequery
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -45,7 +47,8 @@ type BackendOptions struct {
 	MaxBlocks int
 	// Reps is the default number of times a query is executed for
 	// majority voting; queries must be reset-prefixed for this to be
-	// sound. Must be odd.
+	// sound. Odd counts cannot tie; an even count is accepted because the
+	// frontend escalates any vote tie to 2·Reps+1 (odd) repetitions.
 	Reps int
 	// EvictRounds is how many passes over an eviction set are used to
 	// filter a block out of a higher level.
@@ -96,8 +99,8 @@ func NewBackend(cpu *hw.CPU, tgt Target, opt BackendOptions) (*Backend, error) {
 	if tgt.Set < 0 || tgt.Set >= cfg.SetsPerSlice {
 		return nil, fmt.Errorf("cachequery: set %d out of range for %v", tgt.Set, tgt.Level)
 	}
-	if opt.MaxBlocks <= 0 || opt.Reps <= 0 || opt.Reps%2 == 0 {
-		return nil, fmt.Errorf("cachequery: invalid options %+v (Reps must be odd and positive)", opt)
+	if opt.MaxBlocks <= 0 || opt.Reps <= 0 {
+		return nil, fmt.Errorf("cachequery: invalid options %+v (MaxBlocks and Reps must be positive)", opt)
 	}
 	cpu.SetPrefetcher(false)
 	cpu.SetLowNoise(true)
@@ -330,18 +333,49 @@ func (b *Backend) runOnce(q mbl.Query) ([]float64, error) {
 	return lats, nil
 }
 
-// Run executes a query (the generated access plan) reps times — opt.Reps
-// when reps <= 0 — classifies every profiled access against the calibrated
-// threshold, and majority-votes across repetitions. If flushFirst is set,
-// every repetition starts by flushing the pool. Repetition is only sound
-// for reset-prefixed queries, which is what the learning pipeline issues.
-func (b *Backend) Run(q mbl.Query, reps int, flushFirst bool) ([]cache.Outcome, error) {
+// ErrInconclusive is the sentinel every vote-tie failure wraps: a profiled
+// access whose repetitions split evenly between hit and miss has no majority,
+// and silently picking a winner would feed measurement noise to the learner
+// as ground truth. Callers retry with more (odd) repetitions instead.
+var ErrInconclusive = errors.New("cachequery: inconclusive measurement")
+
+// InconclusiveError reports a vote tie on one profiled access. It wraps
+// ErrInconclusive.
+type InconclusiveError struct {
+	Index  int // position among the query's profiled accesses
+	Hits   int // repetitions classified as hits
+	Reps   int // total repetitions
+	Margin int // |hits - misses|; 0 for an exact tie
+}
+
+func (e *InconclusiveError) Error() string {
+	return fmt.Sprintf("cachequery: inconclusive measurement at profiled access %d (%d/%d hit votes, margin %d)",
+		e.Index, e.Hits, e.Reps, e.Margin)
+}
+
+// Unwrap marks the error as ErrInconclusive.
+func (e *InconclusiveError) Unwrap() error { return ErrInconclusive }
+
+// Run executes a query (the generated access plan) reps times, classifies
+// every profiled access against the calibrated threshold, and majority-votes
+// across repetitions. reps must be positive: callers pick the repetition
+// count explicitly (the frontend passes its configured default), and an
+// accidental zero would silently measure nothing. A vote tie — possible
+// whenever reps is even — returns an InconclusiveError naming the tied
+// access instead of silently picking a winner; callers retry with more
+// (odd) reps. If flushFirst is set, every repetition starts by flushing the
+// pool. Repetition is only sound for reset-prefixed queries, which is what
+// the learning pipeline issues. Cancellation is honored between repetitions.
+func (b *Backend) Run(ctx context.Context, q mbl.Query, reps int, flushFirst bool) ([]cache.Outcome, error) {
 	if reps <= 0 {
-		reps = b.opt.Reps
+		return nil, fmt.Errorf("cachequery: invalid repetition count %d (must be positive)", reps)
 	}
 	nProf := q.ProfiledCount()
 	votes := make([]int, nProf)
 	for r := 0; r < reps; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if flushFirst {
 			b.FlushPool()
 		}
@@ -361,10 +395,16 @@ func (b *Backend) Run(q mbl.Query, reps int, flushFirst bool) ([]cache.Outcome, 
 	b.queriesRun++
 	out := make([]cache.Outcome, nProf)
 	for i, v := range votes {
+		if v*2 == reps {
+			return nil, &InconclusiveError{Index: i, Hits: v, Reps: reps, Margin: 0}
+		}
 		out[i] = cache.Outcome(v*2 > reps)
 	}
 	return out, nil
 }
+
+// DefaultReps returns the backend's configured repetition count.
+func (b *Backend) DefaultReps() int { return b.opt.Reps }
 
 // calibrate measures hit-at-target and nearest-miss latencies on a scratch
 // pool block and places the classification threshold between the two

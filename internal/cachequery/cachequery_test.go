@@ -1,6 +1,7 @@
 package cachequery
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -42,9 +43,17 @@ func TestBackendValidation(t *testing.T) {
 		t.Error("out-of-range slice accepted")
 	}
 	bad := testOptions()
-	bad.Reps = 2
+	bad.Reps = 0
 	if _, err := NewBackend(cpu, Target{Level: hw.L1, Set: 0}, bad); err == nil {
-		t.Error("even rep count accepted")
+		t.Error("zero rep count accepted")
+	}
+	// Even rep counts are fine: the frontend escalates a tied vote to
+	// 2·Reps+1 repetitions, so ties resolve rather than being rejected
+	// up front.
+	even := testOptions()
+	even.Reps = 2
+	if _, err := NewBackend(cpu, Target{Level: hw.L1, Set: 0}, even); err != nil {
+		t.Errorf("even rep count rejected: %v", err)
 	}
 }
 
@@ -124,7 +133,7 @@ func TestFrontendFigureOneToyQueries(t *testing.T) {
 	// A misses and B C D hit.
 	f := NewFrontend(hw.NewCPU(tinyCPU(), 5), testOptions())
 	tgt := Target{Level: hw.L1, Set: 2}
-	results, err := f.Query(tgt, "@ X _?")
+	results, err := f.Query(context.Background(), tgt, "@ X _?")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +154,7 @@ func TestFrontendFigureOneToyQueries(t *testing.T) {
 func TestFlushTagInvalidates(t *testing.T) {
 	f := NewFrontend(hw.NewCPU(tinyCPU(), 5), testOptions())
 	tgt := Target{Level: hw.L1, Set: 0}
-	results, err := f.Query(tgt, "@ A! A?")
+	results, err := f.Query(context.Background(), tgt, "@ A! A?")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +166,11 @@ func TestFlushTagInvalidates(t *testing.T) {
 func TestResultCache(t *testing.T) {
 	f := NewFrontend(hw.NewCPU(tinyCPU(), 5), testOptions())
 	tgt := Target{Level: hw.L1, Set: 1}
-	if _, err := f.Query(tgt, "@ A?"); err != nil {
+	if _, err := f.Query(context.Background(), tgt, "@ A?"); err != nil {
 		t.Fatal(err)
 	}
 	before := f.Stats()
-	res, err := f.Query(tgt, "@ A?")
+	res, err := f.Query(context.Background(), tgt, "@ A?")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +187,7 @@ func TestResultCache(t *testing.T) {
 
 	f.SetResultCache(false)
 	b2 := f.Stats()
-	if _, err := f.Query(tgt, "@ A?"); err != nil {
+	if _, err := f.Query(context.Background(), tgt, "@ A?"); err != nil {
 		t.Fatal(err)
 	}
 	if f.Stats().Executed == b2.Executed {
@@ -188,7 +197,7 @@ func TestResultCache(t *testing.T) {
 
 func TestBatchMode(t *testing.T) {
 	f := NewFrontend(hw.NewCPU(tinyCPU(), 5), testOptions())
-	lines, err := f.Batch(hw.L1, []int{0}, []int{0, 1}, []string{"@ A?"})
+	lines, err := f.Batch(context.Background(), hw.L1, []int{0}, []int{0, 1}, []string{"@ A?"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,11 +234,11 @@ func TestProberMatchesModelCache(t *testing.T) {
 		{"A", "E", "A", "E", "B"}, {"E", "A", "F", "B", "G", "C"},
 	}
 	for _, q := range seqs {
-		hwOut, err := pr.Probe(q)
+		hwOut, err := pr.Probe(context.Background(), q)
 		if err != nil {
 			t.Fatalf("probe %v: %v", q, err)
 		}
-		simOut, _ := model.Probe(q)
+		simOut, _ := model.Probe(context.Background(), q)
 		if hwOut != simOut {
 			t.Errorf("probe %v: hardware %v, model %v", q, hwOut, simOut)
 		}
@@ -239,7 +248,7 @@ func TestProberMatchesModelCache(t *testing.T) {
 func TestDiscoverInitialContent(t *testing.T) {
 	f := NewFrontend(hw.NewCPU(tinyCPU(), 5), testOptions())
 	tgt := Target{Level: hw.L1, Set: 4}
-	got, err := DiscoverInitialContent(f, tgt, FlushRefill(4))
+	got, err := DiscoverInitialContent(context.Background(), f, tgt, FlushRefill(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +271,7 @@ func TestLearnPLRUFromTinyHardware(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := polca.NewOracle(pr, polca.WithDeterminismChecks(64))
-	res, err := learn.Learn(oracle, learn.Options{Depth: 1})
+	res, err := learn.Learn(context.Background(), oracle, learn.Options{Depth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +308,7 @@ func TestLearnNew1FromTinyHardwareL2(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := polca.NewOracle(pr, polca.WithDeterminismChecks(256))
-	res, err := learn.Learn(oracle, learn.Options{Depth: 1})
+	res, err := learn.Learn(context.Background(), oracle, learn.Options{Depth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,18 +338,18 @@ func TestProbeFreshBypassesResultCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := []blocks.Block{"E", "A"}
-	first, err := pr.Probe(q)
+	first, err := pr.Probe(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	executed := f.Stats().Executed
-	if _, err := pr.Probe(q); err != nil {
+	if _, err := pr.Probe(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	if f.Stats().Executed != executed {
 		t.Fatal("repeated Probe was not served from the result store")
 	}
-	fresh, err := pr.ProbeFresh(q)
+	fresh, err := pr.ProbeFresh(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,11 +389,11 @@ func TestParallelProberMatchesSerial(t *testing.T) {
 		{"A", "E", "A", "E", "B"}, {"E", "A", "F", "B", "G", "C"},
 	}
 	for _, q := range seqs {
-		got, err := pp.Probe(q)
+		got, err := pp.Probe(context.Background(), q)
 		if err != nil {
 			t.Fatalf("probe %v: %v", q, err)
 		}
-		want, err := serial.Probe(q)
+		want, err := serial.Probe(context.Background(), q)
 		if err != nil {
 			t.Fatalf("serial probe %v: %v", q, err)
 		}
@@ -397,7 +406,7 @@ func TestParallelProberMatchesSerial(t *testing.T) {
 	// cache, never re-executed.
 	before := pp.FrontendStats()
 	for _, q := range seqs {
-		if _, err := pp.Probe(q); err != nil {
+		if _, err := pp.Probe(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -420,7 +429,7 @@ func TestParallelHardwareLearningMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serialRes, err := learn.Learn(polca.NewOracle(serialPr), learn.Options{Depth: 1})
+	serialRes, err := learn.Learn(context.Background(), polca.NewOracle(serialPr), learn.Options{Depth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,7 +443,7 @@ func TestParallelHardwareLearningMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parRes, err := learn.Learn(polca.NewOracle(pp, polca.WithParallelism(4)), learn.Options{Depth: 1})
+	parRes, err := learn.Learn(context.Background(), polca.NewOracle(pp, polca.WithParallelism(4)), learn.Options{Depth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +468,7 @@ func TestWrongResetIsDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := polca.NewOracle(pr, polca.WithDeterminismChecks(4))
-	_, err = learn.Learn(oracle, learn.Options{Depth: 1, MaxStates: 2000})
+	_, err = learn.Learn(context.Background(), oracle, learn.Options{Depth: 1, MaxStates: 2000})
 	if err == nil {
 		t.Fatal("learning with an invalid reset sequence succeeded")
 	}

@@ -1,6 +1,8 @@
 package cachequery
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -33,10 +35,11 @@ func (r QueryResult) Pattern() string {
 // FrontendStats counts query-cache effectiveness and backend work, the
 // quantities behind the paper's §7.2 cost analysis.
 type FrontendStats struct {
-	Expanded  int           // queries after MBL expansion
-	Executed  int           // queries actually run on the backend
-	CacheHits int           // queries answered from the result cache
-	Duration  time.Duration // cumulative backend execution time
+	Expanded     int           // queries after MBL expansion
+	Executed     int           // queries actually run on the backend
+	CacheHits    int           // queries answered from the result cache
+	Inconclusive int           // vote ties retried with escalated repetitions
+	Duration     time.Duration // cumulative backend execution time
 }
 
 // Add accumulates another frontend's counters (used to aggregate the
@@ -45,6 +48,7 @@ func (s *FrontendStats) Add(o FrontendStats) {
 	s.Expanded += o.Expanded
 	s.Executed += o.Executed
 	s.CacheHits += o.CacheHits
+	s.Inconclusive += o.Inconclusive
 	s.Duration += o.Duration
 }
 
@@ -205,19 +209,23 @@ func decodeOutcomes(s string) []cache.Outcome {
 
 // RunQuery executes one already-expanded query against a target set,
 // consulting the result cache first.
-func (f *Frontend) RunQuery(tgt Target, q mbl.Query, flushFirst bool) ([]cache.Outcome, error) {
-	return f.runQuery(tgt, q, flushFirst, true)
+func (f *Frontend) RunQuery(ctx context.Context, tgt Target, q mbl.Query, flushFirst bool) ([]cache.Outcome, error) {
+	return f.runQuery(ctx, tgt, q, flushFirst, true)
 }
 
 // RunQueryFresh executes the query unconditionally, bypassing the result
 // cache read (the fresh result still lands in the cache). Polca's
 // determinism audit depends on it: a cached read would replay the first
 // answer and could never expose nondeterminism.
-func (f *Frontend) RunQueryFresh(tgt Target, q mbl.Query, flushFirst bool) ([]cache.Outcome, error) {
-	return f.runQuery(tgt, q, flushFirst, false)
+func (f *Frontend) RunQueryFresh(ctx context.Context, tgt Target, q mbl.Query, flushFirst bool) ([]cache.Outcome, error) {
+	return f.runQuery(ctx, tgt, q, flushFirst, false)
 }
 
-func (f *Frontend) runQuery(tgt Target, q mbl.Query, flushFirst, readCache bool) ([]cache.Outcome, error) {
+// inconclusiveEscalations bounds how many times a vote-tied measurement is
+// retried with a larger repetition count before the tie propagates.
+const inconclusiveEscalations = 2
+
+func (f *Frontend) runQuery(ctx context.Context, tgt Target, q mbl.Query, flushFirst, readCache bool) ([]cache.Outcome, error) {
 	var key []int32
 	if f.useCache {
 		if k, err := f.storeKey(tgt, q, flushFirst); err == nil {
@@ -235,7 +243,16 @@ func (f *Frontend) runQuery(tgt Target, q mbl.Query, flushFirst, readCache bool)
 		return nil, err
 	}
 	start := time.Now()
-	ocs, err := be.Run(q, 0, flushFirst)
+	reps := f.opt.Reps
+	ocs, err := be.Run(ctx, q, reps, flushFirst)
+	// A vote tie (only possible with an even repetition count) escalates to
+	// more repetitions instead of failing the query: 2k ties re-measure at
+	// 2·2k+1 — odd, so the escalated run cannot tie again on the same split.
+	for esc := 0; err != nil && errors.Is(err, ErrInconclusive) && esc < inconclusiveEscalations; esc++ {
+		f.stats.Inconclusive++
+		reps = reps*2 + 1
+		ocs, err = be.Run(ctx, q, reps, flushFirst)
+	}
 	f.stats.Duration += time.Since(start)
 	f.stats.Executed++
 	if err != nil {
@@ -251,7 +268,7 @@ func (f *Frontend) runQuery(tgt Target, q mbl.Query, flushFirst, readCache bool)
 // every resulting query, in expansion order. This is the tool's primary
 // entry point (interactive and batch modes are thin wrappers in
 // cmd/cachequery).
-func (f *Frontend) Query(tgt Target, src string) ([]QueryResult, error) {
+func (f *Frontend) Query(ctx context.Context, tgt Target, src string) ([]QueryResult, error) {
 	be, err := f.Backend(tgt)
 	if err != nil {
 		return nil, err
@@ -263,7 +280,7 @@ func (f *Frontend) Query(tgt Target, src string) ([]QueryResult, error) {
 	f.stats.Expanded += len(queries)
 	results := make([]QueryResult, 0, len(queries))
 	for _, q := range queries {
-		ocs, err := f.RunQuery(tgt, q, false)
+		ocs, err := f.RunQuery(ctx, tgt, q, false)
 		if err != nil {
 			return nil, err
 		}
@@ -275,13 +292,13 @@ func (f *Frontend) Query(tgt Target, src string) ([]QueryResult, error) {
 // Batch runs a list of MBL expressions against several sets of one level,
 // returning rendered lines — the batch mode used for the Appendix B leader
 // scans.
-func (f *Frontend) Batch(level hw.Level, slices, sets []int, srcs []string) ([]string, error) {
+func (f *Frontend) Batch(ctx context.Context, level hw.Level, slices, sets []int, srcs []string) ([]string, error) {
 	var lines []string
 	for _, slice := range slices {
 		for _, set := range sets {
 			tgt := Target{Level: level, Slice: slice, Set: set}
 			for _, src := range srcs {
-				results, err := f.Query(tgt, src)
+				results, err := f.Query(ctx, tgt, src)
 				if err != nil {
 					return nil, fmt.Errorf("%s: %w", tgt, err)
 				}

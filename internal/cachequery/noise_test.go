@@ -1,6 +1,7 @@
 package cachequery
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
@@ -36,7 +37,7 @@ func TestRepetitionVotingSuppressesNoise(t *testing.T) {
 	// hit, a fresh block misses.
 	wrong := 0
 	for i := 0; i < 40; i++ {
-		res, err := f.Query(tgt, "@ B? X? C?")
+		res, err := f.Query(context.Background(), tgt, "@ B? X? C?")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,8 +1,10 @@
 package cachequery
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/blocks"
 	"repro/internal/cache"
@@ -41,6 +43,40 @@ func NewReplicaFrontends(newCPU func() *hw.CPU, opt BackendOptions, tgt Target, 
 	return fronts, nil
 }
 
+// DefaultQuarantineThreshold is how many consecutive transient failures a
+// replica accumulates before the pool quarantines it.
+const DefaultQuarantineThreshold = 3
+
+// replica is one pool slot: the probing interface (possibly wrapped by a
+// fault injector) plus its health score. fails is only touched by the
+// goroutine currently holding the replica, so it needs no atomics.
+type replica struct {
+	p     polca.Prober
+	id    int
+	fails int // consecutive transient failures
+}
+
+// PoolOption configures a ParallelProber.
+type PoolOption func(*ParallelProber)
+
+// WithQuarantineThreshold overrides how many consecutive transient failures
+// quarantine a replica; n <= 0 restores DefaultQuarantineThreshold.
+func WithQuarantineThreshold(n int) PoolOption {
+	return func(p *ParallelProber) {
+		if n <= 0 {
+			n = DefaultQuarantineThreshold
+		}
+		p.threshold = n
+	}
+}
+
+// WithReplicaWrapper interposes wrap between the pool and each replica's
+// prober — the hook internal/faulty uses to inject per-replica faults
+// (including replica death) under the pool's quarantine logic.
+func WithReplicaWrapper(wrap func(i int, p polca.Prober) polca.Prober) PoolOption {
+	return func(p *ParallelProber) { p.wrap = wrap }
+}
+
 // ParallelProber multiplexes reset-rooted probes over a pool of independent
 // CPU replicas, making Probe safe for concurrent use. A simulated CPU — like
 // the single hardware thread CacheQuery pins itself to — is strictly
@@ -53,17 +89,33 @@ func NewReplicaFrontends(newCPU func() *hw.CPU, opt BackendOptions, tgt Target, 
 // hold no cross-probe state beyond the shared result cache, so any free
 // replica can answer any probe. polca.Oracle detects the ConcurrentProbes
 // marker and answers batched output queries on parallel goroutines.
+//
+// The pool scores replica health: a replica that fails transiently
+// threshold-many times in a row is quarantined — removed from the pool for
+// good — and the probe that noticed is re-executed on another replica, so a
+// dying replica shrinks the pool instead of failing the run. Only when every
+// replica is quarantined do probes fail. Non-transient errors (measurement
+// nondeterminism, protocol violations, cancellation) propagate immediately:
+// they indict the run, not the replica.
 type ParallelProber struct {
-	pool    chan *Prober
+	pool    chan *replica
 	probers []*Prober
 	assoc   int
 	content []blocks.Block
+
+	threshold int
+	wrap      func(int, polca.Prober) polca.Prober
+
+	live        atomic.Int32
+	quarantined atomic.Int32
+	dead        chan struct{} // closed when the last live replica is quarantined
+	deadOnce    sync.Once
 }
 
 // NewParallelProber pools one prober per replica frontend for one target set
 // and reset (build the frontends once with NewReplicaFrontends and reuse
 // them across reset candidates — the provisioned backends carry over).
-func NewParallelProber(fronts []*Frontend, tgt Target, rst Reset) (*ParallelProber, error) {
+func NewParallelProber(fronts []*Frontend, tgt Target, rst Reset, opts ...PoolOption) (*ParallelProber, error) {
 	if len(fronts) == 0 {
 		return nil, fmt.Errorf("cachequery: parallel prober needs at least one replica")
 	}
@@ -76,22 +128,38 @@ func NewParallelProber(fronts []*Frontend, tgt Target, rst Reset) (*ParallelProb
 		probers[i] = pr
 	}
 	p := &ParallelProber{
-		pool:    make(chan *Prober, len(probers)),
-		probers: probers,
-		assoc:   probers[0].Assoc(),
-		content: probers[0].InitialContent(),
+		pool:      make(chan *replica, len(probers)),
+		probers:   probers,
+		assoc:     probers[0].Assoc(),
+		content:   probers[0].InitialContent(),
+		threshold: DefaultQuarantineThreshold,
+		dead:      make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(p)
 	}
 	for i, r := range probers {
 		if r.Assoc() != p.assoc {
 			return nil, fmt.Errorf("cachequery: replica %d has associativity %d, replica 0 has %d", i, r.Assoc(), p.assoc)
 		}
-		p.pool <- r
+		var pb polca.Prober = r
+		if p.wrap != nil {
+			pb = p.wrap(i, r)
+		}
+		p.pool <- &replica{p: pb, id: i}
 	}
+	p.live.Store(int32(len(probers)))
 	return p, nil
 }
 
-// Replicas returns the pool size.
+// Replicas returns the pool size as built (before any quarantine).
 func (p *ParallelProber) Replicas() int { return len(p.probers) }
+
+// Live returns how many replicas are still in rotation.
+func (p *ParallelProber) Live() int { return int(p.live.Load()) }
+
+// Quarantined returns how many replicas have been quarantined.
+func (p *ParallelProber) Quarantined() int { return int(p.quarantined.Load()) }
 
 // Assoc implements polca.Prober.
 func (p *ParallelProber) Assoc() int { return p.assoc }
@@ -101,20 +169,84 @@ func (p *ParallelProber) InitialContent() []blocks.Block {
 	return append([]blocks.Block(nil), p.content...)
 }
 
+// checkout takes a replica out of the pool, waiting until one is free. It
+// fails fast when the caller's context is done or the pool has quarantined
+// its last replica.
+func (p *ParallelProber) checkout(ctx context.Context) (*replica, error) {
+	select {
+	case r := <-p.pool:
+		return r, nil
+	default:
+	}
+	select {
+	case r := <-p.pool:
+		return r, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.dead:
+		return nil, fmt.Errorf("cachequery: all %d replicas quarantined", len(p.probers))
+	}
+}
+
+// quarantine retires a replica for good: it is not returned to the pool, so
+// the pool permanently shrinks by one.
+func (p *ParallelProber) quarantine(r *replica) {
+	p.quarantined.Add(1)
+	if p.live.Add(-1) == 0 {
+		p.deadOnce.Do(func() { close(p.dead) })
+	}
+}
+
+// run executes fn against pool replicas until it succeeds, fails terminally,
+// or the transient-failure budget is spent. A replica that pushes its
+// consecutive-failure score to the threshold is quarantined and the probe
+// transparently re-executes on another replica; below the threshold the
+// transient error propagates (the oracle's retry policy backs off and
+// re-enters here), so a systemic fault is still visible upstream while a
+// single dying replica is not.
+func (p *ParallelProber) run(ctx context.Context, fn func(*replica) (cache.Outcome, error)) (cache.Outcome, error) {
+	for {
+		r, err := p.checkout(ctx)
+		if err != nil {
+			return cache.Miss, err
+		}
+		oc, err := fn(r)
+		if err == nil {
+			r.fails = 0
+			p.pool <- r
+			return oc, nil
+		}
+		if !polca.IsTransient(err) {
+			p.pool <- r
+			return cache.Miss, err
+		}
+		r.fails++
+		if r.fails >= p.threshold {
+			p.quarantine(r)
+			continue // invisible to the caller: re-probe on another replica
+		}
+		p.pool <- r
+		return cache.Miss, err
+	}
+}
+
 // Probe implements polca.Prober by checking a replica out of the pool for
 // the duration of one probe. It blocks while all replicas are busy.
-func (p *ParallelProber) Probe(q []blocks.Block) (cache.Outcome, error) {
-	r := <-p.pool
-	defer func() { p.pool <- r }()
-	return r.Probe(q)
+func (p *ParallelProber) Probe(ctx context.Context, q []blocks.Block) (cache.Outcome, error) {
+	return p.run(ctx, func(r *replica) (cache.Outcome, error) {
+		return r.p.Probe(ctx, q)
+	})
 }
 
 // ProbeFresh implements polca.FreshProber: the checked-out replica
 // re-executes the probe, bypassing the shared result store's read.
-func (p *ParallelProber) ProbeFresh(q []blocks.Block) (cache.Outcome, error) {
-	r := <-p.pool
-	defer func() { p.pool <- r }()
-	return r.ProbeFresh(q)
+func (p *ParallelProber) ProbeFresh(ctx context.Context, q []blocks.Block) (cache.Outcome, error) {
+	return p.run(ctx, func(r *replica) (cache.Outcome, error) {
+		if fp, ok := r.p.(polca.FreshProber); ok {
+			return fp.ProbeFresh(ctx, q)
+		}
+		return r.p.Probe(ctx, q)
+	})
 }
 
 // ConcurrentProbes implements polca.ConcurrentProber.
@@ -126,7 +258,7 @@ func (p *ParallelProber) ConcurrentProbes() bool { return len(p.probers) > 1 }
 // are independent, so results slot into place by index regardless of
 // completion order. The batched membership engine (polca.WithBatchedQueries)
 // uses this to group the associativity-many eviction probes of one miss.
-func (p *ParallelProber) ProbeBatch(qs [][]blocks.Block) ([]cache.Outcome, error) {
+func (p *ParallelProber) ProbeBatch(ctx context.Context, qs [][]blocks.Block) ([]cache.Outcome, error) {
 	out := make([]cache.Outcome, len(qs))
 	errs := make([]error, len(qs))
 	var wg sync.WaitGroup
@@ -134,9 +266,7 @@ func (p *ParallelProber) ProbeBatch(qs [][]blocks.Block) ([]cache.Outcome, error
 		wg.Add(1)
 		go func(i int, q []blocks.Block) {
 			defer wg.Done()
-			r := <-p.pool
-			out[i], errs[i] = r.Probe(q)
-			p.pool <- r
+			out[i], errs[i] = p.Probe(ctx, q)
 		}(i, q)
 	}
 	wg.Wait()
@@ -148,7 +278,8 @@ func (p *ParallelProber) ProbeBatch(qs [][]blocks.Block) ([]cache.Outcome, error
 	return out, nil
 }
 
-// FrontendStats aggregates the counters of every replica's frontend. Only
+// FrontendStats aggregates the counters of every replica's frontend
+// (quarantined replicas included — their pre-quarantine work counts). Only
 // call it while no probes are in flight.
 func (p *ParallelProber) FrontendStats() FrontendStats {
 	var total FrontendStats

@@ -1,9 +1,9 @@
 package cachequery
 
 import (
-	"sort"
-
+	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/blocks"
 	"repro/internal/cache"
@@ -91,11 +91,11 @@ func (p *Prober) probeOps(q []blocks.Block) mbl.Query {
 }
 
 // Probe implements polca.Prober: reset ++ q with the final access profiled.
-func (p *Prober) Probe(q []blocks.Block) (cache.Outcome, error) {
+func (p *Prober) Probe(ctx context.Context, q []blocks.Block) (cache.Outcome, error) {
 	if len(q) == 0 {
 		return cache.Miss, fmt.Errorf("cachequery: empty probe")
 	}
-	ocs, err := p.f.RunQuery(p.tgt, p.probeOps(q), p.rst.FlushFirst)
+	ocs, err := p.f.RunQuery(ctx, p.tgt, p.probeOps(q), p.rst.FlushFirst)
 	if err != nil {
 		return cache.Miss, err
 	}
@@ -105,11 +105,11 @@ func (p *Prober) Probe(q []blocks.Block) (cache.Outcome, error) {
 // ProbeFresh implements polca.FreshProber: the probe is re-executed on the
 // cache even when the result store already holds its answer, which is what
 // lets the oracle's determinism audit observe real (mis)behaviour.
-func (p *Prober) ProbeFresh(q []blocks.Block) (cache.Outcome, error) {
+func (p *Prober) ProbeFresh(ctx context.Context, q []blocks.Block) (cache.Outcome, error) {
 	if len(q) == 0 {
 		return cache.Miss, fmt.Errorf("cachequery: empty probe")
 	}
-	ocs, err := p.f.RunQueryFresh(p.tgt, p.probeOps(q), p.rst.FlushFirst)
+	ocs, err := p.f.RunQueryFresh(ctx, p.tgt, p.probeOps(q), p.rst.FlushFirst)
 	if err != nil {
 		return cache.Miss, err
 	}
@@ -118,7 +118,7 @@ func (p *Prober) ProbeFresh(q []blocks.Block) (cache.Outcome, error) {
 
 // ProbeTrace implements polca.TraceProber: reset ++ q with every access of
 // q profiled, returning the full hit/miss trace.
-func (p *Prober) ProbeTrace(q []blocks.Block) ([]cache.Outcome, error) {
+func (p *Prober) ProbeTrace(ctx context.Context, q []blocks.Block) ([]cache.Outcome, error) {
 	if len(q) == 0 {
 		return nil, fmt.Errorf("cachequery: empty probe")
 	}
@@ -129,14 +129,14 @@ func (p *Prober) ProbeTrace(q []blocks.Block) ([]cache.Outcome, error) {
 	for _, b := range q {
 		ops = append(ops, mbl.Op{Block: b, Tag: mbl.TagProfile})
 	}
-	return p.f.RunQuery(p.tgt, ops, p.rst.FlushFirst)
+	return p.f.RunQuery(ctx, p.tgt, ops, p.rst.FlushFirst)
 }
 
 // DiscoverInitialContent probes which blocks of the reset sequence are
 // resident after a reset, for use when the post-reset arrangement is not
 // known from a model: the resident blocks are assigned to lines in
 // universe order, fixing an arbitrary but consistent labeling.
-func DiscoverInitialContent(f *Frontend, tgt Target, rst Reset) ([]blocks.Block, error) {
+func DiscoverInitialContent(ctx context.Context, f *Frontend, tgt Target, rst Reset) ([]blocks.Block, error) {
 	be, err := f.Backend(tgt)
 	if err != nil {
 		return nil, err
@@ -153,7 +153,7 @@ func DiscoverInitialContent(f *Frontend, tgt Target, rst Reset) ([]blocks.Block,
 			continue
 		}
 		seen[b] = true
-		oc, err := probe.Probe([]blocks.Block{b})
+		oc, err := probe.Probe(ctx, []blocks.Block{b})
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -21,11 +22,11 @@ func TestLearnSimulatedBatchedMatchesSerial(t *testing.T) {
 	for _, name := range []string{"MRU", "SRRIP-HP", "New1"} {
 		t.Run(name, func(t *testing.T) {
 			opt := learn.Options{Depth: 1, BatchSize: 32}
-			serial, err := LearnSimulatedSim(name, 4, opt, SnapshotOptions{}, SimOptions{Workers: 1})
+			serial, err := LearnSimulatedSim(context.Background(), name, 4, opt, SnapshotOptions{}, SimOptions{Workers: 1})
 			if err != nil {
 				t.Fatalf("serial: %v", err)
 			}
-			batched, err := LearnSimulatedSim(name, 4, opt, SnapshotOptions{}, SimOptions{Batched: true})
+			batched, err := LearnSimulatedSim(context.Background(), name, 4, opt, SnapshotOptions{}, SimOptions{Batched: true})
 			if err != nil {
 				t.Fatalf("batched: %v", err)
 			}
@@ -52,7 +53,7 @@ func TestLearnSimulatedBatchedMatchesSerial(t *testing.T) {
 // Interpreted has no kernel table to run on; the oracle must quietly keep
 // the per-session path and still learn the right machine.
 func TestLearnSimulatedBatchedInterpretedFallsBack(t *testing.T) {
-	res, err := LearnSimulatedSim("MRU", 4, learn.Options{Depth: 1}, SnapshotOptions{},
+	res, err := LearnSimulatedSim(context.Background(), "MRU", 4, learn.Options{Depth: 1}, SnapshotOptions{},
 		SimOptions{Interpreted: true, Batched: true})
 	if err != nil {
 		t.Fatal(err)
@@ -78,11 +79,11 @@ func TestLearnHardwareBatched(t *testing.T) {
 			DeterminismEvery: 64,
 		}
 	}
-	serial, err := LearnHardware(request(1, false))
+	serial, err := LearnHardware(context.Background(), request(1, false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	batched, err := LearnHardware(request(4, true))
+	batched, err := LearnHardware(context.Background(), request(4, true))
 	if err != nil {
 		t.Fatal(err)
 	}

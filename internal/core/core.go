@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,11 +17,13 @@ import (
 	"repro/internal/blocks"
 	"repro/internal/cache"
 	"repro/internal/cachequery"
+	"repro/internal/faulty"
 	"repro/internal/hw"
 	"repro/internal/learn"
 	"repro/internal/mealy"
 	"repro/internal/polca"
 	"repro/internal/policy"
+	"repro/internal/qstore"
 	"repro/internal/synth"
 )
 
@@ -45,6 +49,21 @@ type SnapshotOptions struct {
 	// SavePath, when set, writes the oracle's query store here after a
 	// successful learning run.
 	SavePath string
+	// CheckpointEvery, when positive, auto-snapshots the oracle's query
+	// store to SavePath every CheckpointEvery output queries during the
+	// run, so a crashed or killed learn can resume warm from the latest
+	// checkpoint (pass the same path as WarmPath on the next run). Each
+	// checkpoint is written through a temp file and an atomic rename; a
+	// crash mid-checkpoint never destroys the previous one. Requires
+	// SavePath.
+	CheckpointEvery int
+	// ColdOnDamage degrades a warm start to a cold run — instead of
+	// failing it — when WarmPath is missing (fs.ErrNotExist) or its
+	// content is damaged (qstore.ErrCorrupt: truncation, checksum or
+	// format errors). A scope mismatch (polca.ErrSnapshotScope) still
+	// fails: a snapshot recorded for a different system is a caller bug,
+	// not damage.
+	ColdOnDamage bool
 }
 
 // SimSnapshotScope is the scope string tagging simulator snapshots: the
@@ -75,17 +94,28 @@ func SnapshotInDir(dir, policyName string, assoc int) SnapshotOptions {
 	return snap
 }
 
-// loadSnapshot warm-starts an oracle from a snapshot file.
-func loadSnapshot(oracle *polca.Oracle, path, scope string) error {
+// loadSnapshot warm-starts an oracle from a snapshot file. With
+// coldOnDamage, a missing or corrupt snapshot degrades to a cold start
+// (returning warm=false, err=nil) rather than failing the run; the oracle's
+// store is untouched in that case, because snapshot loading verifies
+// checksums and parses every entry before applying anything.
+func loadSnapshot(oracle *polca.Oracle, path, scope string, coldOnDamage bool) (warm bool, err error) {
 	fh, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("core: warm start: %w", err)
+		if coldOnDamage && errors.Is(err, qstore.ErrMissing) {
+			return false, nil
+		}
+		return false, fmt.Errorf("core: warm start: %w", err)
 	}
 	defer fh.Close()
 	if err := oracle.LoadSnapshot(fh, scope); err != nil {
-		return fmt.Errorf("core: warm start from %s: %w", path, err)
+		if coldOnDamage && errors.Is(err, qstore.ErrCorrupt) {
+			fmt.Fprintf(os.Stderr, "core: warm start from %s: %v; starting cold\n", path, err)
+			return false, nil
+		}
+		return false, fmt.Errorf("core: warm start from %s: %w", path, err)
 	}
-	return nil
+	return true, nil
 }
 
 // saveSnapshot persists an oracle's query store to a snapshot file. The
@@ -117,6 +147,22 @@ func saveSnapshot(oracle *polca.Oracle, path, scope string) error {
 	return nil
 }
 
+// armCheckpoints wires periodic auto-snapshots into an oracle: every
+// CheckpointEvery output queries the store is saved to SavePath through the
+// same atomic-rename path as the final save. Checkpointing is best-effort —
+// a failed write is reported and the run continues; the next window tries
+// again.
+func armCheckpoints(oracle *polca.Oracle, snap SnapshotOptions, scope string) {
+	if snap.CheckpointEvery <= 0 || snap.SavePath == "" {
+		return
+	}
+	oracle.SetCheckpointer(snap.CheckpointEvery, func() {
+		if err := saveSnapshot(oracle, snap.SavePath, scope); err != nil {
+			fmt.Fprintf(os.Stderr, "core: checkpoint: %v\n", err)
+		}
+	})
+}
+
 // SimOptions configures the simulated-cache learning stack below the
 // learner: the policy representation the prober runs on.
 type SimOptions struct {
@@ -139,6 +185,19 @@ type SimOptions struct {
 	// Pinning Workers to 1 makes per-session runs reproduce the exact
 	// serial trajectory the batched engine is tested against.
 	Workers int
+	// Faults, when set, interposes a deterministic fault injector
+	// (internal/faulty) between the oracle and the simulator: probes
+	// suffer the plan's seeded mix of transient errors, stalls and
+	// answer flips, exercised against the oracle's retry policy. The
+	// wrapper hides the forking-session fast path, so a faulty run takes
+	// the reset-rooted probe path the resilience machinery defends. When
+	// the plan flips answers, probe voting is enabled automatically so
+	// the learned machine still converges to the ground truth.
+	Faults *faulty.Plan
+	// Retry, when set, overrides the oracle's transient-failure retry
+	// policy (polca.DefaultRetryPolicy otherwise). Soak tests use it to
+	// shrink the backoff sleeps; the retry semantics are identical.
+	Retry *polca.RetryPolicy
 }
 
 // SimProber builds the simulator prober for a policy according to the
@@ -159,8 +218,8 @@ func (o SimOptions) SimProber(pol policy.Policy) *polca.SimProber {
 // goroutines automatically. The returned machine is checked against nothing:
 // callers that know the ground truth can extract it with mealy.FromPolicy
 // and compare.
-func LearnSimulated(policyName string, assoc int, opt learn.Options) (*SimResult, error) {
-	return LearnSimulatedSnapshot(policyName, assoc, opt, SnapshotOptions{})
+func LearnSimulated(ctx context.Context, policyName string, assoc int, opt learn.Options) (*SimResult, error) {
+	return LearnSimulatedSnapshot(ctx, policyName, assoc, opt, SnapshotOptions{})
 }
 
 // LearnSimulatedSnapshot is LearnSimulated with oracle query-store
@@ -169,14 +228,14 @@ func LearnSimulated(policyName string, assoc int, opt learn.Options) (*SimResult
 // new words), and the store can be saved after the run for the next one.
 // The learned machine — and the learner's whole query trajectory — is
 // bit-identical cold or warm; only the backend probe count changes.
-func LearnSimulatedSnapshot(policyName string, assoc int, opt learn.Options, snap SnapshotOptions) (*SimResult, error) {
-	return LearnSimulatedSim(policyName, assoc, opt, snap, SimOptions{})
+func LearnSimulatedSnapshot(ctx context.Context, policyName string, assoc int, opt learn.Options, snap SnapshotOptions) (*SimResult, error) {
+	return LearnSimulatedSim(ctx, policyName, assoc, opt, snap, SimOptions{})
 }
 
 // LearnSimulatedSim is LearnSimulatedSnapshot with an explicit simulator
 // configuration — the seam the -compiled toggles of cmd/polca,
 // cmd/experiments and cmd/genmodels thread through.
-func LearnSimulatedSim(policyName string, assoc int, opt learn.Options, snap SnapshotOptions, sim SimOptions) (*SimResult, error) {
+func LearnSimulatedSim(ctx context.Context, policyName string, assoc int, opt learn.Options, snap SnapshotOptions, sim SimOptions) (*SimResult, error) {
 	pol, err := policy.New(policyName, assoc)
 	if err != nil {
 		return nil, err
@@ -188,14 +247,25 @@ func LearnSimulatedSim(policyName string, assoc int, opt learn.Options, snap Sna
 	if sim.Workers > 0 {
 		opts = append(opts, polca.WithParallelism(sim.Workers))
 	}
-	oracle := polca.NewOracle(sim.SimProber(pol), opts...)
+	var prober polca.Prober = sim.SimProber(pol)
+	if sim.Faults != nil {
+		prober = faulty.WrapProber(prober, faulty.NewInjector(*sim.Faults))
+		if sim.Faults.FlipRate > 0 {
+			opts = append(opts, polca.WithProbeVotes(3))
+		}
+	}
+	if sim.Retry != nil {
+		opts = append(opts, polca.WithProbeRetries(*sim.Retry))
+	}
+	oracle := polca.NewOracle(prober, opts...)
 	scope := SimSnapshotScope(pol.Name(), assoc)
 	if snap.WarmPath != "" {
-		if err := loadSnapshot(oracle, snap.WarmPath, scope); err != nil {
+		if _, err := loadSnapshot(oracle, snap.WarmPath, scope, snap.ColdOnDamage); err != nil {
 			return nil, err
 		}
 	}
-	res, err := learn.Learn(oracle, opt)
+	armCheckpoints(oracle, snap, scope)
+	res, err := learn.Learn(ctx, oracle, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +319,15 @@ type HardwareRequest struct {
 	// scoped to (CPU model, target, reset): a warm path recorded under a
 	// different reset fails that candidate and the next reset is tried.
 	Snapshot SnapshotOptions
+	// Faults, when set, injects the plan's seeded fault mix into every
+	// replica's probes (and kills the plan's die=replica@count victim, if
+	// any), exercised against the full resilience stack: oracle retry
+	// with backoff, probe voting when the plan flips answers, and pool
+	// quarantine of repeatedly-failing replicas.
+	Faults *faulty.Plan
+	// Retry, when set, overrides the oracle's transient-failure retry
+	// policy (polca.DefaultRetryPolicy otherwise).
+	Retry *polca.RetryPolicy
 }
 
 // HardwareResult is the outcome of a §7 learning run.
@@ -270,7 +349,7 @@ type HardwareResult struct {
 // on the concurrent membership-query engine: the learner batches its
 // observation-table and conformance queries, Polca fans them out over
 // parallel goroutines, and each goroutine probes a pooled CPU replica.
-func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
+func LearnHardware(ctx context.Context, req HardwareRequest) (*HardwareResult, error) {
 	if req.CATWays > 0 {
 		if err := req.CPU.SetCATWays(req.CATWays); err != nil {
 			return nil, err
@@ -313,10 +392,20 @@ func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
 		}
 	}
 
+	// A fault plan shares one injector across every reset candidate and
+	// replica, so plan-wide budgets (crash=N) span the whole run.
+	var inj *faulty.Injector
+	if req.Faults != nil {
+		inj = faulty.NewInjector(*req.Faults)
+	}
+
 	var lastErr error
 	for _, rst := range resets {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if len(rst.Content) == 0 {
-			content, err := cachequery.DiscoverInitialContent(f, req.Target, rst)
+			content, err := cachequery.DiscoverInitialContent(ctx, f, req.Target, rst)
 			if err != nil {
 				lastErr = err
 				continue
@@ -326,7 +415,17 @@ func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
 		var prober polca.Prober
 		frontendStats := func() cachequery.FrontendStats { return f.Stats() }
 		if fronts != nil {
-			pp, err := cachequery.NewParallelProber(fronts, req.Target, rst)
+			var poolOpts []cachequery.PoolOption
+			if inj != nil {
+				die := faulty.ReplicaWrapper(*req.Faults)
+				poolOpts = append(poolOpts, cachequery.WithReplicaWrapper(func(i int, p polca.Prober) polca.Prober {
+					if die != nil {
+						p = die(i, p)
+					}
+					return faulty.WrapProber(p, inj)
+				}))
+			}
+			pp, err := cachequery.NewParallelProber(fronts, req.Target, rst, poolOpts...)
 			if err != nil {
 				lastErr = err
 				continue
@@ -344,6 +443,9 @@ func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
 				continue
 			}
 			prober = pr
+			if inj != nil {
+				prober = faulty.WrapProber(prober, inj)
+			}
 		}
 		var opts []polca.Option
 		if req.DeterminismEvery > 0 {
@@ -355,16 +457,28 @@ func LearnHardware(req HardwareRequest) (*HardwareResult, error) {
 		if req.Batched {
 			opts = append(opts, polca.WithBatchedQueries())
 		}
+		if req.Faults != nil && req.Faults.FlipRate > 0 {
+			opts = append(opts, polca.WithProbeVotes(3))
+		}
+		if req.Retry != nil {
+			opts = append(opts, polca.WithProbeRetries(*req.Retry))
+		}
 		oracle := polca.NewOracle(prober, opts...)
 		scope := hardwareSnapshotScope(req, rst)
 		if req.Snapshot.WarmPath != "" {
-			if err := loadSnapshot(oracle, req.Snapshot.WarmPath, scope); err != nil {
+			if _, err := loadSnapshot(oracle, req.Snapshot.WarmPath, scope, req.Snapshot.ColdOnDamage); err != nil {
 				lastErr = err
 				continue
 			}
 		}
-		res, err := learn.Learn(oracle, req.Learn)
+		armCheckpoints(oracle, req.Snapshot, scope)
+		res, err := learn.Learn(ctx, oracle, req.Learn)
 		if err != nil {
+			// A canceled or expired context dooms every remaining reset
+			// candidate too: unwind now instead of burning them.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, fmt.Errorf("reset %q: %w", rst.Name(), err)
+			}
 			lastErr = fmt.Errorf("reset %q: %w", rst.Name(), err)
 			continue
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -27,7 +28,7 @@ func testCPU() hw.CPUConfig {
 }
 
 func TestLearnSimulated(t *testing.T) {
-	res, err := LearnSimulated("MRU", 4, learn.Options{Depth: 1})
+	res, err := LearnSimulated(context.Background(), "MRU", 4, learn.Options{Depth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,13 +38,13 @@ func TestLearnSimulated(t *testing.T) {
 	if res.OracleStats.Probes == 0 || res.LearnStats.OutputQueries == 0 {
 		t.Error("stats not collected")
 	}
-	if _, err := LearnSimulated("nope", 4, learn.Options{}); err == nil {
+	if _, err := LearnSimulated(context.Background(), "nope", 4, learn.Options{}); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
 
 func TestLearnHardwareWithDefaultReset(t *testing.T) {
-	res, err := LearnHardware(HardwareRequest{
+	res, err := LearnHardware(context.Background(), HardwareRequest{
 		CPU:              hw.NewCPU(testCPU(), 9),
 		Target:           cachequery.Target{Level: hw.L1, Set: 5},
 		Backend:          cachequery.BackendOptions{MaxBlocks: 12, Reps: 3, EvictRounds: 1, CalibrationSamples: 21},
@@ -78,7 +79,7 @@ func TestLearnHardwareTriesResetCandidates(t *testing.T) {
 	cfg.L1.Policy = "New1"
 	pol := policy.MustNew("New1", 4)
 	candidates := append([]cachequery.Reset{cachequery.FlushRefill(4)}, ResetCandidatesFor(pol)...)
-	res, err := LearnHardware(HardwareRequest{
+	res, err := LearnHardware(context.Background(), HardwareRequest{
 		CPU:              hw.NewCPU(cfg, 9),
 		NewCPU:           func() *hw.CPU { return hw.NewCPU(cfg, 9) },
 		Target:           cachequery.Target{Level: hw.L1, Set: 7},
@@ -117,11 +118,11 @@ func TestLearnHardwareParallelMatchesSerial(t *testing.T) {
 			DeterminismEvery: 64,
 		}
 	}
-	serial, err := LearnHardware(request(1))
+	serial, err := LearnHardware(context.Background(), request(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := LearnHardware(request(4))
+	parallel, err := LearnHardware(context.Background(), request(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestLearnHardwareTreeLearner(t *testing.T) {
 			DeterminismEvery: 64,
 		}
 	}
-	tree, err := LearnHardware(request(learn.AlgoTree, 1))
+	tree, err := LearnHardware(context.Background(), request(learn.AlgoTree, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestLearnHardwareTreeLearner(t *testing.T) {
 	if eq, ce := tree.Machine.Equivalent(truth); !eq {
 		t.Fatalf("tree machine differs from ground truth, ce=%v", ce)
 	}
-	lstar, err := LearnHardware(request(learn.AlgoLStar, 1))
+	lstar, err := LearnHardware(context.Background(), request(learn.AlgoLStar, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestLearnHardwareTreeLearner(t *testing.T) {
 		t.Errorf("tree asked %d output queries, L* %d — no query win on the hardware pipeline",
 			tree.LearnStats.OutputQueries, lstar.LearnStats.OutputQueries)
 	}
-	parallel, err := LearnHardware(request(learn.AlgoTree, 4))
+	parallel, err := LearnHardware(context.Background(), request(learn.AlgoTree, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestLearnHardwareTreeLearner(t *testing.T) {
 
 func TestLearnHardwareAllResetsFail(t *testing.T) {
 	// An undersized state budget makes every candidate fail.
-	_, err := LearnHardware(HardwareRequest{
+	_, err := LearnHardware(context.Background(), HardwareRequest{
 		CPU:     hw.NewCPU(testCPU(), 9),
 		Target:  cachequery.Target{Level: hw.L1, Set: 1},
 		Backend: cachequery.BackendOptions{MaxBlocks: 12, Reps: 3, EvictRounds: 1, CalibrationSamples: 21},
@@ -200,7 +201,7 @@ func TestLearnHardwareAllResetsFail(t *testing.T) {
 }
 
 func TestLearnHardwareRejectsCATWithoutSupport(t *testing.T) {
-	_, err := LearnHardware(HardwareRequest{
+	_, err := LearnHardware(context.Background(), HardwareRequest{
 		CPU:     hw.NewCPU(testCPU(), 9),
 		Target:  cachequery.Target{Level: hw.L3, Set: 0},
 		Backend: cachequery.BackendOptions{MaxBlocks: 12, Reps: 3, EvictRounds: 1, CalibrationSamples: 21},
@@ -263,11 +264,11 @@ func TestWarmStartSimulated(t *testing.T) {
 	}{{"LRU", 4}, {"SRRIP-HP", 4}} {
 		t.Run(c.name, func(t *testing.T) {
 			snap := filepath.Join(t.TempDir(), "oracle.qs")
-			cold, err := LearnSimulatedSnapshot(c.name, c.assoc, learn.Options{Depth: 1}, SnapshotOptions{SavePath: snap})
+			cold, err := LearnSimulatedSnapshot(context.Background(), c.name, c.assoc, learn.Options{Depth: 1}, SnapshotOptions{SavePath: snap})
 			if err != nil {
 				t.Fatal(err)
 			}
-			warm, err := LearnSimulatedSnapshot(c.name, c.assoc, learn.Options{Depth: 1}, SnapshotOptions{WarmPath: snap})
+			warm, err := LearnSimulatedSnapshot(context.Background(), c.name, c.assoc, learn.Options{Depth: 1}, SnapshotOptions{WarmPath: snap})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -292,10 +293,10 @@ func TestWarmStartSimulated(t *testing.T) {
 // refused when warm-starting another.
 func TestWarmStartScopeGuard(t *testing.T) {
 	snap := filepath.Join(t.TempDir(), "oracle.qs")
-	if _, err := LearnSimulatedSnapshot("LRU", 4, learn.Options{Depth: 1}, SnapshotOptions{SavePath: snap}); err != nil {
+	if _, err := LearnSimulatedSnapshot(context.Background(), "LRU", 4, learn.Options{Depth: 1}, SnapshotOptions{SavePath: snap}); err != nil {
 		t.Fatal(err)
 	}
-	_, err := LearnSimulatedSnapshot("MRU", 4, learn.Options{Depth: 1}, SnapshotOptions{WarmPath: snap})
+	_, err := LearnSimulatedSnapshot(context.Background(), "MRU", 4, learn.Options{Depth: 1}, SnapshotOptions{WarmPath: snap})
 	if err == nil || !strings.Contains(err.Error(), "recorded for") {
 		t.Fatalf("cross-policy warm start not rejected: %v", err)
 	}
@@ -315,11 +316,11 @@ func TestWarmStartHardware(t *testing.T) {
 			Snapshot: s,
 		}
 	}
-	cold, err := LearnHardware(req(SnapshotOptions{SavePath: snap}))
+	cold, err := LearnHardware(context.Background(), req(SnapshotOptions{SavePath: snap}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := LearnHardware(req(SnapshotOptions{WarmPath: snap}))
+	warm, err := LearnHardware(context.Background(), req(SnapshotOptions{WarmPath: snap}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,11 +348,11 @@ func TestLearnSimulatedKernelBitIdentical(t *testing.T) {
 		{"SRRIP-HP", 4, learn.AlgoTree},
 	} {
 		opt := learn.Options{Depth: 1, Algo: c.algo}
-		compiled, err := LearnSimulatedSim(c.name, c.assoc, opt, SnapshotOptions{}, SimOptions{})
+		compiled, err := LearnSimulatedSim(context.Background(), c.name, c.assoc, opt, SnapshotOptions{}, SimOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		interp, err := LearnSimulatedSim(c.name, c.assoc, opt, SnapshotOptions{}, SimOptions{Interpreted: true})
+		interp, err := LearnSimulatedSim(context.Background(), c.name, c.assoc, opt, SnapshotOptions{}, SimOptions{Interpreted: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -59,7 +60,7 @@ func thrashSusceptible(missFraction float64) bool { return missFraction > 0.9 }
 // steerPSEL drives the set-dueling counter by thrashing one leader set of
 // the given kind (misses in thrash-susceptible leaders push PSEL up, in
 // resistant leaders down).
-func steerPSEL(f *cachequery.Frontend, kind hw.LeaderKind, rounds int) error {
+func steerPSEL(ctx context.Context, f *cachequery.Frontend, kind hw.LeaderKind, rounds int) error {
 	cpu := f.CPU()
 	cfg := cpu.Config()
 	var tgt cachequery.Target
@@ -79,7 +80,7 @@ func steerPSEL(f *cachequery.Frontend, kind hw.LeaderKind, rounds int) error {
 	}
 	q := thrashQuery(be.Assoc())
 	for i := 0; i < rounds; i++ {
-		if _, err := be.Run(q, 1, true); err != nil {
+		if _, err := be.Run(ctx, q, 1, true); err != nil {
 			return err
 		}
 	}
@@ -87,7 +88,7 @@ func steerPSEL(f *cachequery.Frontend, kind hw.LeaderKind, rounds int) error {
 }
 
 // classifySet measures the steady-state thrash miss fraction of one set.
-func classifySet(f *cachequery.Frontend, tgt cachequery.Target, reps int) (float64, error) {
+func classifySet(ctx context.Context, f *cachequery.Frontend, tgt cachequery.Target, reps int) (float64, error) {
 	be, err := f.Backend(tgt)
 	if err != nil {
 		return 0, err
@@ -95,7 +96,7 @@ func classifySet(f *cachequery.Frontend, tgt cachequery.Target, reps int) (float
 	q := thrashQuery(be.Assoc())
 	misses, total := 0, 0
 	for i := 0; i < reps; i++ {
-		ocs, err := be.Run(q, 1, true)
+		ocs, err := be.Run(ctx, q, 1, true)
 		if err != nil {
 			return 0, err
 		}
@@ -110,7 +111,7 @@ func classifySet(f *cachequery.Frontend, tgt cachequery.Target, reps int) (float
 }
 
 // RunLeaderScan performs the two-pass scan over sampled L3 sets of slice 0.
-func RunLeaderScan(model hw.CPUConfig, sampleSets []int, reps int) (*LeaderScanResult, error) {
+func RunLeaderScan(ctx context.Context, model hw.CPUConfig, sampleSets []int, reps int) (*LeaderScanResult, error) {
 	cpu := hw.NewCPU(model, 31)
 	opt := cachequery.DefaultBackendOptions()
 	opt.MaxBlocks = model.L3.Assoc + 6
@@ -128,10 +129,10 @@ func RunLeaderScan(model hw.CPUConfig, sampleSets []int, reps int) (*LeaderScanR
 	// fixed thrash-susceptible leaders keep missing.
 	susceptibleHigh := make(map[int]bool)
 	for _, set := range sampleSets {
-		if err := steerPSEL(f, hw.LeaderThrashable, 40); err != nil {
+		if err := steerPSEL(ctx, f, hw.LeaderThrashable, 40); err != nil {
 			return nil, err
 		}
-		frac, err := classifySet(f, cachequery.Target{Level: hw.L3, Slice: 0, Set: set}, reps)
+		frac, err := classifySet(ctx, f, cachequery.Target{Level: hw.L3, Slice: 0, Set: set}, reps)
 		if err != nil {
 			return nil, err
 		}
@@ -142,10 +143,10 @@ func RunLeaderScan(model hw.CPUConfig, sampleSets []int, reps int) (*LeaderScanR
 	// Pass 2: PSEL low — followers behave thrash-susceptible too.
 	susceptibleLow := make(map[int]bool)
 	for _, set := range sampleSets {
-		if err := steerPSEL(f, hw.LeaderResistant, 40); err != nil {
+		if err := steerPSEL(ctx, f, hw.LeaderResistant, 40); err != nil {
 			return nil, err
 		}
-		frac, err := classifySet(f, cachequery.Target{Level: hw.L3, Slice: 0, Set: set}, reps)
+		frac, err := classifySet(ctx, f, cachequery.Target{Level: hw.L3, Slice: 0, Set: set}, reps)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -31,7 +32,7 @@ type BaselineRow struct {
 // permutation baseline covers exactly FIFO, LRU and PLRU, while
 // fingerprinting identifies anything already in its pool but offers no
 // guarantees outside it.
-func RunBaselines(assoc int) ([]BaselineRow, error) {
+func RunBaselines(ctx context.Context, assoc int) ([]BaselineRow, error) {
 	names := []string{"FIFO", "LRU", "PLRU", "MRU", "LIP", "SRRIP-HP", "SRRIP-FP", "New1", "New2"}
 	var rows []BaselineRow
 	for _, name := range names {
@@ -46,7 +47,7 @@ func RunBaselines(assoc int) ([]BaselineRow, error) {
 		row := BaselineRow{Policy: pol.Name(), States: truth.NumStates}
 
 		start := time.Now()
-		_, err = permpol.InferAndValidate(polca.NewSimProber(pol.Clone()), truth)
+		_, err = permpol.InferAndValidate(ctx, polca.NewSimProber(pol.Clone()), truth)
 		row.PermTime = time.Since(start)
 		switch {
 		case err == nil:
@@ -58,7 +59,7 @@ func RunBaselines(assoc int) ([]BaselineRow, error) {
 		}
 
 		start = time.Now()
-		fp, err := fingerprint.Identify(polca.NewSimProber(pol.Clone()), fingerprint.DefaultPool(), fingerprint.Options{Seed: 42})
+		fp, err := fingerprint.Identify(ctx, polca.NewSimProber(pol.Clone()), fingerprint.DefaultPool(), fingerprint.Options{Seed: 42})
 		row.FingerTime = time.Since(start)
 		if err != nil {
 			return nil, err

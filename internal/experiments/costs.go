@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,14 +32,14 @@ type CostsResult struct {
 // (1) learning PLRU-8 (the Skylake L1 policy) from a simulator vs. through
 // a fully warmed CacheQuery interface, and (2) the average execution time
 // of the query `@ M _?` per cache level.
-func RunCosts(queryReps int) (*CostsResult, error) {
+func RunCosts(ctx context.Context, queryReps int) (*CostsResult, error) {
 	const assoc = 8 // the Skylake L1: PLRU with 8 ways, as in the paper
 	res := &CostsResult{Policy: "PLRU", Assoc: assoc, PerQueryReps: queryReps,
 		PerQueryCost: make(map[string]time.Duration)}
 
 	// (1a) Software-simulated cache.
 	start := time.Now()
-	if _, err := core.LearnSimulated("PLRU", assoc, learn.Options{Depth: 1}); err != nil {
+	if _, err := core.LearnSimulated(ctx, "PLRU", assoc, learn.Options{Depth: 1}); err != nil {
 		return nil, err
 	}
 	res.SimTime = time.Since(start)
@@ -57,7 +58,7 @@ func RunCosts(queryReps int) (*CostsResult, error) {
 		}
 		oracle := polca.NewOracle(prober)
 		t0 := time.Now()
-		if _, err := learn.Learn(oracle, learn.Options{Depth: 1}); err != nil {
+		if _, err := learn.Learn(ctx, oracle, learn.Options{Depth: 1}); err != nil {
 			return 0, 0, err
 		}
 		return time.Since(t0), f.Stats().Executed, nil
@@ -91,7 +92,7 @@ func RunCosts(queryReps int) (*CostsResult, error) {
 		}
 		t0 := time.Now()
 		for i := 0; i < queryReps; i++ {
-			if _, err := f.Query(tgt, "@ M _?"); err != nil {
+			if _, err := f.Query(ctx, tgt, "@ M _?"); err != nil {
 				return nil, err
 			}
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -46,11 +47,11 @@ func TestFmtDuration(t *testing.T) {
 }
 
 func TestTable2RowLearnsAndVerifies(t *testing.T) {
-	row := RunTable2Row("LRU", 4)
+	row := RunTable2Row(context.Background(), "LRU", 4)
 	if !row.Verified || row.States != 24 || row.Err != "" {
 		t.Errorf("row = %+v", row)
 	}
-	bad := RunTable2Row("NOPE", 4)
+	bad := RunTable2Row(context.Background(), "NOPE", 4)
 	if bad.Err == "" {
 		t.Error("unknown policy accepted")
 	}
@@ -58,14 +59,14 @@ func TestTable2RowLearnsAndVerifies(t *testing.T) {
 
 func TestTable2RowSnapshotWarmStart(t *testing.T) {
 	dir := t.TempDir()
-	cold := RunTable2RowSnap("LRU", 4, learn.Options{Depth: 1}, dir)
+	cold := RunTable2RowSnap(context.Background(), "LRU", 4, learn.Options{Depth: 1}, dir)
 	if !cold.Verified || cold.Err != "" {
 		t.Fatalf("cold row = %+v", cold)
 	}
 	if _, err := os.Stat(core.SnapshotPathInDir(dir, "LRU", 4)); err != nil {
 		t.Fatalf("snapshot not written: %v", err)
 	}
-	warm := RunTable2RowSnap("LRU", 4, learn.Options{Depth: 1}, dir)
+	warm := RunTable2RowSnap(context.Background(), "LRU", 4, learn.Options{Depth: 1}, dir)
 	if !warm.Verified || warm.Err != "" {
 		t.Fatalf("warm row = %+v", warm)
 	}
@@ -163,7 +164,7 @@ func TestTable5RowFIFOAndPLRU(t *testing.T) {
 }
 
 func TestRunFigure1Report(t *testing.T) {
-	report, err := RunFigure1()
+	report, err := RunFigure1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestDefaultLeaderSampleContainsBothLeaderKinds(t *testing.T) {
 }
 
 func TestBaselinesShape(t *testing.T) {
-	rows, err := RunBaselines(4)
+	rows, err := RunBaselines(context.Background(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestBaselinesShape(t *testing.T) {
 
 func TestLeaderScanSmall(t *testing.T) {
 	model := hw.Skylake()
-	res, err := RunLeaderScan(model, []int{0, 1, 62}, 2)
+	res, err := RunLeaderScan(context.Background(), model, []int{0, 1, 62}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -29,7 +30,7 @@ func ToyCPU() hw.CPUConfig {
 // a textual report showing all three abstraction layers: raw CacheQuery
 // latencies (1c), Polca's block-level translation (1b), and the learned
 // 2-state automaton (1a).
-func RunFigure1() (string, error) {
+func RunFigure1(ctx context.Context) (string, error) {
 	var sb strings.Builder
 	cpu := hw.NewCPU(ToyCPU(), 7)
 	f := cachequery.NewFrontend(cpu, cachequery.DefaultBackendOptions())
@@ -38,7 +39,7 @@ func RunFigure1() (string, error) {
 	// Layer 1c: CacheQuery turns latencies into hits and misses.
 	sb.WriteString("── CacheQuery (Figure 1c): blocks -> addresses -> latencies -> hits/misses ──\n")
 	for _, src := range []string{"A B C A?", "A B C B?"} {
-		results, err := f.Query(tgt, src)
+		results, err := f.Query(ctx, tgt, src)
 		if err != nil {
 			return "", err
 		}
@@ -57,7 +58,7 @@ func RunFigure1() (string, error) {
 	}
 	oracle := polcaOracle(prober)
 	word := []int{2, 0, 2} // Evct Ln(0) Evct
-	outs, err := oracle.OutputQuery(word)
+	outs, err := oracle.OutputQuery(ctx, word)
 	if err != nil {
 		return "", err
 	}
@@ -68,7 +69,7 @@ func RunFigure1() (string, error) {
 
 	// Layer 1a: the learner assembles the automaton.
 	sb.WriteString("── LearnLib-style learner (Figure 1a): the learned policy ──\n")
-	res, err := learn.Learn(oracle, learn.Options{Depth: 1})
+	res, err := learn.Learn(ctx, oracle, learn.Options{Depth: 1})
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -66,15 +67,15 @@ type Table2Row struct {
 // RunTable2Row learns one policy from a software-simulated cache with the
 // paper's settings (L*, Wp-method, k = 1) and verifies the result against
 // the extracted ground truth.
-func RunTable2Row(name string, assoc int) Table2Row {
-	return RunTable2RowOpt(name, assoc, learn.Options{Depth: 1})
+func RunTable2Row(ctx context.Context, name string, assoc int) Table2Row {
+	return RunTable2RowOpt(ctx, name, assoc, learn.Options{Depth: 1})
 }
 
 // RunTable2RowOpt is RunTable2Row with explicit learner options — the
 // algorithm (-algo), conformance suite and random-walk seed flow through
 // from cmd/experiments here.
-func RunTable2RowOpt(name string, assoc int, opt learn.Options) Table2Row {
-	return RunTable2RowSnap(name, assoc, opt, "")
+func RunTable2RowOpt(ctx context.Context, name string, assoc int, opt learn.Options) Table2Row {
+	return RunTable2RowSnap(ctx, name, assoc, opt, "")
 }
 
 // RunTable2RowSnap is RunTable2RowOpt with oracle query-store persistence:
@@ -83,22 +84,22 @@ func RunTable2RowOpt(name string, assoc int, opt learn.Options) Table2Row {
 // words) and the store is saved back after the run (core.SnapshotInDir
 // naming). Learned machines and learner trajectories are identical cold
 // or warm.
-func RunTable2RowSnap(name string, assoc int, opt learn.Options, snapshotDir string) Table2Row {
-	return RunTable2RowSim(name, assoc, opt, snapshotDir, core.SimOptions{})
+func RunTable2RowSnap(ctx context.Context, name string, assoc int, opt learn.Options, snapshotDir string) Table2Row {
+	return RunTable2RowSim(ctx, name, assoc, opt, snapshotDir, core.SimOptions{})
 }
 
 // RunTable2RowSim is RunTable2RowSnap with an explicit simulator
 // configuration: cmd/experiments' -compiled=false flows through here to run
 // the row on the interpreted Policy interface instead of the compiled
 // kernel (same machines and trajectories, different wall-clock).
-func RunTable2RowSim(name string, assoc int, opt learn.Options, snapshotDir string, sim core.SimOptions) Table2Row {
+func RunTable2RowSim(ctx context.Context, name string, assoc int, opt learn.Options, snapshotDir string, sim core.SimOptions) Table2Row {
 	if opt.Depth == 0 {
 		opt.Depth = 1
 	}
 	snap := core.SnapshotInDir(snapshotDir, name, assoc)
 	row := Table2Row{Policy: name, Assoc: assoc}
 	start := time.Now()
-	res, err := core.LearnSimulatedSim(name, assoc, opt, snap, sim)
+	res, err := core.LearnSimulatedSim(ctx, name, assoc, opt, snap, sim)
 	row.Time = time.Since(start)
 	if err != nil {
 		row.Err = err.Error()
@@ -126,14 +127,14 @@ func RunTable2RowSim(name string, assoc int, opt learn.Options, snapshotDir stri
 
 // RunTable2 learns every configuration of the spec, one after the other —
 // the faithful setting for per-row timing comparisons against the paper.
-func RunTable2(specs []Table2Spec) []Table2Row {
-	return RunTable2Concurrent(specs, 1)
+func RunTable2(ctx context.Context, specs []Table2Spec) []Table2Row {
+	return RunTable2Concurrent(ctx, specs, 1)
 }
 
 // RunTable2Concurrent learns the spec's configurations on up to `workers`
 // parallel goroutines with the paper's learner settings.
-func RunTable2Concurrent(specs []Table2Spec, workers int) []Table2Row {
-	return RunTable2ConcurrentOpt(specs, workers, learn.Options{Depth: 1})
+func RunTable2Concurrent(ctx context.Context, specs []Table2Spec, workers int) []Table2Row {
+	return RunTable2ConcurrentOpt(ctx, specs, workers, learn.Options{Depth: 1})
 }
 
 // RunTable2ConcurrentOpt learns the spec's configurations on up to `workers`
@@ -141,21 +142,21 @@ func RunTable2Concurrent(specs []Table2Spec, workers int) []Table2Row {
 // own simulated cache) with explicit learner options. Row order matches
 // RunTable2; per-row times include scheduling contention, so use workers = 1
 // when timing against the paper.
-func RunTable2ConcurrentOpt(specs []Table2Spec, workers int, opt learn.Options) []Table2Row {
-	return RunTable2ConcurrentSnap(specs, workers, opt, "")
+func RunTable2ConcurrentOpt(ctx context.Context, specs []Table2Spec, workers int, opt learn.Options) []Table2Row {
+	return RunTable2ConcurrentSnap(ctx, specs, workers, opt, "")
 }
 
 // RunTable2ConcurrentSnap is RunTable2ConcurrentOpt with per-row oracle
 // snapshot persistence in snapshotDir (empty disables; see
 // RunTable2RowSnap). Rows are independent systems, so each gets its own
 // snapshot file.
-func RunTable2ConcurrentSnap(specs []Table2Spec, workers int, opt learn.Options, snapshotDir string) []Table2Row {
-	return RunTable2ConcurrentSim(specs, workers, opt, snapshotDir, core.SimOptions{})
+func RunTable2ConcurrentSnap(ctx context.Context, specs []Table2Spec, workers int, opt learn.Options, snapshotDir string) []Table2Row {
+	return RunTable2ConcurrentSim(ctx, specs, workers, opt, snapshotDir, core.SimOptions{})
 }
 
 // RunTable2ConcurrentSim is RunTable2ConcurrentSnap with an explicit
 // simulator configuration threaded to every row.
-func RunTable2ConcurrentSim(specs []Table2Spec, workers int, opt learn.Options, snapshotDir string, sim core.SimOptions) []Table2Row {
+func RunTable2ConcurrentSim(ctx context.Context, specs []Table2Spec, workers int, opt learn.Options, snapshotDir string, sim core.SimOptions) []Table2Row {
 	type job struct {
 		policy string
 		assoc  int
@@ -174,7 +175,7 @@ func RunTable2ConcurrentSim(specs []Table2Spec, workers int, opt learn.Options, 
 	rows := make([]Table2Row, len(jobs))
 	if workers <= 1 {
 		for i, j := range jobs {
-			rows[i] = RunTable2RowSim(j.policy, j.assoc, opt, snapshotDir, sim)
+			rows[i] = RunTable2RowSim(ctx, j.policy, j.assoc, opt, snapshotDir, sim)
 		}
 		return rows
 	}
@@ -188,7 +189,7 @@ func RunTable2ConcurrentSim(specs []Table2Spec, workers int, opt learn.Options, 
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rows[i] = RunTable2RowSim(jobs[i].policy, jobs[i].assoc, opt, snapshotDir, sim)
+				rows[i] = RunTable2RowSim(ctx, jobs[i].policy, jobs[i].assoc, opt, snapshotDir, sim)
 			}
 		}()
 	}

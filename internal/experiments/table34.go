@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -137,7 +138,7 @@ func table4LearnOptions(opt learn.Options) learn.Options {
 }
 
 // RunTable4Job learns one target and identifies the resulting policy.
-func RunTable4Job(job Table4Job, opt cachequery.BackendOptions) Table4Row {
+func RunTable4Job(ctx context.Context, job Table4Job, opt cachequery.BackendOptions) Table4Row {
 	row := Table4Row{CPU: job.Model.Name, Level: job.Level.String(), Sets: job.SetsNote}
 	mkCPU := func() *hw.CPU { return hw.NewCPUSim(job.Model, job.Seed, job.Interpreted) }
 	cpu := mkCPU()
@@ -173,7 +174,7 @@ func RunTable4Job(job Table4Job, opt cachequery.BackendOptions) Table4Row {
 	}
 
 	start := time.Now()
-	res, err := core.LearnHardware(req)
+	res, err := core.LearnHardware(ctx, req)
 	row.Time = time.Since(start)
 	if err != nil {
 		row.Err = err.Error()

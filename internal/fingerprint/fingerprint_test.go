@@ -1,6 +1,7 @@
 package fingerprint
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/polca"
@@ -12,7 +13,7 @@ func TestIdentifySimulatedPolicies(t *testing.T) {
 	// when observed through a simulated cache.
 	for _, name := range []string{"FIFO", "LRU", "PLRU", "MRU", "LIP", "SRRIP-HP", "SRRIP-FP", "New1", "New2"} {
 		pr := polca.NewSimProber(policy.MustNew(name, 4))
-		res, err := Identify(pr, DefaultPool(), Options{Seed: 42})
+		res, err := Identify(context.Background(), pr, DefaultPool(), Options{Seed: 42})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -24,7 +25,7 @@ func TestIdentifySimulatedPolicies(t *testing.T) {
 
 func TestIdentifyReportsEliminations(t *testing.T) {
 	pr := polca.NewSimProber(policy.MustNew("LRU", 4))
-	res, err := Identify(pr, []string{"LRU", "FIFO"}, Options{Seed: 1})
+	res, err := Identify(context.Background(), pr, []string{"LRU", "FIFO"}, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestIdentifyAmbiguousPool(t *testing.T) {
 	// with few, short trials both candidates survive — the "no guarantees"
 	// failure mode of fingerprinting.
 	pr := polca.NewSimProber(policy.MustNew("LIP", 4))
-	res, err := Identify(pr, []string{"LIP", "BIP"}, Options{Seed: 3, Trials: 2, Length: 6})
+	res, err := Identify(context.Background(), pr, []string{"LIP", "BIP"}, Options{Seed: 3, Trials: 2, Length: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +53,11 @@ func TestIdentifyAmbiguousPool(t *testing.T) {
 
 func TestIdentifyRejectsEmptyPool(t *testing.T) {
 	pr := polca.NewSimProber(policy.MustNew("LRU", 4))
-	if _, err := Identify(pr, []string{"PLRU"}, Options{}); err != nil {
+	if _, err := Identify(context.Background(), pr, []string{"PLRU"}, Options{}); err != nil {
 		t.Fatalf("PLRU instantiates at assoc 4: %v", err)
 	}
 	pr3 := polca.NewSimProber(policy.MustNew("LRU", 3))
-	if _, err := Identify(pr3, []string{"PLRU"}, Options{}); err == nil {
+	if _, err := Identify(context.Background(), pr3, []string{"PLRU"}, Options{}); err == nil {
 		t.Error("pool with no instantiable candidates accepted")
 	}
 }

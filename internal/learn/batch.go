@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,7 +23,7 @@ import (
 type BatchTeacher interface {
 	Teacher
 	// OutputQueryBatch answers len(words) independent output queries.
-	OutputQueryBatch(words [][]int) ([][]int, error)
+	OutputQueryBatch(ctx context.Context, words [][]int) ([][]int, error)
 }
 
 // BatchHinter is an optional BatchTeacher refinement advertising how many
@@ -41,13 +42,16 @@ type BatchHinter interface {
 // t implements BatchTeacher and a serial loop otherwise. It is the helper
 // non-learner clients (cmd/genmodels, experiments) use to stay batch-aware
 // without duplicating the dispatch logic.
-func QueryAll(t Teacher, words [][]int) ([][]int, error) {
+func QueryAll(ctx context.Context, t Teacher, words [][]int) ([][]int, error) {
 	if bt, ok := t.(BatchTeacher); ok && len(words) > 1 {
-		return bt.OutputQueryBatch(words)
+		return bt.OutputQueryBatch(ctx, words)
 	}
 	out := make([][]int, len(words))
 	for i, w := range words {
-		o, err := t.OutputQuery(w)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		o, err := t.OutputQuery(ctx, w)
 		if err != nil {
 			return nil, err
 		}
@@ -119,16 +123,16 @@ func (p *PoolTeacher) store(w, out []int) {
 }
 
 // OutputQuery implements Teacher, consulting the shared cache first.
-func (p *PoolTeacher) OutputQuery(word []int) ([]int, error) {
+func (p *PoolTeacher) OutputQuery(ctx context.Context, word []int) ([]int, error) {
 	if !p.cache.InRange(word) {
 		// An out-of-alphabet word has no trie path; let the wrapped
 		// teacher answer (or reject) it directly, uncached.
-		return p.inner.OutputQuery(word)
+		return p.inner.OutputQuery(ctx, word)
 	}
 	if out, ok := p.cache.Get(word); ok {
 		return out, nil
 	}
-	out, err := p.inner.OutputQuery(word)
+	out, err := p.inner.OutputQuery(ctx, word)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +143,7 @@ func (p *PoolTeacher) OutputQuery(word []int) ([]int, error) {
 // OutputQueryBatch implements BatchTeacher: cached words are answered
 // immediately, the remaining distinct words are fanned out across the worker
 // pool, and every fresh answer lands in the shared cache.
-func (p *PoolTeacher) OutputQueryBatch(words [][]int) ([][]int, error) {
+func (p *PoolTeacher) OutputQueryBatch(ctx context.Context, words [][]int) ([][]int, error) {
 	out := make([][]int, len(words))
 	// refs packs each word's (shard, node) pair: shard-local node ids are
 	// stable, so a ref resolves the same cache slot before and after the
@@ -187,14 +191,14 @@ func (p *PoolTeacher) OutputQueryBatch(words [][]int) ([][]int, error) {
 			for j, i := range pending {
 				ws[j] = words[i]
 			}
-			ans, err := bi.OutputQueryBatch(ws)
+			ans, err := bi.OutputQueryBatch(ctx, ws)
 			if err != nil {
 				return nil, err
 			}
 			copy(fresh, ans)
 		} else if workers <= 1 {
 			for j, i := range pending {
-				fresh[j], errs[j] = p.inner.OutputQuery(words[i])
+				fresh[j], errs[j] = p.inner.OutputQuery(ctx, words[i])
 			}
 		} else {
 			var wg sync.WaitGroup
@@ -204,7 +208,14 @@ func (p *PoolTeacher) OutputQueryBatch(words [][]int) ([][]int, error) {
 				go func() {
 					defer wg.Done()
 					for j := range next {
-						fresh[j], errs[j] = p.inner.OutputQuery(words[pending[j]])
+						// On cancel, drain the remaining indices without
+						// querying so the feeder never blocks and every
+						// worker exits through the channel close.
+						if err := ctx.Err(); err != nil {
+							errs[j] = err
+							continue
+						}
+						fresh[j], errs[j] = p.inner.OutputQuery(ctx, words[pending[j]])
 					}
 				}()
 			}

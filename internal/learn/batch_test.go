@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -26,7 +27,7 @@ func newCountingTeacher(m *mealy.Machine) *countingTeacher {
 
 func (t *countingTeacher) NumInputs() int { return t.m.NumInputs }
 
-func (t *countingTeacher) OutputQuery(word []int) ([]int, error) {
+func (t *countingTeacher) OutputQuery(_ context.Context, word []int) ([]int, error) {
 	t.mu.Lock()
 	t.asked[wordKey(word)]++
 	t.mu.Unlock()
@@ -60,7 +61,7 @@ func TestPoolTeacherBatchMatchesSerial(t *testing.T) {
 	words := [][]int{
 		{0}, {1, 2, 3}, {4, 4, 4, 4}, {0}, {1, 2, 3}, {2, 0, 4, 1, 3},
 	}
-	got, err := pool.OutputQueryBatch(words)
+	got, err := pool.OutputQueryBatch(context.Background(), words)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +88,11 @@ func TestBatchedLearningIsDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		serial, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1})
+		serial, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		batched, err := Learn(NewPoolTeacher(MachineTeacher{M: truth}, 8), Options{Depth: 1, BatchSize: 16})
+		batched, err := Learn(context.Background(), NewPoolTeacher(MachineTeacher{M: truth}, 8), Options{Depth: 1, BatchSize: 16})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,12 +116,12 @@ func TestBatchedLearningIsDeterministic(t *testing.T) {
 // goroutines. The learned machines must be trace-equivalent.
 func TestBatchedPolcaLearningIsDeterministic(t *testing.T) {
 	serialOracle := polca.NewOracle(polca.NewSimProber(policy.MustNew("MRU", 4)), polca.WithParallelism(1))
-	serial, err := Learn(serialOracle, Options{Depth: 1})
+	serial, err := Learn(context.Background(), serialOracle, Options{Depth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	parOracle := polca.NewOracle(polca.NewSimProber(policy.MustNew("MRU", 4)), polca.WithParallelism(8))
-	batched, err := Learn(parOracle, Options{Depth: 1})
+	batched, err := Learn(context.Background(), parOracle, Options{Depth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestSharedQueryCacheNeverReasks(t *testing.T) {
 	counter := newCountingTeacher(truth)
 	pool := NewPoolTeacher(counter, 4)
 
-	if _, err := Learn(pool, Options{Depth: 1, BatchSize: 8}); err != nil {
+	if _, err := Learn(context.Background(), pool, Options{Depth: 1, BatchSize: 8}); err != nil {
 		t.Fatal(err)
 	}
 	if max := counter.maxAskCount(); max > 1 {
@@ -157,7 +158,7 @@ func TestSharedQueryCacheNeverReasks(t *testing.T) {
 
 	// A second learning run over the same adapter is answered entirely from
 	// the shared cache.
-	if _, err := Learn(pool, Options{Depth: 1, BatchSize: 8}); err != nil {
+	if _, err := Learn(context.Background(), pool, Options{Depth: 1, BatchSize: 8}); err != nil {
 		t.Fatal(err)
 	}
 	if counter.distinctWords() != asked {
@@ -185,7 +186,7 @@ func TestConcurrentBatchTeacherQueries(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			if g%2 == 0 {
-				got, err := pool.OutputQueryBatch(words)
+				got, err := pool.OutputQueryBatch(context.Background(), words)
 				if err != nil {
 					errCh <- err
 					return
@@ -198,7 +199,7 @@ func TestConcurrentBatchTeacherQueries(t *testing.T) {
 				}
 			} else {
 				for _, w := range words {
-					got, err := pool.OutputQuery(w)
+					got, err := pool.OutputQuery(context.Background(), w)
 					if err != nil {
 						errCh <- err
 						return
@@ -232,12 +233,12 @@ func TestConcurrentOracleBatchQueries(t *testing.T) {
 	truthOracle := polca.NewOracle(polca.NewSimProber(policy.MustNew("LRU", 4)))
 
 	words := qstore.Enumerate(oracle.NumInputs(), 3)[1:]
-	got, err := oracle.OutputQueryBatch(words)
+	got, err := oracle.OutputQueryBatch(context.Background(), words)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, w := range words {
-		want, err := truthOracle.OutputQuery(w)
+		want, err := truthOracle.OutputQuery(context.Background(), w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,21 +255,21 @@ func TestPoolTeacherOutOfAlphabetWord(t *testing.T) {
 	pt := NewPoolTeacher(oracle, 2)
 	// Populate the root's child slice first so the panic path would be live.
 	valid := []int{0, 1, 4}
-	want, err := oracle.OutputQuery(valid)
+	want, err := oracle.OutputQuery(context.Background(), valid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := pt.OutputQuery(valid); err != nil || !reflect.DeepEqual(got, want) {
+	if got, err := pt.OutputQuery(context.Background(), valid); err != nil || !reflect.DeepEqual(got, want) {
 		t.Fatalf("valid word: got %v, %v; want %v", got, err, want)
 	}
-	if _, err := pt.OutputQuery([]int{99}); err == nil {
+	if _, err := pt.OutputQuery(context.Background(), []int{99}); err == nil {
 		t.Fatal("expected error for out-of-alphabet word")
 	}
-	if _, err := pt.OutputQueryBatch([][]int{valid, {99}}); err == nil {
+	if _, err := pt.OutputQueryBatch(context.Background(), [][]int{valid, {99}}); err == nil {
 		t.Fatal("expected batch error for out-of-alphabet word")
 	}
 	// The valid word must still be answerable after the failed batch.
-	if got, err := pt.OutputQuery(valid); err != nil || !reflect.DeepEqual(got, want) {
+	if got, err := pt.OutputQuery(context.Background(), valid); err != nil || !reflect.DeepEqual(got, want) {
 		t.Fatalf("valid word after failed batch: got %v, %v; want %v", got, err, want)
 	}
 }

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/intern"
@@ -274,5 +275,11 @@ type MachineTeacher struct{ M *mealy.Machine }
 // NumInputs implements Teacher.
 func (t MachineTeacher) NumInputs() int { return t.M.NumInputs }
 
-// OutputQuery implements Teacher.
-func (t MachineTeacher) OutputQuery(word []int) ([]int, error) { return t.M.Run(word), nil }
+// OutputQuery implements Teacher. The simulated machine answers instantly,
+// so only the context's terminal state matters.
+func (t MachineTeacher) OutputQuery(ctx context.Context, word []int) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.M.Run(word), nil
+}

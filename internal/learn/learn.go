@@ -15,6 +15,7 @@
 package learn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -29,11 +30,17 @@ import (
 // Teacher answers output queries for the system under learning. Polca's
 // Oracle implements it; software-simulated machines can implement it
 // directly via MachineTeacher.
+//
+// Every query carries a context: a multi-hour hardware campaign must be
+// cancellable mid-learn, and deadlines propagate from the CLIs down to the
+// individual backend probe. Teachers must return promptly once ctx is done;
+// the learner checks the context between queries too, so even a teacher that
+// ignores ctx unwinds at the next query boundary.
 type Teacher interface {
 	// NumInputs returns the input alphabet size; inputs are 0..NumInputs-1.
 	NumInputs() int
 	// OutputQuery returns the output word produced by the input word.
-	OutputQuery(word []int) ([]int, error)
+	OutputQuery(ctx context.Context, word []int) ([]int, error)
 }
 
 // ErrStateBudget is returned when the hypothesis grows beyond
@@ -191,8 +198,11 @@ type Result struct {
 
 // Learn runs the learning loop selected by Options.Algo against the teacher
 // until the conformance suite of depth Options.Depth finds no
-// counterexample, and returns the final hypothesis.
-func Learn(t Teacher, opt Options) (*Result, error) {
+// counterexample, and returns the final hypothesis. Cancelling ctx aborts the
+// run at the next query boundary with ctx.Err(); the teacher's stores stay
+// consistent (only fully-answered queries are memoized), so the same teacher
+// can be learned again — or resumed from a snapshot — after a cancel.
+func Learn(ctx context.Context, t Teacher, opt Options) (*Result, error) {
 	if opt.Depth < 0 {
 		return nil, fmt.Errorf("learn: negative depth %d", opt.Depth)
 	}
@@ -209,7 +219,7 @@ func Learn(t Teacher, opt Options) (*Result, error) {
 	switch opt.Algo {
 	case AlgoLStar:
 		l := &learner{
-			engine: newEngine(t, opt),
+			engine: newEngine(ctx, t, opt),
 			sufs:   newMarkStore(t.NumInputs()),
 			ids:    intern.New(),
 		}
@@ -217,7 +227,7 @@ func Learn(t Teacher, opt Options) (*Result, error) {
 		stats = &l.stats
 	case AlgoTree:
 		l := &treeLearner{
-			engine: newEngine(t, opt),
+			engine: newEngine(ctx, t, opt),
 			ids:    intern.New(),
 		}
 		m, err = l.run()
@@ -238,6 +248,7 @@ func Learn(t Teacher, opt Options) (*Result, error) {
 // counters. The algorithms (observation table, discrimination tree) embed it
 // and differ only in how they organize observations into a hypothesis.
 type engine struct {
+	ctx     context.Context
 	teacher Teacher
 	opt     Options
 	numIn   int
@@ -252,8 +263,12 @@ type engine struct {
 }
 
 // newEngine builds the shared query infrastructure for one learning run.
-func newEngine(t Teacher, opt Options) engine {
+func newEngine(ctx context.Context, t Teacher, opt Options) engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e := engine{
+		ctx:     ctx,
 		teacher: t,
 		opt:     opt,
 		numIn:   t.NumInputs(),
@@ -343,15 +358,21 @@ func (l *engine) remember(w, out []int) {
 	l.flat[wordKey(w)] = out
 }
 
-// query returns the teacher's output word for w, memoized.
+// query returns the teacher's output word for w, memoized. Cancellation is
+// checked only before a real teacher round trip — memo hits stay lock-free
+// and cost nothing extra, and a cancelled learn still unwinds at the next
+// fresh query.
 func (l *engine) query(w []int) ([]int, error) {
 	if out, ok := l.memoized(w); ok {
 		return out, nil
 	}
+	if err := l.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if l.opt.MaxQueries > 0 && l.stats.OutputQueries >= l.opt.MaxQueries {
 		return nil, fmt.Errorf("learn: query budget of %d exhausted", l.opt.MaxQueries)
 	}
-	out, err := l.teacher.OutputQuery(w)
+	out, err := l.teacher.OutputQuery(l.ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -391,6 +412,9 @@ func (l *engine) prefetch(words [][]int) error {
 	if len(pending) == 0 {
 		return nil
 	}
+	if err := l.ctx.Err(); err != nil {
+		return err
+	}
 	if l.opt.MaxQueries > 0 {
 		left := l.opt.MaxQueries - l.stats.OutputQueries
 		if left <= 0 {
@@ -400,7 +424,7 @@ func (l *engine) prefetch(words [][]int) error {
 			pending = pending[:left]
 		}
 	}
-	outs, err := bt.OutputQueryBatch(pending)
+	outs, err := bt.OutputQueryBatch(l.ctx, pending)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 // equivalence plus minimality of the result.
 func learnAndCheck(t *testing.T, truth *mealy.Machine, opt Options) *Result {
 	t.Helper()
-	res, err := Learn(MachineTeacher{M: truth}, opt)
+	res, err := Learn(context.Background(), MachineTeacher{M: truth}, opt)
 	if err != nil {
 		t.Fatalf("Learn: %v", err)
 	}
@@ -80,7 +81,7 @@ func TestLearnViaPolca(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			oracle := polca.NewOracle(polca.NewSimProber(policy.MustNew(c.name, c.assoc)))
-			res, err := Learn(oracle, Options{Depth: 1})
+			res, err := Learn(context.Background(), oracle, Options{Depth: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -97,11 +98,11 @@ func TestLearnViaPolca(t *testing.T) {
 
 func TestWpAndWSuitesLearnTheSameMachine(t *testing.T) {
 	truth, _ := mealy.FromPolicy(policy.MustNew("MRU", 4), 0)
-	wp, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1, Suite: SuiteWp})
+	wp, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1, Suite: SuiteWp})
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1, Suite: SuiteW})
+	w, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1, Suite: SuiteW})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestIdentificationSetsSeparateStates(t *testing.T) {
 
 func TestLearnWithRandomWalkOracle(t *testing.T) {
 	truth, _ := mealy.FromPolicy(policy.MustNew("MRU", 4), 0)
-	res, err := Learn(MachineTeacher{M: truth}, Options{RandomWalk: true, RandomWalkSteps: 200000, RandomWalkSeed: 7})
+	res, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{RandomWalk: true, RandomWalkSteps: 200000, RandomWalkSeed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestLearnWithRandomWalkOracle(t *testing.T) {
 
 func TestStateBudgetAborts(t *testing.T) {
 	truth, _ := mealy.FromPolicy(policy.MustNew("LRU", 4), 0)
-	_, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1, MaxStates: 5})
+	_, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1, MaxStates: 5})
 	if !errors.Is(err, ErrStateBudget) {
 		t.Errorf("err = %v, want ErrStateBudget", err)
 	}
@@ -167,7 +168,7 @@ func TestStateBudgetAborts(t *testing.T) {
 
 func TestQueryBudgetAborts(t *testing.T) {
 	truth, _ := mealy.FromPolicy(policy.MustNew("LRU", 4), 0)
-	if _, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1, MaxQueries: 10}); err == nil {
+	if _, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1, MaxQueries: 10}); err == nil {
 		t.Error("query budget not enforced")
 	}
 }
@@ -178,7 +179,7 @@ func TestNondeterministicTeacherPropagates(t *testing.T) {
 	// budget (the paper's symptom of a wrong reset sequence, §7.1).
 	oracle := polca.NewOracle(polca.NewSimProber(policy.NewRandom(4, 3)),
 		polca.WithDeterminismChecks(8))
-	_, err := Learn(oracle, Options{Depth: 1, MaxStates: 3000})
+	_, err := Learn(context.Background(), oracle, Options{Depth: 1, MaxStates: 3000})
 	if err == nil {
 		t.Fatal("learning a nondeterministic cache succeeded")
 	}
@@ -191,7 +192,7 @@ func TestDepthZeroStillLearnsSimplePolicies(t *testing.T) {
 	// With k=0 the suite is only (|H|)-complete, but FIFO is easily
 	// distinguished and still converges to the right machine.
 	truth, _ := mealy.FromPolicy(policy.MustNew("FIFO", 4), 0)
-	res, err := Learn(MachineTeacher{M: truth}, Options{Depth: 0})
+	res, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestDepthZeroStillLearnsSimplePolicies(t *testing.T) {
 
 func TestLearnRejectsBadOptions(t *testing.T) {
 	truth, _ := mealy.FromPolicy(policy.MustNew("FIFO", 2), 0)
-	if _, err := Learn(MachineTeacher{M: truth}, Options{Depth: -1}); err == nil {
+	if _, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: -1}); err == nil {
 		t.Error("negative depth accepted")
 	}
 }
@@ -226,7 +227,7 @@ func TestLearnTrivialSingleStatePolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1})
+	res, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

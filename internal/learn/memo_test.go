@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -32,11 +33,11 @@ func TestTrieLearnerMatchesFlatMemo(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		trie, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1})
+		trie, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		flat, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1, FlatMemo: true})
+		flat, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1, FlatMemo: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func TestTrieLearnerMatchesFlatMemo(t *testing.T) {
 func TestTriePrefixSharingSavesQueries(t *testing.T) {
 	truth, _ := mealy.FromPolicy(policy.MustNew("MRU", 4), 0)
 	counter := newCountingTeacher(truth)
-	l := &learner{engine: newEngine(counter, Options{Depth: 1})}
+	l := &learner{engine: newEngine(context.Background(), counter, Options{Depth: 1})}
 	long := []int{4, 0, 1, 4, 2}
 	if _, err := l.query(long); err != nil {
 		t.Fatal(err)
@@ -102,7 +103,7 @@ func TestConcurrentTrieInsertionUnderPoolTeacher(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			if g%2 == 0 {
-				got, err := pool.OutputQueryBatch(words)
+				got, err := pool.OutputQueryBatch(context.Background(), words)
 				if err != nil {
 					errCh <- err
 					return
@@ -115,7 +116,7 @@ func TestConcurrentTrieInsertionUnderPoolTeacher(t *testing.T) {
 				}
 			} else {
 				for _, w := range words {
-					got, err := oracle.OutputQuery(w)
+					got, err := oracle.OutputQuery(context.Background(), w)
 					if err != nil {
 						errCh <- err
 						return

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -55,7 +56,7 @@ func TestTreeLearnsModelMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			tree, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1, Algo: AlgoTree})
+			tree, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1, Algo: AlgoTree})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -65,7 +66,7 @@ func TestTreeLearnsModelMatrix(t *testing.T) {
 			if min := truth.Minimize(); tree.Machine.NumStates != min.NumStates {
 				t.Errorf("tree learned %d states, minimal is %d", tree.Machine.NumStates, min.NumStates)
 			}
-			lstar, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1, Algo: AlgoLStar})
+			lstar, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1, Algo: AlgoLStar})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -105,11 +106,11 @@ func TestTreeMatchesLStarUnderBatchedTeachers(t *testing.T) {
 		}
 		machines := make(map[Algo][]*mealy.Machine)
 		for _, algo := range []Algo{AlgoLStar, AlgoTree} {
-			serial, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1, Algo: algo})
+			serial, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1, Algo: algo})
 			if err != nil {
 				t.Fatal(err)
 			}
-			batched, err := Learn(NewPoolTeacher(MachineTeacher{M: truth}, 8),
+			batched, err := Learn(context.Background(), NewPoolTeacher(MachineTeacher{M: truth}, 8),
 				Options{Depth: 1, Algo: algo, BatchSize: 16})
 			if err != nil {
 				t.Fatal(err)
@@ -154,7 +155,7 @@ func TestTreeViaPolcaOracle(t *testing.T) {
 			truth, _ := mealy.FromPolicy(policy.MustNew(c.name, c.assoc), 0)
 			serialOracle := polca.NewOracle(polca.NewSimProber(policy.MustNew(c.name, c.assoc)),
 				polca.WithParallelism(1))
-			serial, err := Learn(serialOracle, Options{Depth: 1, Algo: AlgoTree})
+			serial, err := Learn(context.Background(), serialOracle, Options{Depth: 1, Algo: AlgoTree})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -166,7 +167,7 @@ func TestTreeViaPolcaOracle(t *testing.T) {
 			}
 			parOracle := polca.NewOracle(polca.NewSimProber(policy.MustNew(c.name, c.assoc)),
 				polca.WithParallelism(8))
-			batched, err := Learn(parOracle, Options{Depth: 1, Algo: AlgoTree})
+			batched, err := Learn(context.Background(), parOracle, Options{Depth: 1, Algo: AlgoTree})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -193,7 +194,7 @@ func TestTreeLearnerConcurrencyRace(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := Learn(oracle, Options{Depth: 1, Algo: AlgoTree})
+			res, err := Learn(context.Background(), oracle, Options{Depth: 1, Algo: AlgoTree})
 			if err != nil {
 				errCh <- err
 				return
@@ -207,7 +208,7 @@ func TestTreeLearnerConcurrencyRace(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		words := qstore.Enumerate(truth.NumInputs, 2)[1:]
-		got, err := oracle.OutputQueryBatch(words)
+		got, err := oracle.OutputQueryBatch(context.Background(), words)
 		if err != nil {
 			errCh <- err
 			return
@@ -232,11 +233,11 @@ func TestTreeLearnerConcurrencyRace(t *testing.T) {
 func TestTreeRandomWalkReproducible(t *testing.T) {
 	truth, _ := mealy.FromPolicy(policy.MustNew("MRU", 4), 0)
 	opt := Options{Algo: AlgoTree, Suite: SuiteRandomWalk, RandomWalkSteps: 200000, RandomWalkSeed: 7}
-	a, err := Learn(MachineTeacher{M: truth}, opt)
+	a, err := Learn(context.Background(), MachineTeacher{M: truth}, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Learn(MachineTeacher{M: truth}, opt)
+	b, err := Learn(context.Background(), MachineTeacher{M: truth}, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestTreeRandomWalkReproducible(t *testing.T) {
 		t.Errorf("random-walk tree learning failed, ce=%v", ce)
 	}
 	opt.RandomWalkSeed = 99
-	c, err := Learn(MachineTeacher{M: truth}, opt)
+	c, err := Learn(context.Background(), MachineTeacher{M: truth}, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,10 +261,10 @@ func TestTreeRandomWalkReproducible(t *testing.T) {
 // budgets as the table learner.
 func TestTreeBudgets(t *testing.T) {
 	truth, _ := mealy.FromPolicy(policy.MustNew("LRU", 4), 0)
-	if _, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1, Algo: AlgoTree, MaxStates: 5}); !errors.Is(err, ErrStateBudget) {
+	if _, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1, Algo: AlgoTree, MaxStates: 5}); !errors.Is(err, ErrStateBudget) {
 		t.Errorf("err = %v, want ErrStateBudget", err)
 	}
-	if _, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1, Algo: AlgoTree, MaxQueries: 10}); err == nil {
+	if _, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1, Algo: AlgoTree, MaxQueries: 10}); err == nil {
 		t.Error("query budget not enforced")
 	}
 }
@@ -275,7 +276,7 @@ func TestTreeTrivialSingleStatePolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Learn(MachineTeacher{M: truth}, Options{Depth: 1, Algo: AlgoTree})
+	res, err := Learn(context.Background(), MachineTeacher{M: truth}, Options{Depth: 1, Algo: AlgoTree})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestTreeTrivialSingleStatePolicy(t *testing.T) {
 func TestTreeNondeterministicTeacherFails(t *testing.T) {
 	oracle := polca.NewOracle(polca.NewSimProber(policy.NewRandom(4, 3)),
 		polca.WithDeterminismChecks(8))
-	if _, err := Learn(oracle, Options{Depth: 1, Algo: AlgoTree, MaxStates: 3000}); err == nil {
+	if _, err := Learn(context.Background(), oracle, Options{Depth: 1, Algo: AlgoTree, MaxStates: 3000}); err == nil {
 		t.Fatal("learning a nondeterministic cache succeeded")
 	}
 }

@@ -21,6 +21,7 @@
 package permpol
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -52,7 +53,7 @@ type Model struct {
 // ranks measures, for every block resident after setup, how many fresh
 // misses it survives: rank 1 is evicted first. A block surviving n misses
 // has no rank, which disqualifies the permutation model.
-func ranks(pr polca.Prober, setup []blocks.Block) (map[blocks.Block]int, error) {
+func ranks(ctx context.Context, pr polca.Prober, setup []blocks.Block) (map[blocks.Block]int, error) {
 	n := pr.Assoc()
 	// Distinct resident blocks after setup, by probing.
 	var resident []blocks.Block
@@ -62,7 +63,7 @@ func ranks(pr polca.Prober, setup []blocks.Block) (map[blocks.Block]int, error) 
 			continue
 		}
 		seen[b] = true
-		oc, err := pr.Probe(append(append([]blocks.Block{}, setup...), b))
+		oc, err := pr.Probe(ctx, append(append([]blocks.Block{}, setup...), b))
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +88,7 @@ func ranks(pr polca.Prober, setup []blocks.Block) (map[blocks.Block]int, error) 
 			if _, done := out[b]; done {
 				continue
 			}
-			oc, err := pr.Probe(append(append([]blocks.Block{}, prefix...), b))
+			oc, err := pr.Probe(ctx, append(append([]blocks.Block{}, prefix...), b))
 			if err != nil {
 				return nil, err
 			}
@@ -123,10 +124,10 @@ func positions(r map[blocks.Block]int, n int) map[blocks.Block]int {
 // Infer measures the permutation model of the policy behind pr. The
 // prober's reset must fill the set with pr.InitialContent() in line order
 // (the Flush+Refill contract).
-func Infer(pr polca.Prober) (*Model, error) {
+func Infer(ctx context.Context, pr polca.Prober) (*Model, error) {
 	n := pr.Assoc()
 	fill := pr.InitialContent()
-	base, err := ranks(pr, fill)
+	base, err := ranks(ctx, pr, fill)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +146,7 @@ func Infer(pr polca.Prober) (*Model, error) {
 	// Hit permutations: touch the block at position p, re-measure.
 	for p := 0; p < n; p++ {
 		setup := append(append([]blocks.Block{}, fill...), atPos[p])
-		after, err := ranks(pr, setup)
+		after, err := ranks(ctx, pr, setup)
 		if err != nil {
 			return nil, err
 		}
@@ -165,7 +166,7 @@ func Infer(pr polca.Prober) (*Model, error) {
 	// (old position n-1) is taken over by the incoming block.
 	x := blocks.Fresh(fill)
 	setup := append(append([]blocks.Block{}, fill...), x)
-	after, err := ranks(pr, setup)
+	after, err := ranks(ctx, pr, setup)
 	if err != nil {
 		return nil, err
 	}
@@ -257,8 +258,8 @@ func (p *permPolicy) Clone() policy.Policy {
 // ground-truth machine. It returns ErrNotPermutation when inference
 // succeeds numerically but the model mispredicts (a policy outside the
 // class that happens to yield permutation-shaped measurements).
-func InferAndValidate(pr polca.Prober, truth *mealy.Machine) (*Model, error) {
-	m, err := Infer(pr)
+func InferAndValidate(ctx context.Context, pr polca.Prober, truth *mealy.Machine) (*Model, error) {
+	m, err := Infer(ctx, pr)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package permpol
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestBaselineScopeMatchesPaper(t *testing.T) {
 	for _, name := range inScope {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			m, err := InferAndValidate(proberFor(name, 4), truthFor(t, name, 4))
+			m, err := InferAndValidate(context.Background(), proberFor(name, 4), truthFor(t, name, 4))
 			if err != nil {
 				t.Fatalf("baseline failed on %s: %v", name, err)
 			}
@@ -42,7 +43,7 @@ func TestBaselineScopeMatchesPaper(t *testing.T) {
 	for _, name := range outOfScope {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			_, err := InferAndValidate(proberFor(name, 4), truthFor(t, name, 4))
+			_, err := InferAndValidate(context.Background(), proberFor(name, 4), truthFor(t, name, 4))
 			if !errors.Is(err, ErrNotPermutation) {
 				t.Fatalf("baseline unexpectedly handled %s: %v", name, err)
 			}
@@ -51,7 +52,7 @@ func TestBaselineScopeMatchesPaper(t *testing.T) {
 }
 
 func TestInferredLRUPermutations(t *testing.T) {
-	m, err := Infer(proberFor("LRU", 4))
+	m, err := Infer(context.Background(), proberFor("LRU", 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestInferredLRUPermutations(t *testing.T) {
 }
 
 func TestInferredFIFOHitsAreIdentity(t *testing.T) {
-	m, err := Infer(proberFor("FIFO", 4))
+	m, err := Infer(context.Background(), proberFor("FIFO", 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestInferredFIFOHitsAreIdentity(t *testing.T) {
 }
 
 func TestModelPolicyIsDeterministicAndResets(t *testing.T) {
-	m, err := Infer(proberFor("PLRU", 4))
+	m, err := Infer(context.Background(), proberFor("PLRU", 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,10 +110,10 @@ func TestModelPolicyIsDeterministicAndResets(t *testing.T) {
 func TestBaselineScalesToAssocEight(t *testing.T) {
 	// [1] learned PLRU-8 from hardware; our baseline handles the
 	// simulated equivalent.
-	if _, err := InferAndValidate(proberFor("PLRU", 8), truthFor(t, "PLRU", 8)); err != nil {
+	if _, err := InferAndValidate(context.Background(), proberFor("PLRU", 8), truthFor(t, "PLRU", 8)); err != nil {
 		t.Fatalf("PLRU-8: %v", err)
 	}
-	if _, err := InferAndValidate(proberFor("LRU", 6), truthFor(t, "LRU", 6)); err != nil {
+	if _, err := InferAndValidate(context.Background(), proberFor("LRU", 6), truthFor(t, "LRU", 6)); err != nil {
 		t.Fatalf("LRU-6: %v", err)
 	}
 }

@@ -42,6 +42,7 @@ package polca
 // partially recorded batches, stay exactly serial.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -79,7 +80,7 @@ const batchedHint = 16
 // probes where the serial loop stops at the first).
 type ProbeBatcher interface {
 	Prober
-	ProbeBatch(qs [][]blocks.Block) ([]cache.Outcome, error)
+	ProbeBatch(ctx context.Context, qs [][]blocks.Block) ([]cache.Outcome, error)
 }
 
 // errBatchPlaceholder surfaces if a placeholder session escapes its batch
@@ -170,9 +171,12 @@ func newBatchProber(o *Oracle, sp *SimProber) *BatchProber {
 // the oracle and prober support it, reporting done=false for the serial
 // fallback. Sequence numbers, symbol counters and determinism audits are
 // issued in word order exactly as the serial loop would.
-func (o *Oracle) tryBatchedKernel(words [][]int) (out [][]int, done bool, err error) {
+func (o *Oracle) tryBatchedKernel(ctx context.Context, words [][]int) (out [][]int, done bool, err error) {
 	if !o.batched || len(words) == 0 {
 		return nil, false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, true, err
 	}
 	sp, ok := o.prober.(*SimProber)
 	if !ok || sp.tab == nil {
@@ -211,7 +215,7 @@ func (o *Oracle) tryBatchedKernel(words [][]int) (out [][]int, done bool, err er
 			if seqs[i]%o.recheck != 0 || len(w) == 0 {
 				continue
 			}
-			again, aerr := o.outputQueryOnce(w, true)
+			again, aerr := o.outputQueryOnce(ctx, w, true)
 			if aerr != nil {
 				return nil, true, aerr
 			}
@@ -519,13 +523,13 @@ func (o *Oracle) batchedQueryNoMemo(sp *SimProber, words [][]int) ([][]int, erro
 // one ProbeBatch call: the associativity-many probes are independent and
 // reset-rooted, so a replica pool executes them concurrently. Counters per
 // probe match the serial loop.
-func (o *Oracle) findEvictedBatched(bpr ProbeBatcher, ic []blocks.Block, cc []blocks.Block) (int, error) {
+func (o *Oracle) findEvictedBatched(ctx context.Context, bpr ProbeBatcher, ic []blocks.Block, cc []blocks.Block) (int, error) {
 	n := o.prober.Assoc()
 	qs := make([][]blocks.Block, n)
 	for i := 0; i < n; i++ {
 		qs[i] = append(append(make([]blocks.Block, 0, len(ic)+1), ic...), cc[i])
 	}
-	ocs, err := bpr.ProbeBatch(qs)
+	ocs, err := bpr.ProbeBatch(ctx, qs)
 	if err != nil {
 		return 0, err
 	}

@@ -2,6 +2,7 @@ package polca
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -49,13 +50,13 @@ func TestBatchedOracleMatchesSerial(t *testing.T) {
 				for ci, ch := range chunk(stream, 7) {
 					want := make([][]int, len(ch))
 					for i, w := range ch {
-						ans, err := serial.OutputQuery(w)
+						ans, err := serial.OutputQuery(context.Background(), w)
 						if err != nil {
 							t.Fatalf("serial chunk %d word %v: %v", ci, w, err)
 						}
 						want[i] = ans
 					}
-					got, err := batched.OutputQueryBatch(ch)
+					got, err := batched.OutputQueryBatch(context.Background(), ch)
 					if err != nil {
 						t.Fatalf("batched chunk %d: %v", ci, err)
 					}
@@ -73,12 +74,12 @@ func TestBatchedOracleMatchesSerial(t *testing.T) {
 				// The recorded stores must agree too: replaying the whole
 				// stream once more must be answered fully from memo on both,
 				// with identical answers and identical counter deltas.
-				got, err := batched.OutputQueryBatch(words)
+				got, err := batched.OutputQueryBatch(context.Background(), words)
 				if err != nil {
 					t.Fatalf("batched replay: %v", err)
 				}
 				for i, w := range words {
-					want, err := serial.OutputQuery(w)
+					want, err := serial.OutputQuery(context.Background(), w)
 					if err != nil {
 						t.Fatalf("serial replay %v: %v", w, err)
 					}
@@ -108,12 +109,12 @@ func TestBatchedNoMemoMatchesSerial(t *testing.T) {
 			serial := NewOracle(NewSimProber(policy.MustNew(c.name, c.assoc)), WithoutMemo())
 			batched := NewOracle(NewSimProber(policy.MustNew(c.name, c.assoc)), WithoutMemo(), WithBatchedQueries())
 			words := qstore.Enumerate(policy.NumInputs(c.assoc), 4)[1:]
-			got, err := batched.OutputQueryBatch(words)
+			got, err := batched.OutputQueryBatch(context.Background(), words)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for i, w := range words {
-				want, err := serial.OutputQuery(w)
+				want, err := serial.OutputQuery(context.Background(), w)
 				if err != nil {
 					t.Fatalf("serial %v: %v", w, err)
 				}
@@ -139,12 +140,12 @@ func TestBatchedInterpretedFallsBack(t *testing.T) {
 	}
 	words := qstore.Enumerate(policy.NumInputs(4), 3)[1:]
 	ref := NewOracle(NewInterpretedSimProber(policy.MustNew("LRU", 4)))
-	got, err := o.OutputQueryBatch(words)
+	got, err := o.OutputQueryBatch(context.Background(), words)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, w := range words {
-		want, err := ref.OutputQuery(w)
+		want, err := ref.OutputQuery(context.Background(), w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,11 +167,11 @@ func TestBatchedLearnEquivalence(t *testing.T) {
 			opt := learn.Options{Depth: 1, BatchSize: 32}
 			serial := NewOracle(NewSimProber(policy.MustNew(name, 4)), WithParallelism(1))
 			batched := NewOracle(NewSimProber(policy.MustNew(name, 4)), WithBatchedQueries())
-			rs, err := learn.Learn(serial, opt)
+			rs, err := learn.Learn(context.Background(), serial, opt)
 			if err != nil {
 				t.Fatalf("serial learn: %v", err)
 			}
-			rb, err := learn.Learn(batched, opt)
+			rb, err := learn.Learn(context.Background(), batched, opt)
 			if err != nil {
 				t.Fatalf("batched learn: %v", err)
 			}

@@ -1,6 +1,7 @@
 package polca
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/policy"
@@ -25,11 +26,11 @@ func TestKernelOracleMatchesInterpreted(t *testing.T) {
 			}
 			words := qstore.Enumerate(policy.NumInputs(c.assoc), 4)[1:]
 			for _, w := range words {
-				co, err := compiled.OutputQuery(w)
+				co, err := compiled.OutputQuery(context.Background(), w)
 				if err != nil {
 					t.Fatalf("compiled %v: %v", w, err)
 				}
-				io, err := interp.OutputQuery(w)
+				io, err := interp.OutputQuery(context.Background(), w)
 				if err != nil {
 					t.Fatalf("interpreted %v: %v", w, err)
 				}

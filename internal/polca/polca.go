@@ -14,6 +14,7 @@
 package polca
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -46,7 +47,9 @@ type Prober interface {
 	// indexed by cache line.
 	InitialContent() []blocks.Block
 	// Probe runs q from the initial state and returns the last outcome.
-	Probe(q []blocks.Block) (cache.Outcome, error)
+	// Implementations backed by slow or remote systems must honor ctx
+	// cancellation; simulators may only check its terminal state.
+	Probe(ctx context.Context, q []blocks.Block) (cache.Outcome, error)
 }
 
 // TraceProber is an optional Prober extension returning the full hit/miss
@@ -55,7 +58,7 @@ type Prober interface {
 // (internal/fingerprint) depends on it.
 type TraceProber interface {
 	Prober
-	ProbeTrace(q []blocks.Block) ([]cache.Outcome, error)
+	ProbeTrace(ctx context.Context, q []blocks.Block) ([]cache.Outcome, error)
 }
 
 // Session is an incremental probing session rooted at the cache's initial
@@ -128,7 +131,7 @@ type FreshProber interface {
 	Prober
 	// ProbeFresh runs q against the system under observation even when a
 	// cached result exists.
-	ProbeFresh(q []blocks.Block) (cache.Outcome, error)
+	ProbeFresh(ctx context.Context, q []blocks.Block) (cache.Outcome, error)
 }
 
 // Stats aggregates the cost counters of an oracle.
@@ -138,6 +141,9 @@ type Stats struct {
 	Probes        int // reset-rooted cache probes issued (after memoization)
 	MemoHits      int // memo answers: whole probes on the flat path, word symbols on the trie paths
 	Accesses      int // total block accesses issued to the cache
+	Retries       int // transient probe failures absorbed by the retry policy
+	Disagreements int // probe re-executions (votes) that returned conflicting outcomes
+	Reprobes      int // consistency-check failures re-probed before declaring nondeterminism
 }
 
 // Oracle answers membership and output queries for the replacement policy of
@@ -172,11 +178,25 @@ type Oracle struct {
 	sessCap int
 	stripes int // lock stripes per store (0 = one per input symbol)
 
+	retry RetryPolicy // transient-failure retry policy (see retry.go)
+	votes int         // probe executions per result; >1 majority-votes against flips
+
 	outputQueries atomic.Int64
 	symbols       atomic.Int64
 	probesN       atomic.Int64
 	memoHits      atomic.Int64
 	accessesN     atomic.Int64
+	retriesN      atomic.Int64
+	disagreeN     atomic.Int64
+	reprobesN     atomic.Int64
+
+	// Checkpointing (SetCheckpointer): ckFn is fired at most once per
+	// ckEvery answered output queries, serialized by ckMu; overlapping
+	// triggers from concurrent batch workers are skipped, not queued.
+	ckEvery int64
+	ckFn    func()
+	ckMu    sync.Mutex
+	ckLast  atomic.Int64
 
 	mu       sync.Mutex                // guards the flat memo only (WithoutTrie)
 	memo     map[string]cache.Outcome  // flat memo (WithoutTrie)
@@ -255,6 +275,60 @@ func WithParallelism(n int) Option {
 	return func(o *Oracle) { o.workers = n }
 }
 
+// WithProbeRetries overrides the oracle's transient-failure retry policy
+// (the default is DefaultRetryPolicy). A zero policy disables retries:
+// every probe error propagates immediately, as in the pre-resilience
+// oracle.
+func WithProbeRetries(rp RetryPolicy) Option {
+	return func(o *Oracle) { o.retry = rp }
+}
+
+// WithProbeVotes executes every real (non-memoized) probe n times and
+// majority-votes the outcome, defending against rare wrong-answer flips
+// from noisy hardware at n-times the probe cost. Conflicting executions
+// are counted in Stats.Disagreements. n <= 1 keeps single execution.
+func WithProbeVotes(n int) Option {
+	return func(o *Oracle) {
+		if n < 1 {
+			n = 1
+		}
+		o.votes = n
+	}
+}
+
+// SetCheckpointer arranges for fn to run at most once per every answered
+// output queries — the hook the crash-resume pipeline uses to auto-snapshot
+// the oracle's stores during long learns. fn runs on the querying
+// goroutine, serialized against itself; a trigger that finds a checkpoint
+// already in progress is skipped, not queued, so a slow snapshot never
+// stalls more than one worker. every <= 0 disables checkpointing.
+func (o *Oracle) SetCheckpointer(every int, fn func()) {
+	o.ckEvery = int64(every)
+	o.ckFn = fn
+}
+
+// maybeCheckpoint fires the checkpoint hook when the answered-query count
+// crossed into a new ckEvery-sized window since the last checkpoint.
+func (o *Oracle) maybeCheckpoint() {
+	if o.ckFn == nil || o.ckEvery <= 0 {
+		return
+	}
+	seq := o.outputQueries.Load()
+	last := o.ckLast.Load()
+	if seq/o.ckEvery <= last/o.ckEvery {
+		return
+	}
+	if !o.ckMu.TryLock() {
+		return // a checkpoint is already being written; skip this trigger
+	}
+	defer o.ckMu.Unlock()
+	if seq/o.ckEvery <= o.ckLast.Load()/o.ckEvery {
+		return
+	}
+	o.ckFn()
+	o.ckLast.Store(seq)
+}
+
 // NewOracle builds a Polca oracle over the given cache interface.
 func NewOracle(p Prober, opts ...Option) *Oracle {
 	o := &Oracle{
@@ -265,6 +339,8 @@ func NewOracle(p Prober, opts ...Option) *Oracle {
 		useMemo:  true,
 		useTrie:  true,
 		sessCap:  DefaultSessionCap,
+		retry:    DefaultRetryPolicy,
+		votes:    1,
 	}
 	for _, opt := range opts {
 		opt(o)
@@ -317,6 +393,9 @@ func (o *Oracle) Stats() Stats {
 		Probes:        int(o.probesN.Load()),
 		MemoHits:      int(o.memoHits.Load()),
 		Accesses:      int(o.accessesN.Load()),
+		Retries:       int(o.retriesN.Load()),
+		Disagreements: int(o.disagreeN.Load()),
+		Reprobes:      int(o.reprobesN.Load()),
 	}
 }
 
@@ -364,9 +443,9 @@ func (o *Oracle) parallelism() int {
 // Memoized probes are single-flighted: when parallel batch goroutines miss
 // the memo on the same key (words sharing an input prefix probe identical
 // block sequences), only one executes; the rest wait for its result.
-func (o *Oracle) probe(q []blocks.Block, ids []int32, fresh bool) (cache.Outcome, error) {
+func (o *Oracle) probe(ctx context.Context, q []blocks.Block, ids []int32, fresh bool) (cache.Outcome, error) {
 	if fresh || !o.useMemo {
-		oc, err := o.executeProbe(q, fresh)
+		oc, err := o.executeProbe(ctx, q, fresh)
 		if err != nil {
 			return Missed(), err
 		}
@@ -375,7 +454,7 @@ func (o *Oracle) probe(q []blocks.Block, ids []int32, fresh bool) (cache.Outcome
 		return oc, nil
 	}
 	if o.trieOn() && ids != nil {
-		return o.probeTriePath(q, ids)
+		return o.probeTriePath(ctx, q, ids)
 	}
 
 	key := strings.Join(q, " ")
@@ -398,7 +477,7 @@ func (o *Oracle) probe(q []blocks.Block, ids []int32, fresh bool) (cache.Outcome
 	o.inflight[key] = fl
 	o.mu.Unlock()
 
-	fl.oc, fl.err = o.executeProbe(q, false)
+	fl.oc, fl.err = o.executeProbe(ctx, q, false)
 	o.mu.Lock()
 	delete(o.inflight, key)
 	if fl.err == nil {
@@ -418,7 +497,7 @@ func (o *Oracle) probe(q []blocks.Block, ids []int32, fresh bool) (cache.Outcome
 // The probe's shard stays locked only around the memo bookkeeping; the
 // execution itself is single-flighted so concurrent requesters of the same
 // key wait instead of duplicating the (expensive) probe.
-func (o *Oracle) probeTriePath(q []blocks.Block, ids []int32) (cache.Outcome, error) {
+func (o *Oracle) probeTriePath(ctx context.Context, q []blocks.Block, ids []int32) (cache.Outcome, error) {
 	sh := o.pt.Acquire(ids)
 	n := sh.Ensure(ids)
 	if sh.Has(n) {
@@ -440,7 +519,7 @@ func (o *Oracle) probeTriePath(q []blocks.Block, ids []int32) (cache.Outcome, er
 	sh.Val(n).fl = fl
 	sh.Release()
 
-	fl.oc, fl.err = o.executeProbe(q, false)
+	fl.oc, fl.err = o.executeProbe(ctx, q, false)
 	sh = o.pt.Acquire(ids)
 	sh.Val(n).fl = nil
 	if fl.err == nil {
@@ -456,15 +535,84 @@ func (o *Oracle) probeTriePath(q []blocks.Block, ids []int32) (cache.Outcome, er
 	return fl.oc, nil
 }
 
-// executeProbe runs one probe on the prober, through ProbeFresh when the
-// audit demands an uncached execution and the prober supports it.
-func (o *Oracle) executeProbe(q []blocks.Block, fresh bool) (cache.Outcome, error) {
-	if fresh {
-		if fp, ok := o.prober.(FreshProber); ok {
-			return fp.ProbeFresh(q)
+// reprobe forcibly re-executes a probe whose memoized or just-measured
+// outcome failed a consistency check (a cached access that missed, a fresh
+// access that hit, an eviction group without exactly one victim). On noisy
+// backends such a violation is overwhelmingly a measurement fault that
+// slipped past retry and voting, not true nondeterminism — so the outcome
+// is re-measured (re-voted) once and the memo corrected before the caller
+// decides whether to declare ErrNondeterministic. Every such re-measurement
+// is counted in Stats.Reprobes.
+func (o *Oracle) reprobe(ctx context.Context, q []blocks.Block, ids []int32) (cache.Outcome, error) {
+	oc, err := o.executeProbe(ctx, q, false)
+	if err != nil {
+		return Missed(), err
+	}
+	o.reprobesN.Add(1)
+	o.probesN.Add(1)
+	o.accessesN.Add(int64(len(q)))
+	if o.useMemo {
+		if o.trieOn() && ids != nil {
+			sh := o.pt.Acquire(ids)
+			n := sh.Ensure(ids)
+			sh.Put(n, probeVal{oc: oc})
+			sh.Release()
+		} else {
+			key := strings.Join(q, " ")
+			o.mu.Lock()
+			o.memo[key] = oc
+			o.mu.Unlock()
 		}
 	}
-	return o.prober.Probe(q)
+	return oc, nil
+}
+
+// executeProbe runs one probe on the prober, absorbing transient failures
+// through the retry policy and — when WithProbeVotes is set — re-executing
+// the probe and majority-voting the outcome to defend against wrong-answer
+// flips. Vote disagreements are counted; a probe whose executions split
+// evenly is decided by the majority count (strictly more than half of the
+// votes cast), which exists because vote counts are chosen odd by callers.
+func (o *Oracle) executeProbe(ctx context.Context, q []blocks.Block, fresh bool) (cache.Outcome, error) {
+	if o.votes <= 1 {
+		return o.retryProbe(ctx, q, fresh)
+	}
+	hits := 0
+	for v := 0; v < o.votes; v++ {
+		oc, err := o.retryProbe(ctx, q, fresh)
+		if err != nil {
+			return Missed(), err
+		}
+		if oc == cache.Hit {
+			hits++
+		}
+	}
+	if hits != 0 && hits != o.votes {
+		o.disagreeN.Add(1)
+	}
+	if hits*2 > o.votes {
+		return cache.Hit, nil
+	}
+	return cache.Miss, nil
+}
+
+// retryProbe is one voted execution: the raw probe wrapped in the
+// exponential-backoff retry loop of retry.go.
+func (o *Oracle) retryProbe(ctx context.Context, q []blocks.Block, fresh bool) (cache.Outcome, error) {
+	return o.retry.Do(ctx, &o.retriesN, func() (cache.Outcome, error) {
+		return o.rawProbe(ctx, q, fresh)
+	})
+}
+
+// rawProbe runs one probe on the prober, through ProbeFresh when the audit
+// demands an uncached execution and the prober supports it.
+func (o *Oracle) rawProbe(ctx context.Context, q []blocks.Block, fresh bool) (cache.Outcome, error) {
+	if fresh {
+		if fp, ok := o.prober.(FreshProber); ok {
+			return fp.ProbeFresh(ctx, q)
+		}
+	}
+	return o.prober.Probe(ctx, q)
 }
 
 // Missed is a zero Outcome helper used on error paths.
@@ -475,17 +623,20 @@ func Missed() cache.Outcome { return cache.Miss }
 // output word: policy.Bottom for every Ln input and the evicted line for
 // every Evct input. This is the oracle the learner consumes; Membership
 // (Algorithm 1 verbatim) is a comparison on top of it.
-func (o *Oracle) OutputQuery(word []int) ([]int, error) {
+func (o *Oracle) OutputQuery(ctx context.Context, word []int) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	seq := int(o.outputQueries.Add(1))
 	o.symbols.Add(int64(len(word)))
-	out, err := o.outputQueryOnce(word, false)
+	out, err := o.outputQueryOnce(ctx, word, false)
 	if err != nil {
 		return nil, err
 	}
 	if o.recheck > 0 && seq%o.recheck == 0 && len(word) > 0 {
 		// Determinism audit: memoization must be bypassed, otherwise the
 		// first answer would simply be replayed.
-		again, err := o.outputQueryOnce(word, true)
+		again, err := o.outputQueryOnce(ctx, word, true)
 		if err != nil {
 			return nil, err
 		}
@@ -496,6 +647,7 @@ func (o *Oracle) OutputQuery(word []int) ([]int, error) {
 			}
 		}
 	}
+	o.maybeCheckpoint()
 	return out, nil
 }
 
@@ -505,8 +657,8 @@ func (o *Oracle) OutputQuery(word []int) ([]int, error) {
 // replicated hardware interface) and falling back to a serial loop
 // otherwise. Answers, memo contents and counters are identical to asking the
 // words one by one; only the wall-clock cost changes.
-func (o *Oracle) OutputQueryBatch(words [][]int) ([][]int, error) {
-	if out, done, err := o.tryBatchedKernel(words); done {
+func (o *Oracle) OutputQueryBatch(ctx context.Context, words [][]int) ([][]int, error) {
+	if out, done, err := o.tryBatchedKernel(ctx, words); done {
 		return out, err
 	}
 	workers := o.parallelism()
@@ -516,7 +668,7 @@ func (o *Oracle) OutputQueryBatch(words [][]int) ([][]int, error) {
 	out := make([][]int, len(words))
 	if workers <= 1 {
 		for i, w := range words {
-			ans, err := o.OutputQuery(w)
+			ans, err := o.OutputQuery(ctx, w)
 			if err != nil {
 				return nil, err
 			}
@@ -532,7 +684,10 @@ func (o *Oracle) OutputQueryBatch(words [][]int) ([][]int, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i], errs[i] = o.OutputQuery(words[i])
+				// OutputQuery checks ctx up front, so cancelled batches
+				// drain their remaining indices without prober work and
+				// every worker exits through the channel close.
+				out[i], errs[i] = o.OutputQuery(ctx, words[i])
 			}
 		}()
 	}
@@ -549,7 +704,7 @@ func (o *Oracle) OutputQueryBatch(words [][]int) ([][]int, error) {
 	return out, nil
 }
 
-func (o *Oracle) outputQueryOnce(word []int, fresh bool) ([]int, error) {
+func (o *Oracle) outputQueryOnce(ctx context.Context, word []int, fresh bool) ([]int, error) {
 	if fp, ok := o.prober.(ForkingProber); ok {
 		if !fresh && o.trieOn() {
 			return o.sessionQueryTrie(fp, word)
@@ -557,14 +712,14 @@ func (o *Oracle) outputQueryOnce(word []int, fresh bool) ([]int, error) {
 		return o.outputQuerySessions(fp, word)
 	}
 	if !fresh && o.trieOn() {
-		return o.probesQueryTrie(word)
+		return o.probesQueryTrie(ctx, word)
 	}
-	return o.outputQueryProbes(word, fresh)
+	return o.outputQueryProbes(ctx, word, fresh)
 }
 
 // outputQueryProbes is the faithful Algorithm 1 loop over reset-rooted
 // probes, used against hardware-style probers.
-func (o *Oracle) outputQueryProbes(word []int, fresh bool) ([]int, error) {
+func (o *Oracle) outputQueryProbes(ctx context.Context, word []int, fresh bool) ([]int, error) {
 	n := o.prober.Assoc()
 	cc := append([]blocks.Block(nil), o.cc0...)
 	ic := make([]blocks.Block, 0, len(word))
@@ -576,11 +731,11 @@ func (o *Oracle) outputQueryProbes(word []int, fresh bool) ([]int, error) {
 			return nil, err
 		}
 		ic = append(ic, b)
-		oc, err := o.probe(ic, nil, fresh)
+		oc, err := o.probe(ctx, ic, nil, fresh)
 		if err != nil {
 			return nil, err
 		}
-		op, err := o.mapOutputProbes(ip, oc, ic, cc, fresh)
+		op, err := o.mapOutputProbes(ctx, ip, oc, ic, cc, fresh)
 		if err != nil {
 			return nil, err
 		}
@@ -594,10 +749,22 @@ func (o *Oracle) outputQueryProbes(word []int, fresh bool) ([]int, error) {
 
 // mapOutputProbes maps a cache outcome back to a policy output, issuing the
 // findEvicted probes on a miss.
-func (o *Oracle) mapOutputProbes(ip int, oc cache.Outcome, ic []blocks.Block, cc []blocks.Block, fresh bool) (int, error) {
+func (o *Oracle) mapOutputProbes(ctx context.Context, ip int, oc cache.Outcome, ic []blocks.Block, cc []blocks.Block, fresh bool) (int, error) {
 	n := o.prober.Assoc()
 	if ip < n { // Ln(i): the block is cached, the access must hit
 		if oc != cache.Hit {
+			// Suspected measurement fault: re-measure once before
+			// declaring nondeterminism. The audit path (fresh) stays
+			// strict — it exists to catch exactly this.
+			if !fresh {
+				roc, rerr := o.reprobe(ctx, ic, nil)
+				if rerr != nil {
+					return 0, rerr
+				}
+				if roc == cache.Hit {
+					return policy.Bottom, nil
+				}
+			}
 			return 0, fmt.Errorf("%w: access to cached block %s missed", ErrNondeterministic, ic[len(ic)-1])
 		}
 		return policy.Bottom, nil
@@ -605,32 +772,57 @@ func (o *Oracle) mapOutputProbes(ip int, oc cache.Outcome, ic []blocks.Block, cc
 	// Evct: the access must miss, and exactly one resident block must have
 	// been displaced.
 	if oc != cache.Miss {
-		return 0, fmt.Errorf("%w: access to fresh block %s hit", ErrNondeterministic, ic[len(ic)-1])
+		if fresh {
+			return 0, fmt.Errorf("%w: access to fresh block %s hit", ErrNondeterministic, ic[len(ic)-1])
+		}
+		roc, rerr := o.reprobe(ctx, ic, nil)
+		if rerr != nil {
+			return 0, rerr
+		}
+		if roc != cache.Miss {
+			return 0, fmt.Errorf("%w: access to fresh block %s hit", ErrNondeterministic, ic[len(ic)-1])
+		}
 	}
 	if bpr, ok := o.prober.(ProbeBatcher); ok && o.batched && !fresh && !o.useMemo {
 		// Unmemoized eviction probes are independent; a batched oracle over
 		// a replica pool issues them in one grouped call. The memoized and
 		// audit paths keep the serial loop (their bookkeeping is per probe).
-		return o.findEvictedBatched(bpr, ic, cc)
+		return o.findEvictedBatched(ctx, bpr, ic, cc)
 	}
-	evicted := -1
-	for i := 0; i < n; i++ {
-		probe := append(append([]blocks.Block(nil), ic...), cc[i])
-		poc, err := o.probe(probe, nil, fresh)
-		if err != nil {
-			return 0, err
-		}
-		if poc == cache.Miss {
-			if evicted != -1 {
-				return 0, fmt.Errorf("%w: blocks %s and %s both evicted by one miss", ErrNondeterministic, cc[evicted], cc[i])
+	scan := func(refresh bool) (int, error) {
+		evicted := -1
+		for i := 0; i < n; i++ {
+			probe := append(append([]blocks.Block(nil), ic...), cc[i])
+			var poc cache.Outcome
+			var err error
+			if refresh {
+				poc, err = o.reprobe(ctx, probe, nil)
+			} else {
+				poc, err = o.probe(ctx, probe, nil, fresh)
 			}
-			evicted = i
+			if err != nil {
+				return 0, err
+			}
+			if poc == cache.Miss {
+				if evicted != -1 {
+					return 0, fmt.Errorf("%w: blocks %s and %s both evicted by one miss", ErrNondeterministic, cc[evicted], cc[i])
+				}
+				evicted = i
+			}
 		}
+		if evicted == -1 {
+			return 0, fmt.Errorf("%w: no resident block evicted by a miss", ErrNondeterministic)
+		}
+		return evicted, nil
 	}
-	if evicted == -1 {
-		return 0, fmt.Errorf("%w: no resident block evicted by a miss", ErrNondeterministic)
+	evicted, err := scan(false)
+	if err != nil && errors.Is(err, ErrNondeterministic) && !fresh {
+		// An inconsistent eviction group means at least one probe in it is
+		// wrong — re-measure the whole group, correcting the memo, and only
+		// then give up.
+		evicted, err = scan(true)
 	}
-	return evicted, nil
+	return evicted, err
 }
 
 // outputQuerySessions is the session-based fast path: one incremental walk
@@ -881,7 +1073,7 @@ func (o *Oracle) sessionQueryTrie(fp ForkingProber, word []int) ([]int, error) {
 // path, for probers without session support: the recorded prefix skips its
 // probes entirely, and the remaining symbols go through the block-id probe
 // trie (exact-match memo + single-flight) instead of string-keyed maps.
-func (o *Oracle) probesQueryTrie(word []int) ([]int, error) {
+func (o *Oracle) probesQueryTrie(ctx context.Context, word []int) ([]int, error) {
 	n := o.prober.Assoc()
 	out := make([]int, len(word))
 	cc := append([]int32(nil), o.cc0IDs...)
@@ -911,11 +1103,11 @@ func (o *Oracle) probesQueryTrie(word []int) ([]int, error) {
 		b := mapInputID(ip, cc)
 		ic = append(ic, b)
 		icN = append(icN, blocks.Interned(int(b)))
-		oc, err := o.probe(icN, ic, false)
+		oc, err := o.probe(ctx, icN, ic, false)
 		if err != nil {
 			return nil, err
 		}
-		op, err := o.mapOutputTrie(ip, oc, ic, icN, cc)
+		op, err := o.mapOutputTrie(ctx, ip, oc, ic, icN, cc)
 		if err != nil {
 			return nil, err
 		}
@@ -930,37 +1122,66 @@ func (o *Oracle) probesQueryTrie(word []int) ([]int, error) {
 
 // mapOutputTrie maps a cache outcome back to a policy output on the trie
 // probe path, issuing the findEvicted probes by block id.
-func (o *Oracle) mapOutputTrie(ip int, oc cache.Outcome, ic []int32, icN []blocks.Block, cc []int32) (int, error) {
+func (o *Oracle) mapOutputTrie(ctx context.Context, ip int, oc cache.Outcome, ic []int32, icN []blocks.Block, cc []int32) (int, error) {
 	n := o.prober.Assoc()
 	if ip < n { // Ln(i): the block is cached, the access must hit
 		if oc != cache.Hit {
-			return 0, fmt.Errorf("%w: access to cached block %s missed", ErrNondeterministic, icN[len(icN)-1])
+			// Suspected measurement fault: re-measure (and correct the
+			// memo) once before declaring nondeterminism.
+			roc, rerr := o.reprobe(ctx, icN, ic)
+			if rerr != nil {
+				return 0, rerr
+			}
+			if roc != cache.Hit {
+				return 0, fmt.Errorf("%w: access to cached block %s missed", ErrNondeterministic, icN[len(icN)-1])
+			}
 		}
 		return policy.Bottom, nil
 	}
 	if oc != cache.Miss {
-		return 0, fmt.Errorf("%w: access to fresh block %s hit", ErrNondeterministic, icN[len(icN)-1])
-	}
-	evicted := -1
-	for i := 0; i < n; i++ {
-		pids := append(append([]int32(nil), ic...), cc[i])
-		pN := append(append([]blocks.Block(nil), icN...), blocks.Interned(int(cc[i])))
-		poc, err := o.probe(pN, pids, false)
-		if err != nil {
-			return 0, err
+		roc, rerr := o.reprobe(ctx, icN, ic)
+		if rerr != nil {
+			return 0, rerr
 		}
-		if poc == cache.Miss {
-			if evicted != -1 {
-				return 0, fmt.Errorf("%w: blocks %s and %s both evicted by one miss",
-					ErrNondeterministic, blocks.Interned(int(cc[evicted])), blocks.Interned(int(cc[i])))
+		if roc != cache.Miss {
+			return 0, fmt.Errorf("%w: access to fresh block %s hit", ErrNondeterministic, icN[len(icN)-1])
+		}
+	}
+	scan := func(refresh bool) (int, error) {
+		evicted := -1
+		for i := 0; i < n; i++ {
+			pids := append(append([]int32(nil), ic...), cc[i])
+			pN := append(append([]blocks.Block(nil), icN...), blocks.Interned(int(cc[i])))
+			var poc cache.Outcome
+			var err error
+			if refresh {
+				poc, err = o.reprobe(ctx, pN, pids)
+			} else {
+				poc, err = o.probe(ctx, pN, pids, false)
 			}
-			evicted = i
+			if err != nil {
+				return 0, err
+			}
+			if poc == cache.Miss {
+				if evicted != -1 {
+					return 0, fmt.Errorf("%w: blocks %s and %s both evicted by one miss",
+						ErrNondeterministic, blocks.Interned(int(cc[evicted])), blocks.Interned(int(cc[i])))
+				}
+				evicted = i
+			}
 		}
+		if evicted == -1 {
+			return 0, fmt.Errorf("%w: no resident block evicted by a miss", ErrNondeterministic)
+		}
+		return evicted, nil
 	}
-	if evicted == -1 {
-		return 0, fmt.Errorf("%w: no resident block evicted by a miss", ErrNondeterministic)
+	evicted, err := scan(false)
+	if err != nil && errors.Is(err, ErrNondeterministic) {
+		// An inconsistent eviction group means at least one probe in it is
+		// wrong — re-measure the whole group before giving up.
+		evicted, err = scan(true)
 	}
-	return evicted, nil
+	return evicted, err
 }
 
 // mapInputID is mapInput over dense block ids; the input must already be
@@ -1010,12 +1231,12 @@ type Pair struct {
 // Membership decides whether the trace belongs to the policy's trace
 // semantics JPK — Algorithm 1 verbatim. A nondeterminism error is
 // propagated; a mere output mismatch yields false.
-func (o *Oracle) Membership(t []Pair) (bool, error) {
+func (o *Oracle) Membership(ctx context.Context, t []Pair) (bool, error) {
 	word := make([]int, len(t))
 	for i, p := range t {
 		word[i] = p.In
 	}
-	got, err := o.OutputQuery(word)
+	got, err := o.OutputQuery(ctx, word)
 	if err != nil {
 		return false, err
 	}

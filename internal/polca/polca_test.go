@@ -1,6 +1,7 @@
 package polca
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -34,7 +35,7 @@ func TestTheorem31(t *testing.T) {
 				for i, r := range raw {
 					word[i] = int(r) % truth.NumInputs
 				}
-				got, err := oracle.OutputQuery(word)
+				got, err := oracle.OutputQuery(context.Background(), word)
 				if err != nil {
 					t.Fatalf("oracle error: %v", err)
 				}
@@ -65,8 +66,8 @@ func TestSlowAndFastPathsAgree(t *testing.T) {
 			for j := range word {
 				word[j] = rng.Intn(5)
 			}
-			a, err1 := fast.OutputQuery(word)
-			b, err2 := slow.OutputQuery(word)
+			a, err1 := fast.OutputQuery(context.Background(), word)
+			b, err2 := slow.OutputQuery(context.Background(), word)
 			if err1 != nil || err2 != nil {
 				t.Fatalf("%s: errors %v / %v", name, err1, err2)
 			}
@@ -82,7 +83,7 @@ func TestSlowAndFastPathsAgree(t *testing.T) {
 func TestMembershipAlgorithmOne(t *testing.T) {
 	// For LRU-2 the first Evct frees line 0 (Example 2.2).
 	oracle := NewOracle(NewSimProber(policy.MustNew("LRU", 2)))
-	ok, err := oracle.Membership([]Pair{
+	ok, err := oracle.Membership(context.Background(), []Pair{
 		{In: 2, Out: 0},             // Evct -> line 0
 		{In: 2, Out: 1},             // Evct -> line 1
 		{In: 0, Out: policy.Bottom}, // Ln(0) -> ⊥
@@ -94,7 +95,7 @@ func TestMembershipAlgorithmOne(t *testing.T) {
 	if !ok {
 		t.Error("valid trace rejected")
 	}
-	ok, err = oracle.Membership([]Pair{{In: 2, Out: 1}})
+	ok, err = oracle.Membership(context.Background(), []Pair{{In: 2, Out: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,11 +108,11 @@ func TestMemoization(t *testing.T) {
 	prober := SlowProber{P: NewSimProber(policy.MustNew("LRU", 4))}
 	oracle := NewOracle(prober)
 	word := []int{4, 0, 4, 1, 4}
-	if _, err := oracle.OutputQuery(word); err != nil {
+	if _, err := oracle.OutputQuery(context.Background(), word); err != nil {
 		t.Fatal(err)
 	}
 	first := oracle.Stats()
-	if _, err := oracle.OutputQuery(word); err != nil {
+	if _, err := oracle.OutputQuery(context.Background(), word); err != nil {
 		t.Fatal(err)
 	}
 	second := oracle.Stats()
@@ -123,10 +124,10 @@ func TestMemoization(t *testing.T) {
 	}
 
 	bare := NewOracle(SlowProber{P: NewSimProber(policy.MustNew("LRU", 4))}, WithoutMemo())
-	if _, err := bare.OutputQuery(word); err != nil {
+	if _, err := bare.OutputQuery(context.Background(), word); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bare.OutputQuery(word); err != nil {
+	if _, err := bare.OutputQuery(context.Background(), word); err != nil {
 		t.Fatal(err)
 	}
 	if bare.Stats().MemoHits != 0 {
@@ -169,7 +170,7 @@ func newReplayingProber(inner Prober) *replayingProber {
 func (p *replayingProber) Assoc() int                     { return p.inner.Assoc() }
 func (p *replayingProber) InitialContent() []blocks.Block { return p.inner.InitialContent() }
 
-func (p *replayingProber) Probe(q []blocks.Block) (cache.Outcome, error) {
+func (p *replayingProber) Probe(ctx context.Context, q []blocks.Block) (cache.Outcome, error) {
 	key := ""
 	for _, b := range q {
 		key += string(b) + " "
@@ -177,16 +178,16 @@ func (p *replayingProber) Probe(q []blocks.Block) (cache.Outcome, error) {
 	if oc, ok := p.memo[key]; ok {
 		return oc, nil
 	}
-	oc, err := p.inner.Probe(q)
+	oc, err := p.inner.Probe(ctx, q)
 	if err == nil {
 		p.memo[key] = oc
 	}
 	return oc, err
 }
 
-func (p *replayingProber) ProbeFresh(q []blocks.Block) (cache.Outcome, error) {
+func (p *replayingProber) ProbeFresh(ctx context.Context, q []blocks.Block) (cache.Outcome, error) {
 	p.freshCalls++
-	return p.inner.Probe(q)
+	return p.inner.Probe(ctx, q)
 }
 
 // TestDeterminismAuditUsesFreshProbes: on a caching stack the audit must
@@ -195,7 +196,7 @@ func (p *replayingProber) ProbeFresh(q []blocks.Block) (cache.Outcome, error) {
 func TestDeterminismAuditUsesFreshProbes(t *testing.T) {
 	rp := newReplayingProber(SlowProber{P: NewSimProber(policy.MustNew("LRU", 4))})
 	oracle := NewOracle(rp, WithDeterminismChecks(1))
-	if _, err := oracle.OutputQuery([]int{4, 0}); err != nil {
+	if _, err := oracle.OutputQuery(context.Background(), []int{4, 0}); err != nil {
 		t.Fatal(err)
 	}
 	if rp.freshCalls == 0 {
@@ -217,7 +218,7 @@ func detectsNondeterminism(t *testing.T, oracle *Oracle) bool {
 		for j := range word {
 			word[j] = rng.Intn(5)
 		}
-		if _, err := oracle.OutputQuery(word); err != nil {
+		if _, err := oracle.OutputQuery(context.Background(), word); err != nil {
 			if !errors.Is(err, ErrNondeterministic) {
 				t.Fatalf("unexpected error type: %v", err)
 			}
@@ -239,7 +240,7 @@ func (p *countingConcurrentProber) Assoc() int                     { return p.in
 func (p *countingConcurrentProber) InitialContent() []blocks.Block { return p.inner.InitialContent() }
 func (p *countingConcurrentProber) ConcurrentProbes() bool         { return true }
 
-func (p *countingConcurrentProber) Probe(q []blocks.Block) (cache.Outcome, error) {
+func (p *countingConcurrentProber) Probe(ctx context.Context, q []blocks.Block) (cache.Outcome, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	key := ""
@@ -247,7 +248,7 @@ func (p *countingConcurrentProber) Probe(q []blocks.Block) (cache.Outcome, error
 		key += string(b) + " "
 	}
 	p.counts[key]++
-	return p.inner.Probe(q)
+	return p.inner.Probe(ctx, q)
 }
 
 // TestProbeSingleFlight: concurrent batch goroutines that miss the memo on
@@ -264,7 +265,7 @@ func TestProbeSingleFlight(t *testing.T) {
 	for i := range words {
 		words[i] = word
 	}
-	outs, err := oracle.OutputQueryBatch(words)
+	outs, err := oracle.OutputQueryBatch(context.Background(), words)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestProbeSingleFlight(t *testing.T) {
 
 func TestOracleStatsAccounting(t *testing.T) {
 	oracle := NewOracle(NewSimProber(policy.MustNew("PLRU", 4)))
-	if _, err := oracle.OutputQuery([]int{4, 4, 0}); err != nil {
+	if _, err := oracle.OutputQuery(context.Background(), []int{4, 4, 0}); err != nil {
 		t.Fatal(err)
 	}
 	st := oracle.Stats()
@@ -298,18 +299,18 @@ func TestOracleStatsAccounting(t *testing.T) {
 
 func TestOracleRejectsBadInput(t *testing.T) {
 	oracle := NewOracle(NewSimProber(policy.MustNew("LRU", 4)))
-	if _, err := oracle.OutputQuery([]int{7}); err == nil {
+	if _, err := oracle.OutputQuery(context.Background(), []int{7}); err == nil {
 		t.Error("out-of-range input accepted")
 	}
 }
 
 func TestSimProberProbe(t *testing.T) {
 	p := NewSimProber(policy.MustNew("LRU", 2))
-	oc, err := p.Probe([]string{"A", "B", "C", "A"})
+	oc, err := p.Probe(context.Background(), []string{"A", "B", "C", "A"})
 	if err != nil || oc != cache.Miss {
 		t.Errorf("A B C A? = %v, want Miss", oc)
 	}
-	oc, _ = p.Probe([]string{"A", "B", "C", "B"})
+	oc, _ = p.Probe(context.Background(), []string{"A", "B", "C", "B"})
 	if oc != cache.Hit {
 		t.Errorf("A B C B? = %v, want Hit", oc)
 	}

@@ -1,6 +1,8 @@
 package polca
 
 import (
+	"context"
+
 	"repro/internal/blocks"
 	"repro/internal/cache"
 	"repro/internal/policy"
@@ -67,7 +69,10 @@ func (p *SimProber) InitialContent() []blocks.Block {
 }
 
 // Probe implements Prober.
-func (p *SimProber) Probe(q []blocks.Block) (cache.Outcome, error) {
+func (p *SimProber) Probe(ctx context.Context, q []blocks.Block) (cache.Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return Missed(), err
+	}
 	if p.tab != nil {
 		p.scratch.reset(p.tab, p.cc0)
 		var last cache.Outcome
@@ -86,7 +91,10 @@ func (p *SimProber) Probe(q []blocks.Block) (cache.Outcome, error) {
 
 // ProbeTrace implements TraceProber: the full hit/miss trace of one
 // reset-rooted run.
-func (p *SimProber) ProbeTrace(q []blocks.Block) ([]cache.Outcome, error) {
+func (p *SimProber) ProbeTrace(ctx context.Context, q []blocks.Block) ([]cache.Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.tab != nil {
 		p.scratch.reset(p.tab, p.cc0)
 		out := make([]cache.Outcome, len(q))
@@ -195,4 +203,6 @@ func (p SlowProber) Assoc() int { return p.P.Assoc() }
 func (p SlowProber) InitialContent() []blocks.Block { return p.P.InitialContent() }
 
 // Probe implements Prober.
-func (p SlowProber) Probe(q []blocks.Block) (cache.Outcome, error) { return p.P.Probe(q) }
+func (p SlowProber) Probe(ctx context.Context, q []blocks.Block) (cache.Outcome, error) {
+	return p.P.Probe(ctx, q)
+}

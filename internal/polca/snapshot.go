@@ -34,6 +34,21 @@ const snapshotVersion = 1
 // errNoTrie is returned when snapshotting a flat-memo or unmemoized oracle.
 var errNoTrie = errors.New("polca: snapshots require the prefix-tree query engine (WithoutMemo/WithoutTrie oracles have no output store)")
 
+// ErrSnapshotScope is returned by LoadSnapshot when the snapshot was
+// recorded for a different scope (policy, reset, or hardware target) than
+// the oracle loading it. Unlike corruption this is not a damaged file —
+// warm-start callers must not silently degrade to a cold run over it
+// without surfacing the mismatch, since it usually means a mislabeled
+// snapshot path.
+var ErrSnapshotScope = errors.New("polca: snapshot scope mismatch")
+
+// corruptf wraps a snapshot-header decoding failure as qstore.ErrCorrupt,
+// so callers can errors.Is-match damaged files uniformly across the oracle
+// header and the store payload.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, qstore.ErrCorrupt)...)
+}
+
 // outCodec encodes output-store values for snapshots: the policy output
 // alone. Sessions and LRU links are transient decorations.
 type outCodec struct{}
@@ -87,32 +102,32 @@ func (o *Oracle) LoadSnapshot(r io.Reader, scope string) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return fmt.Errorf("polca: reading snapshot header: %w", err)
+		return corruptf("polca: reading snapshot header: %v", err)
 	}
 	if string(magic) != snapshotMagic {
-		return fmt.Errorf("polca: not an oracle snapshot (bad magic %q)", magic)
+		return corruptf("polca: not an oracle snapshot (bad magic %q)", magic)
 	}
 	version, err := binary.ReadUvarint(br)
 	if err != nil {
-		return fmt.Errorf("polca: reading snapshot header: %w", err)
+		return corruptf("polca: reading snapshot header: %v", err)
 	}
 	if version != snapshotVersion {
-		return fmt.Errorf("polca: unsupported oracle snapshot version %d (want %d)", version, snapshotVersion)
+		return corruptf("polca: unsupported oracle snapshot version %d (want %d)", version, snapshotVersion)
 	}
 	scopeLen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return fmt.Errorf("polca: reading snapshot header: %w", err)
+		return corruptf("polca: reading snapshot header: %v", err)
 	}
 	const maxScope = 1 << 16
 	if scopeLen > maxScope {
-		return fmt.Errorf("polca: implausible snapshot scope length %d", scopeLen)
+		return corruptf("polca: implausible snapshot scope length %d", scopeLen)
 	}
 	got := make([]byte, scopeLen)
 	if _, err := io.ReadFull(br, got); err != nil {
-		return fmt.Errorf("polca: reading snapshot header: %w", err)
+		return corruptf("polca: reading snapshot header: %v", err)
 	}
 	if string(got) != scope {
-		return fmt.Errorf("polca: snapshot recorded for %q, this oracle is %q", got, scope)
+		return fmt.Errorf("%w: snapshot recorded for %q, this oracle is %q", ErrSnapshotScope, got, scope)
 	}
 	if err := o.out.Load(br, outCodec{}); err != nil {
 		var se *qstore.SnapshotError

@@ -2,6 +2,7 @@ package polca
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -38,7 +39,7 @@ func TestSnapshotWarmOracleSkipsBackend(t *testing.T) {
 			words := randomWords(cold.NumInputs(), 120, int64(11+c.assoc))
 			want := make([][]int, len(words))
 			for i, w := range words {
-				out, err := cold.OutputQuery(w)
+				out, err := cold.OutputQuery(context.Background(), w)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -54,7 +55,7 @@ func TestSnapshotWarmOracleSkipsBackend(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i, w := range words {
-				out, err := warm.OutputQuery(w)
+				out, err := warm.OutputQuery(context.Background(), w)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -70,7 +71,7 @@ func TestSnapshotWarmOracleSkipsBackend(t *testing.T) {
 			// known prefix is fast-forwarded by pure feeding (no eviction
 			// probes) and only the new symbol does real oracle work.
 			ext := append(append([]int(nil), words[0]...), 0)
-			if _, err := warm.OutputQuery(ext); err != nil {
+			if _, err := warm.OutputQuery(context.Background(), ext); err != nil {
 				t.Fatal(err)
 			}
 			if st := warm.Stats(); st.Probes != 1 || st.Accesses > len(ext)+c.assoc {
@@ -82,7 +83,7 @@ func TestSnapshotWarmOracleSkipsBackend(t *testing.T) {
 
 func TestSnapshotScopeMismatchRejected(t *testing.T) {
 	cold := NewOracle(NewSimProber(policy.MustNew("LRU", 4)))
-	if _, err := cold.OutputQuery([]int{4, 0, 1}); err != nil {
+	if _, err := cold.OutputQuery(context.Background(), []int{4, 0, 1}); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -102,7 +103,7 @@ func TestSnapshotScopeMismatchRejected(t *testing.T) {
 func TestSnapshotRejectsCorruptPayload(t *testing.T) {
 	cold := NewOracle(NewSimProber(policy.MustNew("LRU", 4)))
 	for _, w := range randomWords(cold.NumInputs(), 30, 3) {
-		if _, err := cold.OutputQuery(w); err != nil {
+		if _, err := cold.OutputQuery(context.Background(), w); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -128,7 +129,7 @@ func TestSnapshotRejectsCorruptPayload(t *testing.T) {
 // refused.
 func TestSnapshotLoadAfterQueriesRejected(t *testing.T) {
 	cold := NewOracle(NewSimProber(policy.MustNew("LRU", 4)))
-	if _, err := cold.OutputQuery([]int{4, 0}); err != nil {
+	if _, err := cold.OutputQuery(context.Background(), []int{4, 0}); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -136,7 +137,7 @@ func TestSnapshotLoadAfterQueriesRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	live := NewOracle(NewSimProber(policy.MustNew("LRU", 4)))
-	if _, err := live.OutputQuery([]int{4, 0}); err != nil {
+	if _, err := live.OutputQuery(context.Background(), []int{4, 0}); err != nil {
 		t.Fatal(err)
 	}
 	if err := live.LoadSnapshot(bytes.NewReader(buf.Bytes()), "s"); err == nil {

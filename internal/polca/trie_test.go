@@ -1,6 +1,7 @@
 package polca
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -24,11 +25,13 @@ var tenPolicies = []struct {
 // reset on every call, so each answer is ground truth by construction.
 type freshOnly struct{ p *SimProber }
 
-func (f freshOnly) Assoc() int                                    { return f.p.Assoc() }
-func (f freshOnly) InitialContent() []blocks.Block                { return f.p.InitialContent() }
-func (f freshOnly) Probe(q []blocks.Block) (cache.Outcome, error) { return f.p.Probe(q) }
-func (f freshOnly) ProbeFresh(q []blocks.Block) (cache.Outcome, error) {
-	return f.p.Probe(q)
+func (f freshOnly) Assoc() int                     { return f.p.Assoc() }
+func (f freshOnly) InitialContent() []blocks.Block { return f.p.InitialContent() }
+func (f freshOnly) Probe(ctx context.Context, q []blocks.Block) (cache.Outcome, error) {
+	return f.p.Probe(ctx, q)
+}
+func (f freshOnly) ProbeFresh(ctx context.Context, q []blocks.Block) (cache.Outcome, error) {
+	return f.p.Probe(ctx, q)
 }
 
 var _ FreshProber = freshOnly{}
@@ -61,13 +64,13 @@ func TestTrieOracleMatchesFreshGroundTruth(t *testing.T) {
 				for j := range word {
 					word[j] = rng.Intn(numIn)
 				}
-				want, err := fresh.OutputQuery(word)
+				want, err := fresh.OutputQuery(context.Background(), word)
 				if err != nil {
 					t.Fatal(err)
 				}
 				mw := truth.Run(word)
-				a, err1 := fast.OutputQuery(word)
-				b, err2 := slow.OutputQuery(word)
+				a, err1 := fast.OutputQuery(context.Background(), word)
+				b, err2 := slow.OutputQuery(context.Background(), word)
 				if err1 != nil || err2 != nil {
 					t.Fatalf("%s: oracle errors %v / %v", c.name, err1, err2)
 				}
@@ -96,8 +99,8 @@ func TestSessionCapEviction(t *testing.T) {
 		for j := range word {
 			word[j] = rng.Intn(5)
 		}
-		a, err1 := capped.OutputQuery(word)
-		b, err2 := reference.OutputQuery(word)
+		a, err1 := capped.OutputQuery(context.Background(), word)
+		b, err2 := reference.OutputQuery(context.Background(), word)
 		if err1 != nil || err2 != nil {
 			t.Fatalf("errors %v / %v", err1, err2)
 		}
@@ -115,12 +118,12 @@ func TestSessionCapEviction(t *testing.T) {
 func TestTrieResumeSkipsPrefixReplay(t *testing.T) {
 	oracle := NewOracle(NewSimProber(policy.MustNew("LRU", 4)))
 	word := []int{4, 0, 4, 1, 2, 3, 0, 1}
-	if _, err := oracle.OutputQuery(word); err != nil {
+	if _, err := oracle.OutputQuery(context.Background(), word); err != nil {
 		t.Fatal(err)
 	}
 	before := oracle.Stats()
 	ext := append(append([]int(nil), word...), 0)
-	if _, err := oracle.OutputQuery(ext); err != nil {
+	if _, err := oracle.OutputQuery(context.Background(), ext); err != nil {
 		t.Fatal(err)
 	}
 	after := oracle.Stats()
@@ -141,11 +144,11 @@ func TestTrieResumeSkipsPrefixReplay(t *testing.T) {
 func TestWithoutTrieMatchesLegacyTrajectory(t *testing.T) {
 	oracle := NewOracle(NewSimProber(policy.MustNew("LRU", 4)), WithoutTrie())
 	word := []int{4, 0, 4}
-	if _, err := oracle.OutputQuery(word); err != nil {
+	if _, err := oracle.OutputQuery(context.Background(), word); err != nil {
 		t.Fatal(err)
 	}
 	first := oracle.Stats()
-	if _, err := oracle.OutputQuery(word); err != nil {
+	if _, err := oracle.OutputQuery(context.Background(), word); err != nil {
 		t.Fatal(err)
 	}
 	second := oracle.Stats()
@@ -169,8 +172,8 @@ func TestStripedOracleMatchesSingleStripe(t *testing.T) {
 		for j := range word {
 			word[j] = rng.Intn(5)
 		}
-		a, err1 := striped.OutputQuery(word)
-		b, err2 := single.OutputQuery(word)
+		a, err1 := striped.OutputQuery(context.Background(), word)
+		b, err2 := single.OutputQuery(context.Background(), word)
 		if err1 != nil || err2 != nil {
 			t.Fatalf("errors %v / %v", err1, err2)
 		}

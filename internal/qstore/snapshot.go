@@ -29,9 +29,11 @@ package qstore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 )
 
 // SnapshotVersion is the current snapshot format version.
@@ -39,11 +41,29 @@ const SnapshotVersion = 1
 
 var snapMagic = []byte("QSNAP")
 
+// ErrCorrupt is the sentinel every snapshot decoding failure wraps: bad
+// magic, version mismatch, truncation, checksum, malformed entry. Warm-start
+// callers match it with errors.Is to degrade to a cold run on a damaged
+// snapshot file, as opposed to a missing one (fs.ErrNotExist from the
+// opener) or an I/O failure.
+var ErrCorrupt = errors.New("snapshot corrupt")
+
+// ErrMissing is the sentinel for a snapshot that does not exist at all, as
+// opposed to one that exists but is damaged (ErrCorrupt). It aliases
+// fs.ErrNotExist so the bare error from opening the file matches it too;
+// warm-start callers check the two separately because both degrade to a
+// cold run but only corruption deserves a warning.
+var ErrMissing = fs.ErrNotExist
+
 // SnapshotError is the error type of every snapshot decoding failure
 // (bad magic, version mismatch, truncation, checksum, malformed entry).
+// It wraps ErrCorrupt.
 type SnapshotError struct{ msg string }
 
 func (e *SnapshotError) Error() string { return "qstore: " + e.msg }
+
+// Unwrap marks every decoding failure as ErrCorrupt.
+func (e *SnapshotError) Unwrap() error { return ErrCorrupt }
 
 func snapErrf(format string, args ...any) error {
 	return &SnapshotError{msg: fmt.Sprintf(format, args...)}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -128,7 +129,7 @@ func TestRulePolicyRoundTrip(t *testing.T) {
 	}
 	oracle := polca.NewOracle(polca.NewSimProber(NewRulePolicy(res.Program)))
 	word := []int{4, 0, 4, 2, 4, 4, 1, 4}
-	got, err := oracle.OutputQuery(word)
+	got, err := oracle.OutputQuery(context.Background(), word)
 	if err != nil {
 		t.Fatal(err)
 	}
