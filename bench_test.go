@@ -10,12 +10,18 @@ package repro_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cachequery"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/experiments"
 	"repro/internal/fingerprint"
 	"repro/internal/hw"
@@ -704,4 +710,93 @@ func BenchmarkAblationSynthPrefilter(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkDaemonQueries measures polcad's serving path end to end: real
+// HTTP requests against the daemon handler, fanned out from 1, 8 and 64
+// concurrent clients, each driving its own seeded stream of query words at
+// LRU-4 (the polcaload shape, so client streams overlap heavily). The cold
+// legs build a fresh daemon per iteration — every answer costs simulator
+// probes; the warm legs share one daemon whose engine has already answered
+// the full word set, so every request is a store hit and the number is the
+// HTTP+memo serving floor.
+//
+// queries/op is deterministic (clients x requests per client x words). qps
+// is wall-clock throughput — higher is better, and cmd/benchjson gates it
+// inverted (a qps drop is the regression).
+func BenchmarkDaemonQueries(b *testing.B) {
+	const perClient = 32
+	words := func(client int) [][]int {
+		rng := rand.New(rand.NewSource(int64(client) + 1))
+		out := make([][]int, perClient)
+		for i := range out {
+			w := make([]int, 1+rng.Intn(6))
+			for j := range w {
+				w[j] = rng.Intn(5)
+			}
+			out[i] = w
+		}
+		return out
+	}
+	drive := func(b *testing.B, ts *httptest.Server, clients int) {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for _, w := range words(c) {
+					body, _ := json.Marshal(map[string]any{"policy": "LRU", "assoc": 4, "word": w})
+					resp, err := ts.Client().Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						b.Errorf("status %d", resp.StatusCode)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	for _, clients := range []int{1, 8, 64} {
+		queries := float64(clients * perClient)
+		b.Run(fmt.Sprintf("LRU-4/%dclients/cold", clients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srv := daemon.New(daemon.Config{})
+				ts := httptest.NewServer(srv.Handler())
+				b.StartTimer()
+				drive(b, ts, clients)
+				b.StopTimer()
+				ts.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				srv.Close(ctx)
+				cancel()
+				b.StartTimer()
+			}
+			b.ReportMetric(queries, "queries/op")
+			b.ReportMetric(queries*float64(b.N)/b.Elapsed().Seconds(), "qps")
+		})
+		b.Run(fmt.Sprintf("LRU-4/%dclients/warm", clients), func(b *testing.B) {
+			srv := daemon.New(daemon.Config{})
+			ts := httptest.NewServer(srv.Handler())
+			defer func() {
+				ts.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				srv.Close(ctx)
+				cancel()
+			}()
+			drive(b, ts, clients) // fill the engine store
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drive(b, ts, clients)
+			}
+			b.ReportMetric(queries, "queries/op")
+			b.ReportMetric(queries*float64(b.N)/b.Elapsed().Seconds(), "qps")
+		})
+	}
 }

@@ -283,9 +283,12 @@ type compareReport struct {
 // compareBaselines checks every benchmark of the current run against the
 // baseline. A value regresses when it exceeds baseline*(1+tol) — timeTol for
 // ns/op, tol for the deterministic counters (B/op, allocs/op, and custom
-// metrics). A deterministic counter the baseline has but the current run no
-// longer reports is also a failure: a silently vanished probes/op is exactly
-// the kind of broken stats plumbing the gate exists to catch. Zero-valued
+// metrics). The "qps" unit is throughput, where higher is better and the
+// value is as wall-clock-noisy as ns/op, so it is gated inverted at the time
+// tolerance: a run regresses when qps falls below baseline/(1+timeTol). A
+// deterministic counter the baseline has but the current run no longer
+// reports is also a failure: a silently vanished probes/op is exactly the
+// kind of broken stats plumbing the gate exists to catch. Zero-valued
 // baseline entries are skipped: there is no meaningful ratio against zero.
 func compareBaselines(base, cur *Baseline, tol, timeTol float64) compareReport {
 	var rep compareReport
@@ -348,6 +351,14 @@ func compareBaselines(base, cur *Baseline, tol, timeTol float64) compareReport {
 				fmt.Sprintf("%s %s: %.6g vs baseline %.6g (+%.1f%%, tolerance %.0f%%)",
 					name, metric, got, want, 100*(got/want-1), 100*allowed))
 		}
+		checkRate := func(metric string, got, want, allowed float64) {
+			if want <= 0 || got >= want/(1+allowed) {
+				return
+			}
+			rep.Regressions = append(rep.Regressions,
+				fmt.Sprintf("%s %s: %.6g vs baseline %.6g (%.1f%%, tolerance -%.0f%%)",
+					name, metric, got, want, 100*(got/want-1), 100*(1-1/(1+allowed))))
+		}
 		check("ns/op", r.NsPerOp, b.NsPerOp, timeTol)
 		check("B/op", r.BytesPerOp, b.BytesPerOp, tol)
 		check("allocs/op", r.AllocsPerOp, b.AllocsPerOp, tol)
@@ -356,6 +367,10 @@ func compareBaselines(base, cur *Baseline, tol, timeTol float64) compareReport {
 			if !ok && want > 0 {
 				rep.Regressions = append(rep.Regressions,
 					fmt.Sprintf("%s %s: metric vanished (baseline %.6g)", name, unit, want))
+				continue
+			}
+			if unit == "qps" {
+				checkRate(unit, got, want, timeTol)
 				continue
 			}
 			check(unit, got, want, tol)

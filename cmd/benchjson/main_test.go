@@ -258,3 +258,41 @@ func TestCompareDetectsRegressions(t *testing.T) {
 		t.Errorf("zero baseline compared: %+v", rep)
 	}
 }
+
+// TestCompareQpsHigherIsBetter: the "qps" throughput metric is gated
+// inverted — a drop below baseline/(1+timeTol) regresses, an increase never
+// does (the plain rule would flag every improvement).
+func TestCompareQpsHigherIsBetter(t *testing.T) {
+	base := baselineOf(Result{Name: "BenchmarkDaemonQueries/LRU-4/8clients/warm-8",
+		NsPerOp: 1000, Metrics: map[string]float64{"qps": 1000, "queries/op": 256}})
+
+	// A big qps improvement is not a regression.
+	cur := baselineOf(Result{Name: "BenchmarkDaemonQueries/LRU-4/8clients/warm-8",
+		NsPerOp: 1000, Metrics: map[string]float64{"qps": 4000, "queries/op": 256}})
+	if rep := compareBaselines(base, cur, 0.25, 1.0); len(rep.Regressions) != 0 {
+		t.Errorf("qps improvement flagged: %+v", rep.Regressions)
+	}
+
+	// Within the inverted time tolerance (1000/(1+1.0) = 500): clean.
+	cur = baselineOf(Result{Name: "BenchmarkDaemonQueries/LRU-4/8clients/warm-8",
+		NsPerOp: 1000, Metrics: map[string]float64{"qps": 600, "queries/op": 256}})
+	if rep := compareBaselines(base, cur, 0.25, 1.0); len(rep.Regressions) != 0 {
+		t.Errorf("tolerable qps dip flagged: %+v", rep.Regressions)
+	}
+
+	// Past it: regression, attributed to qps.
+	cur = baselineOf(Result{Name: "BenchmarkDaemonQueries/LRU-4/8clients/warm-8",
+		NsPerOp: 1000, Metrics: map[string]float64{"qps": 400, "queries/op": 256}})
+	rep := compareBaselines(base, cur, 0.25, 1.0)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "qps") {
+		t.Errorf("qps collapse not caught: %+v", rep.Regressions)
+	}
+
+	// A vanished qps metric still fails like any other vanished counter.
+	cur = baselineOf(Result{Name: "BenchmarkDaemonQueries/LRU-4/8clients/warm-8",
+		NsPerOp: 1000, Metrics: map[string]float64{"queries/op": 256}})
+	rep = compareBaselines(base, cur, 0.25, 1.0)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "vanished") {
+		t.Errorf("vanished qps not flagged: %+v", rep.Regressions)
+	}
+}

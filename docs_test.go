@@ -1,0 +1,111 @@
+package repro_test
+
+// Documentation gates: every package must carry a package doc comment, and
+// every intra-repository markdown link must resolve. These run in the
+// normal test suite and in the CI docs job, so documentation rot fails the
+// build like any other regression.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocComments requires a package doc comment on every package in
+// the repository — the root library, every internal package, every command,
+// and every example. A package without one renders blank in go doc, which
+// is how subsystems quietly become unexplained.
+func TestPackageDocComments(t *testing.T) {
+	var dirs []string
+	for _, pattern := range []string{"internal/*", "cmd/*", "examples/*"} {
+		m, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, m...)
+	}
+	dirs = append(dirs, ".")
+	for _, dir := range dirs {
+		if info, err := os.Stat(dir); err != nil || !info.IsDir() {
+			continue
+		}
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sources []string
+		for _, f := range files {
+			if !strings.HasSuffix(f, "_test.go") {
+				sources = append(sources, f)
+			}
+		}
+		if len(sources) == 0 {
+			continue
+		}
+		var doc string
+		fset := token.NewFileSet()
+		for _, f := range sources {
+			parsed, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Errorf("%s: %v", f, err)
+				continue
+			}
+			if parsed.Doc != nil && len(strings.TrimSpace(parsed.Doc.Text())) > len(doc) {
+				doc = strings.TrimSpace(parsed.Doc.Text())
+			}
+		}
+		if doc == "" {
+			t.Errorf("package %s has no package doc comment", dir)
+		} else if len(doc) < 40 {
+			t.Errorf("package %s doc comment is a stub (%q) — say what the package is for", dir, doc)
+		}
+	}
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks resolves every relative markdown link in the repository's
+// documentation. External links are left alone (CI has no network and they
+// rot on their own schedule); an intra-repo link to a moved or deleted file
+// is a broken doc we can and do catch.
+func TestDocLinks(t *testing.T) {
+	var mds []string
+	for _, pattern := range []string{"*.md", "docs/*.md", ".github/*.md"} {
+		m, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mds = append(mds, m...)
+	}
+	if len(mds) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"), strings.HasPrefix(target, "#"):
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", md, m[1], err)
+			}
+		}
+	}
+}

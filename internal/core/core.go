@@ -94,12 +94,14 @@ func SnapshotInDir(dir, policyName string, assoc int) SnapshotOptions {
 	return snap
 }
 
-// loadSnapshot warm-starts an oracle from a snapshot file. With
+// LoadOracleSnapshot warm-starts an oracle from a snapshot file. With
 // coldOnDamage, a missing or corrupt snapshot degrades to a cold start
 // (returning warm=false, err=nil) rather than failing the run; the oracle's
 // store is untouched in that case, because snapshot loading verifies
-// checksums and parses every entry before applying anything.
-func loadSnapshot(oracle *polca.Oracle, path, scope string, coldOnDamage bool) (warm bool, err error) {
+// checksums and parses every entry before applying anything. The learning
+// pipelines below and the polcad daemon (internal/daemon) share this exact
+// load path, so a snapshot written by one is always loadable by the other.
+func LoadOracleSnapshot(oracle *polca.Oracle, path, scope string, coldOnDamage bool) (warm bool, err error) {
 	fh, err := os.Open(path)
 	if err != nil {
 		if coldOnDamage && errors.Is(err, qstore.ErrMissing) {
@@ -118,11 +120,11 @@ func loadSnapshot(oracle *polca.Oracle, path, scope string, coldOnDamage bool) (
 	return true, nil
 }
 
-// saveSnapshot persists an oracle's query store to a snapshot file. The
-// write goes through a temp file and an atomic rename, so a crash or a
+// SaveOracleSnapshot persists an oracle's query store to a snapshot file.
+// The write goes through a temp file and an atomic rename, so a crash or a
 // full disk mid-write never destroys an existing good snapshot — which
 // the snapshot-dir auto-warm flows would otherwise keep failing on.
-func saveSnapshot(oracle *polca.Oracle, path, scope string) error {
+func SaveOracleSnapshot(oracle *polca.Oracle, path, scope string) error {
 	fh, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("core: saving snapshot: %w", err)
@@ -157,7 +159,7 @@ func armCheckpoints(oracle *polca.Oracle, snap SnapshotOptions, scope string) {
 		return
 	}
 	oracle.SetCheckpointer(snap.CheckpointEvery, func() {
-		if err := saveSnapshot(oracle, snap.SavePath, scope); err != nil {
+		if err := SaveOracleSnapshot(oracle, snap.SavePath, scope); err != nil {
 			fmt.Fprintf(os.Stderr, "core: checkpoint: %v\n", err)
 		}
 	})
@@ -232,13 +234,17 @@ func LearnSimulatedSnapshot(ctx context.Context, policyName string, assoc int, o
 	return LearnSimulatedSim(ctx, policyName, assoc, opt, snap, SimOptions{})
 }
 
-// LearnSimulatedSim is LearnSimulatedSnapshot with an explicit simulator
-// configuration — the seam the -compiled toggles of cmd/polca,
-// cmd/experiments and cmd/genmodels thread through.
-func LearnSimulatedSim(ctx context.Context, policyName string, assoc int, opt learn.Options, snap SnapshotOptions, sim SimOptions) (*SimResult, error) {
+// NewSimOracle builds the simulated-cache Polca oracle for a named policy
+// exactly as the learning pipelines do: compiled kernel by default, batched
+// engine / worker cap / fault injection / retry policy per SimOptions. It
+// returns the oracle, the policy's canonical name, and the snapshot scope
+// tagging its query store. The polcad daemon (internal/daemon) builds its
+// shared per-(policy, assoc) engines through this seam, so a daemon-served
+// learn is the same pipeline — and produces the same bytes — as cmd/polca.
+func NewSimOracle(policyName string, assoc int, sim SimOptions) (oracle *polca.Oracle, canonical, scope string, err error) {
 	pol, err := policy.New(policyName, assoc)
 	if err != nil {
-		return nil, err
+		return nil, "", "", err
 	}
 	var opts []polca.Option
 	if sim.Batched {
@@ -257,10 +263,19 @@ func LearnSimulatedSim(ctx context.Context, policyName string, assoc int, opt le
 	if sim.Retry != nil {
 		opts = append(opts, polca.WithProbeRetries(*sim.Retry))
 	}
-	oracle := polca.NewOracle(prober, opts...)
-	scope := SimSnapshotScope(pol.Name(), assoc)
+	return polca.NewOracle(prober, opts...), pol.Name(), SimSnapshotScope(pol.Name(), assoc), nil
+}
+
+// LearnSimulatedSim is LearnSimulatedSnapshot with an explicit simulator
+// configuration — the seam the -compiled toggles of cmd/polca,
+// cmd/experiments and cmd/genmodels thread through.
+func LearnSimulatedSim(ctx context.Context, policyName string, assoc int, opt learn.Options, snap SnapshotOptions, sim SimOptions) (*SimResult, error) {
+	oracle, canonical, scope, err := NewSimOracle(policyName, assoc, sim)
+	if err != nil {
+		return nil, err
+	}
 	if snap.WarmPath != "" {
-		if _, err := loadSnapshot(oracle, snap.WarmPath, scope, snap.ColdOnDamage); err != nil {
+		if _, err := LoadOracleSnapshot(oracle, snap.WarmPath, scope, snap.ColdOnDamage); err != nil {
 			return nil, err
 		}
 	}
@@ -270,12 +285,12 @@ func LearnSimulatedSim(ctx context.Context, policyName string, assoc int, opt le
 		return nil, err
 	}
 	if snap.SavePath != "" {
-		if err := saveSnapshot(oracle, snap.SavePath, scope); err != nil {
+		if err := SaveOracleSnapshot(oracle, snap.SavePath, scope); err != nil {
 			return nil, err
 		}
 	}
 	return &SimResult{
-		Policy:      pol.Name(),
+		Policy:      canonical,
 		Assoc:       assoc,
 		Machine:     res.Machine,
 		LearnStats:  res.Stats,
@@ -466,7 +481,7 @@ func LearnHardware(ctx context.Context, req HardwareRequest) (*HardwareResult, e
 		oracle := polca.NewOracle(prober, opts...)
 		scope := hardwareSnapshotScope(req, rst)
 		if req.Snapshot.WarmPath != "" {
-			if _, err := loadSnapshot(oracle, req.Snapshot.WarmPath, scope, req.Snapshot.ColdOnDamage); err != nil {
+			if _, err := LoadOracleSnapshot(oracle, req.Snapshot.WarmPath, scope, req.Snapshot.ColdOnDamage); err != nil {
 				lastErr = err
 				continue
 			}
@@ -483,7 +498,7 @@ func LearnHardware(ctx context.Context, req HardwareRequest) (*HardwareResult, e
 			continue
 		}
 		if req.Snapshot.SavePath != "" {
-			if err := saveSnapshot(oracle, req.Snapshot.SavePath, scope); err != nil {
+			if err := SaveOracleSnapshot(oracle, req.Snapshot.SavePath, scope); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,46 @@
+package daemon
+
+import "sync"
+
+// flightGroup single-flights identical in-flight query requests across
+// tenants: when request B arrives for the exact (policy, assoc, words) key
+// request A is already executing, B waits for A's answer instead of
+// re-entering the oracle. The oracle's memo makes the duplicate cheap once
+// A completes; the flight group removes the window where both are live and
+// would probe the backend twice. Completed calls are evicted immediately —
+// long-term deduplication is the store's job, not the flight group's.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	outs [][]int
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do executes fn under key, or waits for the identical in-flight call.
+// shared reports whether the result came from another request's execution.
+func (g *flightGroup) do(key string, fn func() ([][]int, error)) (outs [][]int, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.outs, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.outs, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.outs, false, c.err
+}

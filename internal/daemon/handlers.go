@@ -1,0 +1,433 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/learn"
+	"repro/internal/policy"
+)
+
+// Handler builds the daemon's HTTP surface. Routes and schemas are
+// documented in docs/API.md; keep the two in sync (the docs CI job checks
+// the transcripts against a live daemon).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/model", s.handleJobModel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/models", s.handleModelList)
+	mux.HandleFunc("GET /v1/models/{name}", s.handleModelGet)
+	return mux
+}
+
+// errorDoc is the uniform error body: a stable machine-readable code plus a
+// human-readable message. The HTTP status carries the class.
+type errorDoc struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorDoc{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// refuseDraining answers 503 once Close has started. Every endpoint calls
+// it first, so a draining daemon turns work away instead of racing the
+// engine snapshots.
+func (s *Server) refuseDraining(w http.ResponseWriter) bool {
+	if !s.draining() {
+		return false
+	}
+	writeErr(w, http.StatusServiceUnavailable, "draining", "daemon is draining")
+	return true
+}
+
+// tenant extracts the client identity the quota buckets are keyed by.
+func tenant(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// chargeQuota deducts cost tokens from the requesting tenant and stamps
+// the quota headers; on exhaustion it answers 429 (with Retry-After) and
+// reports false.
+func (s *Server) chargeQuota(w http.ResponseWriter, r *http.Request, cost float64) bool {
+	if !s.quotas.enabled() {
+		return true
+	}
+	ok, remaining, retry := s.quotas.charge(tenant(r), cost, time.Now())
+	w.Header().Set("X-Quota-Limit", strconv.FormatFloat(s.cfg.QuotaBurst, 'f', -1, 64))
+	w.Header().Set("X-Quota-Remaining", strconv.FormatFloat(math.Floor(remaining), 'f', -1, 64))
+	if ok {
+		return true
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+	writeErr(w, http.StatusTooManyRequests, "quota_exhausted",
+		"tenant %q is out of quota (cost %g, remaining %g); retry after %v", tenant(r), cost, math.Floor(remaining), retry)
+	return false
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.status())
+}
+
+// queryRequest is the POST /v1/query body. Words are policy input symbols:
+// 0..assoc-1 encode Ln(i) (a hit on cache line i), assoc encodes Evct (a
+// miss needing a free line). Outputs mirror the words: -1 is ⊥ (Ln inputs),
+// otherwise the index of the line the policy evicts.
+type queryRequest struct {
+	Policy string  `json:"policy"`
+	Assoc  int     `json:"assoc"`
+	Word   []int   `json:"word,omitempty"`
+	Words  [][]int `json:"words,omitempty"`
+}
+
+type queryResponse struct {
+	Policy  string  `json:"policy"`
+	Assoc   int     `json:"assoc"`
+	Outputs [][]int `json:"outputs"`
+	// Coalesced reports that this answer was shared with an identical
+	// in-flight request (cross-tenant single-flighting).
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	words := req.Words
+	if req.Word != nil {
+		if words != nil {
+			writeErr(w, http.StatusBadRequest, "bad_request", "pass word or words, not both")
+			return
+		}
+		words = [][]int{req.Word}
+	}
+	if len(words) == 0 {
+		writeErr(w, http.StatusBadRequest, "bad_request", "no query words")
+		return
+	}
+	if req.Assoc <= 0 {
+		writeErr(w, http.StatusBadRequest, "bad_request", "assoc must be positive")
+		return
+	}
+	numIn := policy.NumInputs(req.Assoc)
+	for wi, word := range words {
+		if len(word) == 0 {
+			writeErr(w, http.StatusBadRequest, "bad_request", "words[%d] is empty", wi)
+			return
+		}
+		for si, sym := range word {
+			if sym < 0 || sym >= numIn {
+				writeErr(w, http.StatusBadRequest, "bad_request",
+					"words[%d][%d] = %d out of range: inputs are 0..%d-1 for Ln(i) and %d for Evct",
+					wi, si, sym, req.Assoc, req.Assoc)
+				return
+			}
+		}
+	}
+	if !s.chargeQuota(w, r, float64(len(words))) {
+		return
+	}
+	eng, err := s.engineFor(req.Policy, req.Assoc)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "unknown_policy", "%v", err)
+		return
+	}
+	// Identical concurrent requests single-flight on (policy, assoc,
+	// words); the execution runs under the daemon's base context so a
+	// departing client cannot cancel an answer other tenants wait on.
+	outs, shared, err := s.flight.do(flightKey(eng, words), func() ([][]int, error) {
+		return eng.oracle.OutputQueryBatch(s.baseCtx, words)
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "query_failed", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{Policy: eng.policy, Assoc: eng.assoc, Outputs: outs, Coalesced: shared})
+}
+
+// flightKey canonically encodes one query request for the single-flight
+// group.
+func flightKey(eng *engine, words [][]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s-%d", eng.policy, eng.assoc)
+	for _, w := range words {
+		b.WriteByte('|')
+		for _, sym := range w {
+			fmt.Fprintf(&b, "%d,", sym)
+		}
+	}
+	return b.String()
+}
+
+// jobRequest is the POST /v1/jobs body. Defaults mirror cmd/polca: L*
+// learner, Wp-suite, depth 1, 100k state budget.
+type jobRequest struct {
+	Policy    string `json:"policy"`
+	Assoc     int    `json:"assoc"`
+	Algo      string `json:"algo,omitempty"`
+	Suite     string `json:"suite,omitempty"`
+	Depth     int    `json:"depth,omitempty"`
+	MaxStates int    `json:"max_states,omitempty"`
+	WalkSteps int    `json:"walk_steps,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	var req jobRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	if req.Assoc <= 0 {
+		writeErr(w, http.StatusBadRequest, "bad_request", "assoc must be positive")
+		return
+	}
+	opt := learn.Options{
+		Depth:           req.Depth,
+		MaxStates:       req.MaxStates,
+		RandomWalkSteps: req.WalkSteps,
+		RandomWalkSeed:  req.Seed,
+	}
+	var err error
+	if req.Algo != "" {
+		if opt.Algo, err = learn.ParseAlgo(req.Algo); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_request", "%v", err)
+			return
+		}
+	}
+	if req.Suite != "" {
+		if opt.Suite, err = learn.ParseSuite(req.Suite); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_request", "%v", err)
+			return
+		}
+	}
+	if !s.chargeQuota(w, r, JobCost) {
+		return
+	}
+	j, err := s.startJob(req.Policy, req.Assoc, opt)
+	if err != nil {
+		if errors.Is(err, errDraining) {
+			writeErr(w, http.StatusServiceUnavailable, "draining", "daemon is draining")
+			return
+		}
+		writeErr(w, http.StatusNotFound, "unknown_policy", "%v", err)
+		return
+	}
+	st := j.snapshot()
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobList()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id"))
+		return
+	}
+	j.cancel()
+	<-j.done
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleJobModel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id"))
+		return
+	}
+	data, ok := j.modelBytes()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "model_not_ready", "job %s is %s, model available once done", j.id, j.snapshot().State)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleJobEvents streams jobStatus documents as server-sent events: a
+// "progress" event every EventInterval while the job runs (live oracle
+// counters included), then one terminal "done"/"failed"/"canceled" event,
+// then the stream closes. A draining daemon ends streams after the job's
+// cancellation lands, so SIGTERM never hangs on an open SSE connection.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "no_stream", "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, st jobStatus) {
+		data, _ := json.Marshal(st)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+	}
+	terminal := func() bool {
+		st := j.snapshot()
+		switch st.State {
+		case jobDone, jobFailed, jobCanceled:
+			emit(string(st.State), st)
+			return true
+		}
+		return false
+	}
+	if terminal() {
+		return
+	}
+	emit("progress", j.snapshot())
+	tick := time.NewTicker(s.cfg.EventInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-j.done:
+			terminal()
+			return
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if terminal() {
+				return
+			}
+			emit("progress", j.snapshot())
+		}
+	}
+}
+
+// modelEntry is one row of GET /v1/models.
+type modelEntry struct {
+	Name     string    `json:"name"`
+	Bytes    int64     `json:"bytes"`
+	Modified time.Time `json:"modified"`
+}
+
+func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ModelsDir == "" {
+		writeJSON(w, http.StatusOK, map[string]any{"models": []modelEntry{}})
+		return
+	}
+	entries, err := os.ReadDir(s.cfg.ModelsDir)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "models_dir", "%v", err)
+		return
+	}
+	models := make([]modelEntry, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		models = append(models, modelEntry{Name: e.Name(), Bytes: info.Size(), Modified: info.ModTime().UTC()})
+	}
+	sort.Slice(models, func(i, j int) bool { return models[i].Name < models[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"models": models})
+}
+
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.cfg.ModelsDir == "" || !validModelName(name) {
+		writeErr(w, http.StatusNotFound, "unknown_model", "no model %q", name)
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(s.cfg.ModelsDir, name))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "unknown_model", "no model %q", name)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// validModelName admits exactly the artifact names the daemon and
+// cmd/genmodels produce — defense against path traversal through the
+// {name} wildcard.
+func validModelName(name string) bool {
+	if !strings.HasSuffix(name, ".json") || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// decodeBody strictly decodes a JSON request body: unknown fields are
+// rejected so schema typos fail loudly instead of silently defaulting.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}

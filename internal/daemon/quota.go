@@ -1,0 +1,63 @@
+package daemon
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotaTable holds one token bucket per tenant. Tenants are identified by
+// the X-Tenant request header (or "default" when absent); buckets are
+// created on first sight with a full burst. A zero rate disables quotas
+// entirely — every charge succeeds and no headers are emitted.
+type quotaTable struct {
+	rate  float64 // tokens per second; 0 = quotas off
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotaTable(rate, burst float64) *quotaTable {
+	return &quotaTable{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// enabled reports whether quotas are enforced at all.
+func (q *quotaTable) enabled() bool { return q.rate > 0 }
+
+// charge tries to deduct cost tokens from the tenant's bucket at time now.
+// It returns whether the charge succeeded, the tokens remaining afterwards,
+// and — on refusal — how long the tenant must wait before the bucket holds
+// cost tokens again (the Retry-After hint). A cost above the burst can
+// never succeed; retry reports the time to fill the whole bucket so the
+// client sees a finite, honest bound.
+func (q *quotaTable) charge(tenant string, cost float64, now time.Time) (ok bool, remaining float64, retry time.Duration) {
+	if !q.enabled() {
+		return true, math.Inf(1), 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, found := q.buckets[tenant]
+	if !found {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	// Refill since the last touch, capped at the burst.
+	b.tokens = math.Min(q.burst, b.tokens+now.Sub(b.last).Seconds()*q.rate)
+	b.last = now
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return true, b.tokens, 0
+	}
+	missing := math.Min(cost, q.burst) - b.tokens
+	retry = time.Duration(missing / q.rate * float64(time.Second))
+	if retry < time.Second {
+		retry = time.Second
+	}
+	return false, b.tokens, retry
+}

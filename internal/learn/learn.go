@@ -180,14 +180,15 @@ type Options struct {
 // MaxBatchSize caps the derived conformance-suite prefetch chunk.
 const MaxBatchSize = 64
 
-// Stats aggregates learner-side cost counters.
+// Stats aggregates learner-side cost counters. The JSON names are the
+// polcad daemon's wire format (docs/API.md).
 type Stats struct {
-	OutputQueries  int           // distinct output queries sent to the teacher
-	QuerySymbols   int           // total symbols across those queries
-	Rounds         int           // hypothesis refinement rounds
-	TestWords      int           // conformance test words executed
-	Counterexample int           // counterexamples processed
-	Duration       time.Duration // wall-clock learning time
+	OutputQueries  int           `json:"output_queries"`  // distinct output queries sent to the teacher
+	QuerySymbols   int           `json:"query_symbols"`   // total symbols across those queries
+	Rounds         int           `json:"rounds"`          // hypothesis refinement rounds
+	TestWords      int           `json:"test_words"`      // conformance test words executed
+	Counterexample int           `json:"counterexamples"` // counterexamples processed
+	Duration       time.Duration `json:"duration_ns"`     // wall-clock learning time
 }
 
 // Result is a successful learning outcome.

@@ -134,16 +134,18 @@ type FreshProber interface {
 	ProbeFresh(ctx context.Context, q []blocks.Block) (cache.Outcome, error)
 }
 
-// Stats aggregates the cost counters of an oracle.
+// Stats aggregates the cost counters of an oracle. The JSON names are the
+// polcad daemon's wire format (docs/API.md) — change them only with the
+// API docs.
 type Stats struct {
-	OutputQueries int // policy-level output queries answered
-	Symbols       int // policy input symbols processed
-	Probes        int // reset-rooted cache probes issued (after memoization)
-	MemoHits      int // memo answers: whole probes on the flat path, word symbols on the trie paths
-	Accesses      int // total block accesses issued to the cache
-	Retries       int // transient probe failures absorbed by the retry policy
-	Disagreements int // probe re-executions (votes) that returned conflicting outcomes
-	Reprobes      int // consistency-check failures re-probed before declaring nondeterminism
+	OutputQueries int `json:"output_queries"` // policy-level output queries answered
+	Symbols       int `json:"symbols"`        // policy input symbols processed
+	Probes        int `json:"probes"`         // reset-rooted cache probes issued (after memoization)
+	MemoHits      int `json:"memo_hits"`      // memo answers: whole probes on the flat path, word symbols on the trie paths
+	Accesses      int `json:"accesses"`       // total block accesses issued to the cache
+	Retries       int `json:"retries"`        // transient probe failures absorbed by the retry policy
+	Disagreements int `json:"disagreements"`  // probe re-executions (votes) that returned conflicting outcomes
+	Reprobes      int `json:"reprobes"`       // consistency-check failures re-probed before declaring nondeterminism
 }
 
 // Oracle answers membership and output queries for the replacement policy of
@@ -397,6 +399,20 @@ func (o *Oracle) Stats() Stats {
 		Disagreements: int(o.disagreeN.Load()),
 		Reprobes:      int(o.reprobesN.Load()),
 	}
+}
+
+// StoreFootprint reports the trie-node counts of the oracle's two query
+// stores — the policy-level output memo and the block-level probe memo —
+// as a live capacity/coverage signal. The polcad daemon surfaces it on the
+// status endpoint so operators can watch shared engines fill up. Both
+// counts are zero when the trie engine is disabled (WithoutMemo or
+// WithoutTrie); reading them takes each shard lock briefly, so the hot
+// query path is unaffected.
+func (o *Oracle) StoreFootprint() (outNodes, probeNodes int) {
+	if !o.trieOn() {
+		return 0, 0
+	}
+	return o.out.NodeCount(), o.pt.NodeCount()
 }
 
 // BatchHint implements learn.BatchHinter (duck-typed to avoid an import
