@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/cachequery"
@@ -92,7 +93,8 @@ func runFig1(ctx context.Context) error {
 func runTable2(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	full := fs.Bool("full", false, "include the large instances (hours of runtime)")
-	workers := fs.Int("workers", 1, "learn up to this many rows concurrently (1 keeps per-row times comparable to the paper)")
+	concurrency := fs.Int("concurrency", 1, "learn up to this many rows concurrently (1 keeps per-row times comparable to the paper)")
+	workers := fs.String("workers", "", "comma-separated polcaworker addresses (host:port,...): fan each row's probes out over a distributed worker fleet — bit-identical rows")
 	algoName := fs.String("algo", "lstar", "learning algorithm: lstar (observation table) or tree (discrimination tree)")
 	suiteName := fs.String("suite", "wp", "conformance suite: wp, w, or rw (seeded random walk)")
 	seed := fs.Int64("seed", 1, "random-walk conformance seed (rw suite); fixed seeds make runs reproducible")
@@ -114,9 +116,27 @@ func runTable2(ctx context.Context, args []string) error {
 	if *full {
 		spec = experiments.Table2Full()
 	}
-	rows := experiments.RunTable2ConcurrentSim(ctx, spec, *workers, opt, *snapshotDir, core.SimOptions{Interpreted: !*compiled, Batched: *batch})
+	sim := core.SimOptions{Interpreted: !*compiled, Batched: *batch}
+	if *workers != "" {
+		sim.FleetWorkers = splitAddrs(*workers)
+		sim.FleetLogf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+		}
+	}
+	rows := experiments.RunTable2ConcurrentSim(ctx, spec, *concurrency, opt, *snapshotDir, sim)
 	experiments.Table2Table(rows).Render(os.Stdout)
 	return nil
+}
+
+// splitAddrs splits a comma-separated worker address list, dropping blanks.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }
 
 // learnOptions assembles learner options from the shared flag values.

@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -42,6 +43,7 @@ func main() {
 	algoName := flag.String("algo", "lstar", "learning algorithm for the cross-check: lstar or tree")
 	compiled := flag.Bool("compiled", true, "run the cross-check's simulated caches on the compiled policy kernel; false interprets policies")
 	snapshotDir := flag.String("snapshot-dir", "", "per-policy oracle snapshot directory for the cross-check: existing snapshots warm-start the re-learn, fresh stores are saved back")
+	workers := flag.String("workers", "", "comma-separated polcaworker addresses (host:port,...): fan the cross-check's probes out over a distributed worker fleet — bit-identical artifacts")
 	timeout := flag.Duration("timeout", 0, "abort the regeneration after this long (0 = no deadline); Ctrl-C cancels cleanly either way")
 	flag.Parse()
 
@@ -58,6 +60,16 @@ func main() {
 		fatal(err)
 	}
 	sim := core.SimOptions{Interpreted: !*compiled}
+	if *workers != "" {
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				sim.FleetWorkers = append(sim.FleetWorkers, a)
+			}
+		}
+		sim.FleetLogf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "genmodels: "+format+"\n", args...)
+		}
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,19 +46,30 @@ func main() {
 	quotaBurst := flag.Float64("quota-burst", 64, "per-tenant token-bucket capacity (with -quota-rate)")
 	compiled := flag.Bool("compiled", true, "run engines on the compiled policy kernel (dense transition tables); false interprets policies — bit-identical answers, slower probes")
 	batch := flag.Bool("batch", false, "answer query batches on the structure-of-arrays batched engine (requires -compiled) — bit-identical answers")
-	workers := flag.Int("workers", 0, "per-engine goroutine cap for batched query fan-out (0 = GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 0, "per-engine goroutine cap for batched query fan-out (0 = GOMAXPROCS)")
+	workers := flag.String("workers", "", "comma-separated polcaworker addresses (host:port,...): every engine fans its probes out over this distributed worker fleet — bit-identical answers")
 	faults := flag.String("faults", "", `deterministic fault-injection plan for every engine's probes, e.g. "seed=42,err=0.05,flip=0.001" (soak testing)`)
 	eventEvery := flag.Duration("event-interval", 250*time.Millisecond, "SSE job-progress event cadence")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM/SIGINT drain waits for in-flight jobs to unwind before snapshotting anyway")
 	flag.Parse()
 
-	sim := core.SimOptions{Interpreted: !*compiled, Batched: *batch, Workers: *workers}
+	sim := core.SimOptions{Interpreted: !*compiled, Batched: *batch, Workers: *parallelism}
 	if *faults != "" {
 		plan, err := faulty.ParsePlan(*faults)
 		if err != nil {
 			fatal(err)
 		}
 		sim.Faults = &plan
+	}
+	if *workers != "" {
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				sim.FleetWorkers = append(sim.FleetWorkers, a)
+			}
+		}
+		sim.FleetLogf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "polcad: "+format+"\n", args...)
+		}
 	}
 	if *snapshotDir != "" {
 		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {

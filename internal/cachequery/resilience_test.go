@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/blocks"
 	"repro/internal/cache"
@@ -168,9 +170,10 @@ func poolForTest(t *testing.T, n int, opts ...PoolOption) *ParallelProber {
 // TestPoolQuarantinesDeadReplica: a replica that fails transiently on every
 // probe is quarantined after threshold consecutive failures, the probe that
 // noticed re-executes elsewhere transparently, and the shrunken pool keeps
-// answering correctly.
+// answering correctly. The probation cooldown is pushed out of the test's
+// window so the quarantine counters stay exact.
 func TestPoolQuarantinesDeadReplica(t *testing.T) {
-	pp := poolForTest(t, 3, WithReplicaWrapper(func(i int, p polca.Prober) polca.Prober {
+	pp := poolForTest(t, 3, WithProbationCooldown(time.Hour), WithReplicaWrapper(func(i int, p polca.Prober) polca.Prober {
 		if i != 1 {
 			return p
 		}
@@ -216,11 +219,13 @@ func TestPoolQuarantinesDeadReplica(t *testing.T) {
 	}
 }
 
-// TestPoolAllReplicasQuarantined: when the last live replica is quarantined
-// the pool fails probes with a terminal error instead of deadlocking on an
-// empty pool.
+// TestPoolAllReplicasQuarantined: with probation disabled, quarantine is
+// permanent, and when the last live replica is quarantined the pool fails
+// probes with a terminal error instead of deadlocking on an empty pool.
+// (With probation on, a fully-quarantined pool instead fails transiently
+// and keeps re-trying re-admitted slots — see the probation tests.)
 func TestPoolAllReplicasQuarantined(t *testing.T) {
-	pp := poolForTest(t, 2, WithReplicaWrapper(func(i int, p polca.Prober) polca.Prober {
+	pp := poolForTest(t, 2, WithProbationCooldown(0), WithReplicaWrapper(func(i int, p polca.Prober) polca.Prober {
 		return &flakyProber{inner: p, fail: func() error { return transientErr{} }}
 	}))
 	q := []blocks.Block{"A", "B"}
@@ -259,5 +264,183 @@ func TestPoolNonTransientPropagates(t *testing.T) {
 	}
 	if pp.Quarantined() != 0 {
 		t.Errorf("non-transient failure quarantined %d replicas", pp.Quarantined())
+	}
+}
+
+// TestPoolProbationReadmitsRecoveredReplica: quarantine is probation, not a
+// death sentence. A replica that dies (every probe fails transiently) is
+// quarantined; while it is still dead, each probation re-admission costs
+// exactly one invisible probe — re-quarantined on its first strike, never
+// surfacing an error while other replicas are live. Once the replica
+// recovers, the next probation pass re-admits it for good and it serves
+// traffic again.
+func TestPoolProbationReadmitsRecoveredReplica(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	var served atomic.Int32
+	readmissions := make(chan int, 64)
+	pp := poolForTest(t, 2,
+		WithProbationCooldown(5*time.Millisecond),
+		WithReadmitHook(func(id int) {
+			select {
+			case readmissions <- id:
+			default:
+			}
+		}),
+		WithReplicaWrapper(func(i int, p polca.Prober) polca.Prober {
+			if i != 1 {
+				return p
+			}
+			return &flakyProber{inner: p, fail: func() error {
+				if failing.Load() {
+					return transientErr{}
+				}
+				served.Add(1)
+				return nil
+			}}
+		}))
+	t.Cleanup(pp.Close)
+	q := []blocks.Block{"A", "B", "C", "A"}
+
+	// Drive the dying replica to its first quarantine. Below-threshold
+	// transient failures propagate (the oracle would retry), so tolerate
+	// them here.
+	for i := 0; pp.Quarantined() == 0; i++ {
+		if i > 200 {
+			t.Fatal("dying replica never quarantined")
+		}
+		if _, err := pp.Probe(context.Background(), q); err != nil && !polca.IsTransient(err) {
+			t.Fatalf("probe %d: non-transient %v", i, err)
+		}
+	}
+
+	// While the replica stays dead, probation re-admissions must be
+	// invisible: the one-strike probation probe re-quarantines without
+	// surfacing an error (the live replica re-executes it).
+	deadline := time.Now().Add(2 * time.Second)
+	for pp.Readmitted() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("probation never re-admitted the dead replica: %d readmissions", pp.Readmitted())
+		}
+		if _, err := pp.Probe(context.Background(), q); err != nil {
+			t.Fatalf("probation strike leaked to the caller: %v", err)
+		}
+	}
+	if pp.Quarantined() < 2 {
+		t.Fatalf("still-dead replica not re-quarantined: %d quarantines, %d readmissions",
+			pp.Quarantined(), pp.Readmitted())
+	}
+
+	// The replica recovers (a restarted worker, a healed partition): the
+	// next probation pass re-admits it and it serves traffic again.
+	failing.Store(false)
+	for served.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered replica never served traffic: %d live, %d readmissions",
+				pp.Live(), pp.Readmitted())
+		}
+		if _, err := pp.Probe(context.Background(), q); err != nil {
+			t.Fatalf("probe after recovery failed: %v", err)
+		}
+	}
+	if pp.Live() != 2 {
+		t.Errorf("recovered replica not live: %d live", pp.Live())
+	}
+	if got := <-readmissions; got != 1 {
+		t.Errorf("readmit hook saw replica %d, want 1", got)
+	}
+}
+
+// TestPoolCloseStopsProbation: Close cancels pending probation timers, so a
+// quarantined slot stays out and the pool drains to the terminal error once
+// the last live slot goes.
+func TestPoolCloseStopsProbation(t *testing.T) {
+	pp := poolForTest(t, 2,
+		WithProbationCooldown(time.Minute),
+		WithReplicaWrapper(func(i int, p polca.Prober) polca.Prober {
+			return &flakyProber{inner: p, fail: func() error { return transientErr{} }}
+		}))
+	q := []blocks.Block{"A", "B"}
+	for i := 0; i < 20 && pp.Live() > 0; i++ {
+		pp.Probe(context.Background(), q) //nolint:errcheck // driving to quarantine
+	}
+	if pp.Live() != 0 {
+		t.Fatalf("pool not fully quarantined: %d live", pp.Live())
+	}
+	pp.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := pp.Probe(ctx, q); err == nil {
+		t.Error("closed, fully-quarantined pool answered a probe")
+	}
+	if pp.Readmitted() != 0 {
+		t.Errorf("%d readmissions after Close", pp.Readmitted())
+	}
+}
+
+// TestPoolDarkWithProbationFailsTransiently: when every slot is quarantined
+// while probation is still pending, probes must fail within a bounded wait
+// with a transient error — never park forever on the empty pool (the
+// regression: a learner driving a fully-dead remote fleet hung instead of
+// aborting). Once the replicas heal, probation re-admits them and the pool
+// serves again: dark is a state, not a death sentence.
+func TestPoolDarkWithProbationFailsTransiently(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	pp := poolForTest(t, 2,
+		WithProbationCooldown(10*time.Millisecond),
+		WithReplicaWrapper(func(i int, p polca.Prober) polca.Prober {
+			return &flakyProber{inner: p, fail: func() error {
+				if failing.Load() {
+					return transientErr{}
+				}
+				return nil
+			}}
+		}))
+	t.Cleanup(pp.Close)
+	q := []blocks.Block{"A", "B"}
+
+	// Drive the whole pool dark. Below-threshold failures propagate
+	// transiently on the way down; nothing may surface non-transiently.
+	for i := 0; pp.Live() > 0; i++ {
+		if i > 500 {
+			t.Fatalf("pool never went dark: %d live", pp.Live())
+		}
+		if _, err := pp.Probe(context.Background(), q); err != nil && !polca.IsTransient(err) {
+			t.Fatalf("probe %d: non-transient %v", i, err)
+		}
+	}
+
+	// Dark pool: every probe fails — transiently, and within bounded time.
+	for i := 0; i < 10; i++ {
+		done := make(chan error, 1)
+		go func() {
+			_, err := pp.Probe(context.Background(), q)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatalf("probe %d: dark pool answered", i)
+			}
+			if !polca.IsTransient(err) {
+				t.Fatalf("probe %d: dark pool failed non-transiently: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("probe %d parked on the dark pool", i)
+		}
+	}
+
+	// Recovery: the replicas heal, the next probation pass re-admits them,
+	// and probes succeed again.
+	failing.Store(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := pp.Probe(context.Background(), q); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healed pool never recovered from dark")
+		}
 	}
 }

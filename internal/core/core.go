@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"repro/internal/blocks"
 	"repro/internal/cache"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/polca"
 	"repro/internal/policy"
 	"repro/internal/qstore"
+	"repro/internal/remote"
 	"repro/internal/synth"
 )
 
@@ -34,6 +36,9 @@ type SimResult struct {
 	Machine     *mealy.Machine
 	LearnStats  learn.Stats
 	OracleStats polca.Stats
+	// Fleet carries the distributed-run resilience counters (hedges,
+	// retries, quarantines, per-worker traffic); nil for local runs.
+	Fleet *remote.FleetStats
 }
 
 // SnapshotOptions controls oracle query-store persistence around a
@@ -200,6 +205,26 @@ type SimOptions struct {
 	// policy (polca.DefaultRetryPolicy otherwise). Soak tests use it to
 	// shrink the backoff sleeps; the retry semantics are identical.
 	Retry *polca.RetryPolicy
+	// FleetWorkers lists remote polcaworker addresses (host:port or URL).
+	// When non-empty, the oracle probes a distributed worker fleet
+	// (internal/remote) instead of an in-process simulator: probe batches
+	// fan out over the workers through the health-scored pool, answers
+	// merge back in submission order, and the oracle batches eviction
+	// probes so each Evct costs one round trip. Learned machines and
+	// learner trajectories are bit-identical to a single-box run. The
+	// fleet serves simulator scopes only — it composes with Interpreted
+	// (workers run interpreted engines) but not with Faults (fleet runs
+	// exercise real transport failures, not injected ones).
+	FleetWorkers []string
+	// FleetSlots is the per-worker concurrency of the fleet pool
+	// (remote.FleetOptions.Slots); 0 keeps the default.
+	FleetSlots int
+	// FleetHedge is the straggler hedge delay (remote.FleetOptions.
+	// HedgeAfter); 0 keeps the default, negative disables hedging.
+	FleetHedge time.Duration
+	// FleetLogf, when set, receives fleet resilience events (quarantine,
+	// re-admission, snapshot shipping).
+	FleetLogf func(format string, args ...any)
 }
 
 // SimProber builds the simulator prober for a policy according to the
@@ -241,11 +266,23 @@ func LearnSimulatedSnapshot(ctx context.Context, policyName string, assoc int, o
 // tagging its query store. The polcad daemon (internal/daemon) builds its
 // shared per-(policy, assoc) engines through this seam, so a daemon-served
 // learn is the same pipeline — and produces the same bytes — as cmd/polca.
+// With FleetWorkers configured the oracle's prober is a remote fleet; use
+// NewSimOracleFleet for the fleet handle (warm-up, stats, shutdown).
 func NewSimOracle(policyName string, assoc int, sim SimOptions) (oracle *polca.Oracle, canonical, scope string, err error) {
+	oracle, _, canonical, scope, err = NewSimOracleFleet(policyName, assoc, sim)
+	return oracle, canonical, scope, err
+}
+
+// NewSimOracleFleet is NewSimOracle exposing the fleet handle: nil for
+// local runs, otherwise the remote.Fleet serving as the oracle's prober —
+// the caller owns its lifecycle (Ping/SyncSnapshots before learning, Close
+// after; LearnSimulatedSim does all three).
+func NewSimOracleFleet(policyName string, assoc int, sim SimOptions) (oracle *polca.Oracle, fleet *remote.Fleet, canonical, scope string, err error) {
 	pol, err := policy.New(policyName, assoc)
 	if err != nil {
-		return nil, "", "", err
+		return nil, nil, "", "", err
 	}
+	canonical, scope = pol.Name(), SimSnapshotScope(pol.Name(), assoc)
 	var opts []polca.Option
 	if sim.Batched {
 		opts = append(opts, polca.WithBatchedQueries())
@@ -253,26 +290,61 @@ func NewSimOracle(policyName string, assoc int, sim SimOptions) (oracle *polca.O
 	if sim.Workers > 0 {
 		opts = append(opts, polca.WithParallelism(sim.Workers))
 	}
-	var prober polca.Prober = sim.SimProber(pol)
-	if sim.Faults != nil {
-		prober = faulty.WrapProber(prober, faulty.NewInjector(*sim.Faults))
-		if sim.Faults.FlipRate > 0 {
-			opts = append(opts, polca.WithProbeVotes(3))
-		}
-	}
 	if sim.Retry != nil {
 		opts = append(opts, polca.WithProbeRetries(*sim.Retry))
 	}
-	return polca.NewOracle(prober, opts...), pol.Name(), SimSnapshotScope(pol.Name(), assoc), nil
+	var prober polca.Prober
+	if len(sim.FleetWorkers) > 0 {
+		if sim.Faults != nil {
+			return nil, nil, "", "", fmt.Errorf("core: fault injection and a worker fleet are mutually exclusive (fleet runs exercise real transport failures)")
+		}
+		fleet, err = remote.NewFleet(sim.FleetWorkers, scope, remote.FleetOptions{
+			Slots:      sim.FleetSlots,
+			HedgeAfter: sim.FleetHedge,
+			Retry:      sim.Retry,
+			Logf:       sim.FleetLogf,
+		})
+		if err != nil {
+			return nil, nil, "", "", err
+		}
+		prober = fleet
+		// Group each Evct's eviction probes into one round trip; grouping
+		// never changes answers, so trajectories stay bit-identical.
+		if !sim.Batched {
+			opts = append(opts, polca.WithBatchedQueries())
+		}
+	} else {
+		prober = sim.SimProber(pol)
+		if sim.Faults != nil {
+			prober = faulty.WrapProber(prober, faulty.NewInjector(*sim.Faults))
+			if sim.Faults.FlipRate > 0 {
+				opts = append(opts, polca.WithProbeVotes(3))
+			}
+		}
+	}
+	return polca.NewOracle(prober, opts...), fleet, canonical, scope, nil
 }
 
 // LearnSimulatedSim is LearnSimulatedSnapshot with an explicit simulator
 // configuration — the seam the -compiled toggles of cmd/polca,
 // cmd/experiments and cmd/genmodels thread through.
 func LearnSimulatedSim(ctx context.Context, policyName string, assoc int, opt learn.Options, snap SnapshotOptions, sim SimOptions) (*SimResult, error) {
-	oracle, canonical, scope, err := NewSimOracle(policyName, assoc, sim)
+	oracle, fleet, canonical, scope, err := NewSimOracleFleet(policyName, assoc, sim)
 	if err != nil {
 		return nil, err
+	}
+	if fleet != nil {
+		defer fleet.Close()
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if err := fleet.Ping(ctx); err != nil {
+			return nil, fmt.Errorf("core: fleet warm-up: %w", err)
+		}
+		// Warm-up: level every worker's probe memo to the best snapshot in
+		// the fleet (best-effort), so a replaced or freshly-booted worker
+		// skips re-probing prefixes its peers already measured.
+		fleet.SyncSnapshots(ctx)
 	}
 	if snap.WarmPath != "" {
 		if _, err := LoadOracleSnapshot(oracle, snap.WarmPath, scope, snap.ColdOnDamage); err != nil {
@@ -289,13 +361,18 @@ func LearnSimulatedSim(ctx context.Context, policyName string, assoc int, opt le
 			return nil, err
 		}
 	}
-	return &SimResult{
+	sr := &SimResult{
 		Policy:      canonical,
 		Assoc:       assoc,
 		Machine:     res.Machine,
 		LearnStats:  res.Stats,
 		OracleStats: oracle.Stats(),
-	}, nil
+	}
+	if fleet != nil {
+		st := fleet.Stats()
+		sr.Fleet = &st
+	}
+	return sr, nil
 }
 
 // HardwareRequest configures one §7 learning run against a simulated CPU.

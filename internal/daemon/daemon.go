@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/polca"
 	"repro/internal/policy"
+	"repro/internal/remote"
 )
 
 // Config tunes a Server. The zero value serves queries and jobs from
@@ -106,6 +107,7 @@ type engine struct {
 	policy   string // canonical name
 	assoc    int
 	oracle   *polca.Oracle
+	fleet    *remote.Fleet // nil = local probes; owned by the engine, closed on drain
 	scope    string
 	snapPath string // "" = no persistence
 	warm     bool   // a snapshot was loaded at creation
@@ -162,14 +164,27 @@ func (s *Server) engineFor(policyName string, assoc int) (*engine, error) {
 	if eng, ok := s.engines[key]; ok {
 		return eng, nil
 	}
-	oracle, canonical, scope, err := core.NewSimOracle(policyName, assoc, s.cfg.Sim)
+	oracle, fleet, canonical, scope, err := core.NewSimOracleFleet(policyName, assoc, s.cfg.Sim)
 	if err != nil {
 		return nil, err
+	}
+	if fleet != nil {
+		// Warm-up mirrors LearnSimulatedSim: reachability is fatal (a
+		// misconfigured fleet should fail the first request loudly),
+		// snapshot leveling is best-effort.
+		if err := fleet.Ping(s.baseCtx); err != nil {
+			fleet.Close()
+			return nil, fmt.Errorf("daemon: fleet warm-up: %w", err)
+		}
+		if shipped := fleet.SyncSnapshots(s.baseCtx); shipped > 0 {
+			s.cfg.Logf("daemon: engine %s-%d fleet warm-up shipped %d snapshots", canonical, assoc, shipped)
+		}
 	}
 	eng := &engine{
 		policy:  canonical,
 		assoc:   assoc,
 		oracle:  oracle,
+		fleet:   fleet,
 		scope:   scope,
 		created: time.Now(),
 	}
@@ -242,8 +257,20 @@ func (s *Server) Close(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	s.snapshotEngines()
+	s.closeFleets()
 	s.cfg.Logf("daemon: drained")
 	return err
+}
+
+// closeFleets releases every fleet-backed engine's worker connections.
+func (s *Server) closeFleets() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, eng := range s.engines {
+		if eng.fleet != nil {
+			eng.fleet.Close()
+		}
+	}
 }
 
 // draining reports whether Close has started.

@@ -1,0 +1,164 @@
+package learn
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/mealy"
+	"repro/internal/policy"
+)
+
+// widthTeacher is a batch teacher whose BatchHint changes at runtime, the
+// shape of polca's fleet-backed oracle: the hint tracks how many fleet
+// slots are live, so it shrinks under quarantine and grows back on
+// re-admission. It records the widest batch it was ever asked.
+type widthTeacher struct {
+	*countingTeacher
+
+	mu       sync.Mutex
+	hint     int
+	maxBatch int
+	asks     int
+	onAsk    func(n int)
+}
+
+func (t *widthTeacher) OutputQuery(ctx context.Context, word []int) ([]int, error) {
+	t.mu.Lock()
+	t.asks++
+	n := t.asks
+	cb := t.onAsk
+	t.mu.Unlock()
+	if cb != nil {
+		cb(n)
+	}
+	return t.countingTeacher.OutputQuery(ctx, word)
+}
+
+func (t *widthTeacher) BatchHint() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hint
+}
+
+func (t *widthTeacher) setHint(h int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hint = h
+}
+
+func (t *widthTeacher) OutputQueryBatch(ctx context.Context, words [][]int) ([][]int, error) {
+	t.mu.Lock()
+	if len(words) > t.maxBatch {
+		t.maxBatch = len(words)
+	}
+	t.mu.Unlock()
+	out := make([][]int, len(words))
+	for i, w := range words {
+		ans, err := t.OutputQuery(ctx, w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ans
+	}
+	return out, nil
+}
+
+// TestChunkTracksLiveBatchHint: the conformance loop's prefetch chunk is
+// re-derived from the teacher's live BatchHint instead of frozen at
+// construction — when the advertised width grows (a quarantined fleet
+// worker was re-admitted), subsequent suite runs form wider chunks.
+func TestChunkTracksLiveBatchHint(t *testing.T) {
+	truth, err := mealy.FromPolicy(policy.MustNew("LRU", 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt := &widthTeacher{countingTeacher: newCountingTeacher(truth), hint: 2}
+
+	l := &learner{engine: newEngine(context.Background(), wt, Options{Depth: 1})}
+	if got, want := l.batch, 4*2; got != want {
+		t.Fatalf("constructor-resolved chunk %d, want %d", got, want)
+	}
+	if got, want := l.liveBatch(), 4*2; got != want {
+		t.Fatalf("live chunk %d at hint 2, want %d", got, want)
+	}
+
+	wt.setHint(8)
+	if got, want := l.liveBatch(), 4*8; got != want {
+		t.Errorf("live chunk %d after hint grew to 8, want %d", got, want)
+	}
+	wt.setHint(32)
+	if got, want := l.liveBatch(), MaxBatchSize; got != want {
+		t.Errorf("live chunk %d at hint 32, want the %d cap", got, want)
+	}
+	wt.setHint(2)
+	if got, want := l.liveBatch(), 4*2; got != want {
+		t.Errorf("live chunk %d after the fleet shrank back, want %d", got, want)
+	}
+
+	// An explicit BatchSize pins the chunk regardless of hint churn.
+	pinned := &learner{engine: newEngine(context.Background(), wt, Options{Depth: 1, BatchSize: 7})}
+	wt.setHint(16)
+	if got := pinned.liveBatch(); got != 7 {
+		t.Errorf("explicit BatchSize: live chunk %d, want 7", got)
+	}
+}
+
+// takeMaxBatch returns the widest batch seen so far and resets the gauge.
+func (t *widthTeacher) takeMaxBatch() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.maxBatch
+	t.maxBatch = 0
+	return m
+}
+
+// TestSuiteChunksGrowWithHint: conformance flushes through the same engine
+// widen after the teacher's hint grows mid-run — the chunk is re-derived
+// per suite run, not frozen at construction.
+func TestSuiteChunksGrowWithHint(t *testing.T) {
+	truth, err := mealy.FromPolicy(policy.MustNew("PLRU", 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt := &widthTeacher{countingTeacher: newCountingTeacher(truth), hint: 2}
+	l := &learner{engine: newEngine(context.Background(), wt, Options{Depth: 1})}
+
+	// Distinct valid words per round, so prefetch dedup never shrinks a
+	// chunk below the flush width.
+	mkWords := func(round, n int) [][]int {
+		words := make([][]int, n)
+		for i := 0; i < n; i++ {
+			v := round*1000 + i
+			var w []int
+			for v > 0 {
+				w = append(w, v%truth.NumInputs)
+				v /= truth.NumInputs
+			}
+			words[i] = w
+		}
+		return words
+	}
+
+	// The hypothesis IS the truth machine: no counterexample cuts a
+	// suite run short, so every full chunk travels.
+	if ce, err := l.checkWords(truth, mkWords(1, 60)); err != nil || ce != nil {
+		t.Fatalf("suite against the truth machine: ce=%v err=%v", ce, err)
+	}
+	narrowMax := wt.takeMaxBatch()
+	if narrowMax != 4*2 {
+		t.Errorf("widest flush %d at hint 2, want %d", narrowMax, 4*2)
+	}
+
+	wt.setHint(8)
+	if ce, err := l.checkWords(truth, mkWords(2, 60)); err != nil || ce != nil {
+		t.Fatalf("suite after hint growth: ce=%v err=%v", ce, err)
+	}
+	grownMax := wt.takeMaxBatch()
+	if grownMax != 4*8 {
+		t.Errorf("widest flush %d after the hint grew to 8, want %d", grownMax, 4*8)
+	}
+	if grownMax <= narrowMax {
+		t.Errorf("chunks did not widen with the fleet: %d then %d", narrowMax, grownMax)
+	}
+}

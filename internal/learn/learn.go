@@ -328,6 +328,21 @@ func resolveBatch(t Teacher, opt Options) int {
 	return chunk
 }
 
+// liveBatch re-resolves the prefetch chunk from the teacher's current
+// BatchHint. A fleet-backed oracle's hint tracks its live worker fleet —
+// quarantines shrink it, probation re-admissions grow it back — so the
+// conformance loop re-reads it at every suite run instead of freezing the
+// width observed at construction. Explicit Options.BatchSize and teachers
+// that resolved to the serial path keep the constructor's value: chunking
+// never changes answers or the learning trajectory, only how many queries
+// travel per teacher call.
+func (l *engine) liveBatch() int {
+	if l.opt.BatchSize != 0 || l.batch <= 1 {
+		return l.batch
+	}
+	return resolveBatch(l.teacher, l.opt)
+}
+
 func wordKey(w []int) string {
 	var sb strings.Builder
 	for i, a := range w {

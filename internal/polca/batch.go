@@ -549,3 +549,121 @@ func (o *Oracle) findEvictedBatched(ctx context.Context, bpr ProbeBatcher, ic []
 	}
 	return evicted, nil
 }
+
+// findEvictedTrieBatched is mapOutputTrie's eviction-probe loop grouped
+// into one ProbeBatch call on the memoized trie path — the shape a remote
+// fleet needs: the associativity-many probes of one Evct either answer
+// from the probe trie or ship together as a single round trip instead of
+// associativity sequential ones. Each probe first walks the exact serial
+// memo protocol (hit, join an in-flight execution, or claim the
+// single-flight slot); only the claimed residue is batched. Bookkeeping is
+// per probe identical to the serial loop — memoHits for hits and joins,
+// probesN/accessesN on execution, memo entries recorded under the same
+// trie nodes — so stores, counters and answers match a serial run
+// bit-for-bit. Only error delivery differs, exactly as in
+// findEvictedBatched: a failing batch fails all claimed probes after
+// issuing them, where the serial loop stops at the first.
+func (o *Oracle) findEvictedTrieBatched(ctx context.Context, bpr ProbeBatcher, ic []int32, icN []blocks.Block, cc []int32) (int, error) {
+	n := o.prober.Assoc()
+	ocs := make([]cache.Outcome, n)
+	qs := make([][]blocks.Block, n)
+	pids := make([][]int32, n)
+	type flight struct {
+		i    int
+		node int32
+		fl   *inflightProbe
+	}
+	var claims, waits []flight
+	for i := 0; i < n; i++ {
+		pids[i] = append(append(make([]int32, 0, len(ic)+1), ic...), cc[i])
+		qs[i] = append(append(make([]blocks.Block, 0, len(icN)+1), icN...), blocks.Interned(int(cc[i])))
+		sh := o.pt.Acquire(pids[i])
+		node := sh.Ensure(pids[i])
+		switch {
+		case sh.Has(node):
+			ocs[i] = sh.Val(node).oc
+			o.memoHits.Add(1)
+			sh.Release()
+		case sh.Val(node).fl != nil:
+			fl := sh.Val(node).fl
+			sh.Release()
+			waits = append(waits, flight{i, node, fl})
+		default:
+			fl := &inflightProbe{done: make(chan struct{})}
+			sh.Val(node).fl = fl
+			sh.Release()
+			claims = append(claims, flight{i, node, fl})
+		}
+	}
+	var groupErr error
+	if len(claims) > 0 {
+		sub := make([][]blocks.Block, len(claims))
+		for j, c := range claims {
+			sub[j] = qs[c.i]
+		}
+		res, err := bpr.ProbeBatch(ctx, sub)
+		groupErr = err
+		for j, c := range claims {
+			if err == nil {
+				c.fl.oc = res[j]
+				ocs[c.i] = res[j]
+			} else {
+				c.fl.err = err
+			}
+			sh := o.pt.Acquire(pids[c.i])
+			sh.Val(c.node).fl = nil
+			if err == nil {
+				o.probesN.Add(1)
+				o.accessesN.Add(int64(len(qs[c.i])))
+				sh.Put(c.node, probeVal{oc: c.fl.oc})
+			}
+			sh.Release()
+			close(c.fl.done)
+		}
+	}
+	for _, w := range waits {
+		<-w.fl.done
+		if w.fl.err != nil {
+			if groupErr == nil {
+				groupErr = w.fl.err
+			}
+			continue
+		}
+		o.memoHits.Add(1)
+		ocs[w.i] = w.fl.oc
+	}
+	if groupErr != nil {
+		return 0, groupErr
+	}
+	check := func() (int, error) {
+		evicted := -1
+		for i := 0; i < n; i++ {
+			if ocs[i] == cache.Miss {
+				if evicted != -1 {
+					return 0, fmt.Errorf("%w: blocks %s and %s both evicted by one miss",
+						ErrNondeterministic, blocks.Interned(int(cc[evicted])), blocks.Interned(int(cc[i])))
+				}
+				evicted = i
+			}
+		}
+		if evicted == -1 {
+			return 0, fmt.Errorf("%w: no resident block evicted by a miss", ErrNondeterministic)
+		}
+		return evicted, nil
+	}
+	evicted, err := check()
+	if err != nil {
+		// An inconsistent eviction group means at least one probe in it is
+		// wrong — re-measure the whole group serially (correcting the memo,
+		// exactly as the serial scan's refresh pass) before giving up.
+		for i := 0; i < n; i++ {
+			poc, rerr := o.reprobe(ctx, qs[i], pids[i])
+			if rerr != nil {
+				return 0, rerr
+			}
+			ocs[i] = poc
+		}
+		evicted, err = check()
+	}
+	return evicted, err
+}

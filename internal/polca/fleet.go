@@ -1,0 +1,30 @@
+package polca
+
+// FleetWidther marks a Prober backed by a dynamically sized worker fleet
+// (internal/remote's Fleet): FleetWidth reports how many fleet slots are
+// live right now, shrinking when workers are quarantined and growing back
+// when probation re-admits them. The oracle scales its BatchHint — and its
+// batch fan-out — to the live width, so the learner's prefetch chunks keep
+// every healthy worker busy instead of sizing to a constant or to local
+// CPU count (a remote fleet is I/O bound; GOMAXPROCS says nothing about
+// it).
+type FleetWidther interface {
+	FleetWidth() int
+}
+
+// fleetDepth is the sub-batch depth BatchHint provisions per live fleet
+// slot: deep enough that a worker amortizes its HTTP round trip over
+// several probes, shallow enough that a chunk drains before the fleet's
+// health picture goes stale.
+const fleetDepth = 8
+
+// fleetWidth resolves the prober's live fleet width, or 0 when the prober
+// is not fleet-backed.
+func (o *Oracle) fleetWidth() int {
+	if fw, ok := o.prober.(FleetWidther); ok {
+		if w := fw.FleetWidth(); w > 0 {
+			return w
+		}
+	}
+	return 0
+}

@@ -420,8 +420,18 @@ func (o *Oracle) StoreFootprint() (outNodes, probeNodes int) {
 // to the oracle's usable parallelism, so a serial prober keeps the exact
 // serial query trajectory. A batched oracle over a compiled simulator
 // instead advertises a fixed lockstep width: planning whole chunks against
-// the store pays off independently of goroutine parallelism.
+// the store pays off independently of goroutine parallelism. A fleet-backed
+// prober scales the hint to the live fleet width (slots per worker times
+// healthy workers), re-read on every call so chunks widen again when a
+// quarantined worker is re-admitted.
 func (o *Oracle) BatchHint() int {
+	if w := o.fleetWidth(); w > 0 {
+		h := w * fleetDepth
+		if h < batchedHint {
+			h = batchedHint
+		}
+		return h
+	}
 	if o.batched {
 		if sp, ok := o.prober.(*SimProber); ok && sp.tab != nil {
 			return batchedHint
@@ -432,6 +442,8 @@ func (o *Oracle) BatchHint() int {
 
 // parallelism reports how many goroutines a batch may use against the
 // underlying prober: 1 unless the prober explicitly supports concurrency.
+// A fleet-backed prober gets one goroutine per live fleet slot — the work
+// is I/O bound, so local CPU count is the wrong ceiling.
 func (o *Oracle) parallelism() int {
 	concurrent := false
 	if _, ok := o.prober.(ForkingProber); ok {
@@ -444,6 +456,9 @@ func (o *Oracle) parallelism() int {
 	}
 	if o.workers > 0 {
 		return o.workers
+	}
+	if w := o.fleetWidth(); w > 0 {
+		return w
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -693,6 +708,8 @@ func (o *Oracle) OutputQueryBatch(ctx context.Context, words [][]int) ([][]int, 
 		return out, nil
 	}
 	errs := make([]error, len(words))
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -700,10 +717,15 @@ func (o *Oracle) OutputQueryBatch(ctx context.Context, words [][]int) ([][]int, 
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				// OutputQuery checks ctx up front, so cancelled batches
-				// drain their remaining indices without prober work and
-				// every worker exits through the channel close.
-				out[i], errs[i] = o.OutputQuery(ctx, words[i])
+				// OutputQuery checks ctx up front, so a batch cancelled by
+				// its first failure drains its remaining indices without
+				// prober work and every worker exits through the channel
+				// close — one exhausted retry ladder fails the batch, the
+				// other words do not each pay their own.
+				out[i], errs[i] = o.OutputQuery(bctx, words[i])
+				if errs[i] != nil {
+					cancel()
+				}
 			}
 		}()
 	}
@@ -712,10 +734,23 @@ func (o *Oracle) OutputQueryBatch(ctx context.Context, words [][]int) ([][]int, 
 	}
 	close(next)
 	wg.Wait()
+	// Report the first real failure in submission order; the cancellations
+	// it inflicted on the rest of the batch are collateral, surfaced only
+	// when nothing better exists (the caller itself was cancelled).
+	var cancelled error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
 			return nil, err
 		}
+		if cancelled == nil {
+			cancelled = err
+		}
+	}
+	if cancelled != nil {
+		return nil, cancelled
 	}
 	return out, nil
 }
@@ -1137,7 +1172,10 @@ func (o *Oracle) probesQueryTrie(ctx context.Context, word []int) ([]int, error)
 }
 
 // mapOutputTrie maps a cache outcome back to a policy output on the trie
-// probe path, issuing the findEvicted probes by block id.
+// probe path, issuing the findEvicted probes by block id. On a batched
+// oracle over a ProbeBatcher (a remote fleet, a replica pool) the
+// eviction-probe group ships as one grouped call with identical memo and
+// counter bookkeeping — see findEvictedTrieBatched.
 func (o *Oracle) mapOutputTrie(ctx context.Context, ip int, oc cache.Outcome, ic []int32, icN []blocks.Block, cc []int32) (int, error) {
 	n := o.prober.Assoc()
 	if ip < n { // Ln(i): the block is cached, the access must hit
@@ -1162,6 +1200,9 @@ func (o *Oracle) mapOutputTrie(ctx context.Context, ip int, oc cache.Outcome, ic
 		if roc != cache.Miss {
 			return 0, fmt.Errorf("%w: access to fresh block %s hit", ErrNondeterministic, icN[len(icN)-1])
 		}
+	}
+	if bpr, ok := o.prober.(ProbeBatcher); ok && o.batched {
+		return o.findEvictedTrieBatched(ctx, bpr, ic, icN, cc)
 	}
 	scan := func(refresh bool) (int, error) {
 		evicted := -1
