@@ -3,8 +3,14 @@
 // the promote/evict/insert/normalize rule grammar for an exactly
 // trace-equivalent program.
 //
+// The search is the parallel CEGIS pipeline of internal/synth: candidates
+// are sharded over -parallelism workers in enumeration order and filtered
+// in batches on the SoA witness kernel, and the synthesized program is
+// byte-identical at any worker count.
+//
 //	cqsynth -policy New2 -assoc 4
 //	cqsynth -policy LRU -assoc 4 -template simple
+//	cqsynth -policy SRRIP-FP -parallelism 8
 //	cqsynth -in learned.json            # explain a saved model
 package main
 
@@ -25,6 +31,9 @@ func main() {
 	assoc := flag.Int("assoc", 4, "associativity")
 	template := flag.String("template", "auto", "template: auto, simple, extended")
 	list := flag.Bool("list", false, "list known policies")
+	parallelism := flag.Int("parallelism", 0, "search workers sharing the candidate space (0 = GOMAXPROCS); the synthesized program is identical at any setting")
+	seed := flag.Int64("seed", 1, "seed for the random witness traces of the CEGIS prefilter")
+	maxCandidates := flag.Int("max-candidates", 0, "abort after examining this many candidates across all workers (0 = exhaustive)")
 	flag.Parse()
 
 	if *list {
@@ -61,7 +70,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := synth.Options{Seed: 1}
+	opt := synth.Options{Seed: *seed, Parallelism: *parallelism, MaxCandidates: *maxCandidates}
 	switch strings.ToLower(*template) {
 	case "auto":
 	case "simple":
@@ -75,8 +84,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("synthesized with the %s template after %d candidates in %v:\n\n%s",
-		res.Template, res.Candidates, res.Duration.Round(1e6), res.Program)
+	fmt.Printf("synth: %d candidates, %d witnesses, %d pruned-by-batch\n",
+		res.Candidates, res.Witnesses, res.Pruned)
+	fmt.Printf("synthesized with the %s template in %v:\n\n%s",
+		res.Template, res.Duration.Round(1e6), res.Program)
 }
 
 func fatal(err error) {

@@ -1,0 +1,94 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Duel composes two policies into a deterministic, set-local caricature of
+// DIP set dueling: both duelists track every access in lockstep, a
+// saturating PSEL counter advances on each miss where they disagree about
+// the victim, and leadership flips when the counter wraps. The leader's
+// victim is the one the cache acts on.
+//
+// Unlike the hardware-style adaptive wrappers in internal/hw (whose PSEL is
+// a CPU-wide register shared across sets, making a single set's behavior
+// nondeterministic), Duel keeps the counter in the per-set control state:
+// StateKey covers both duelists plus the counter and leader bit, so the
+// composite is a deterministic policy.Policy that can be compiled, learned,
+// and published as a model artifact. The synth.Family zoo generator builds
+// its DuelZ members this way.
+type duel struct {
+	a, b   Policy
+	limit  int // PSEL wrap threshold: 1 << bits
+	psel   int
+	leader int // 0: a leads, 1: b leads
+}
+
+// NewDuel builds the duel composite. Both policies must share an
+// associativity; pselBits (>= 1) sizes the saturating counter.
+func NewDuel(a, b Policy, pselBits int) (Policy, error) {
+	if a.Assoc() != b.Assoc() {
+		return nil, fmt.Errorf("policy: duel of mismatched associativities %d and %d", a.Assoc(), b.Assoc())
+	}
+	if pselBits < 1 {
+		return nil, fmt.Errorf("policy: duel needs at least one PSEL bit")
+	}
+	return &duel{a: a, b: b, limit: 1 << pselBits}, nil
+}
+
+// Name implements Policy.
+func (p *duel) Name() string { return "Duel(" + p.a.Name() + "/" + p.b.Name() + ")" }
+
+// Assoc implements Policy.
+func (p *duel) Assoc() int { return p.a.Assoc() }
+
+// OnHit implements Policy: both duelists observe every hit.
+func (p *duel) OnHit(line int) {
+	p.a.OnHit(line)
+	p.b.OnHit(line)
+}
+
+// OnMiss implements Policy: both duelists pick a victim and update their
+// own control state, and the leader's choice is the one the cache acts on.
+// Disagreement advances PSEL; on wrap, leadership flips. The loser keeps
+// its own bookkeeping (the Policy interface offers no way to impose a
+// victim), so the duelists' views may drift — the composite is still a
+// total, deterministic policy, which is all the zoo needs.
+func (p *duel) OnMiss() int {
+	va := p.a.OnMiss()
+	vb := p.b.OnMiss()
+	victim := va
+	if p.leader == 1 {
+		victim = vb
+	}
+	if va != vb {
+		p.psel++
+		if p.psel >= p.limit {
+			p.psel = 0
+			p.leader = 1 - p.leader
+		}
+	}
+	return victim
+}
+
+// Reset implements Policy.
+func (p *duel) Reset() {
+	p.a.Reset()
+	p.b.Reset()
+	p.psel = 0
+	p.leader = 0
+}
+
+// StateKey implements Policy: the composite control state is the pair of
+// duelist states plus the counter and leader.
+func (p *duel) StateKey() string {
+	return p.a.StateKey() + "|" + p.b.StateKey() + "|" + strconv.Itoa(p.psel) + "," + strconv.Itoa(p.leader)
+}
+
+// Clone implements Policy.
+func (p *duel) Clone() Policy {
+	return &duel{a: p.a.Clone(), b: p.b.Clone(), limit: p.limit, psel: p.psel, leader: p.leader}
+}
+
+var _ Policy = (*duel)(nil)

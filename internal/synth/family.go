@@ -1,0 +1,319 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/permpol"
+	"repro/internal/policy"
+)
+
+// This file generates the randomized policy zoo: families of synthetic
+// replacement policies that stress the learning and synthesis pipelines
+// beyond the hand-written registry. Three kinds are drawn from a seeded
+// deterministic stream:
+//
+//   - RuleZ: random rule programs from the synthesis grammar itself
+//     (promote/evict/insert/normalize over 2-bit ages) — every assoc-4
+//     member is in-grammar by construction, so synthesis must succeed on
+//     it, which makes the zoo a self-checking corpus for the CEGIS search.
+//   - PermZ: random permutation policies over internal/permpol (tie-break
+//     variants in the LRU/FIFO family tree).
+//   - DuelZ: deterministic set-local DIP-style duels (policy.NewDuel) of
+//     accepted RuleZ members.
+//
+// Every member is gated by policy.CompileBound to at most ZooStateCap
+// control states, so the committed model artifacts stay small and the CI
+// freshness regeneration stays fast. Generation is deterministic: the same
+// seed reproduces the same member list (and therefore byte-identical
+// artifacts) on every platform — the generator uses its own splitmix64
+// stream rather than math/rand so no Go release can ever reshuffle the
+// committed zoo.
+
+// FamilySeed is the fixed seed behind the committed zoo artifacts in
+// models/. Changing it regenerates a different zoo, so it moves only when
+// the artifacts are regenerated and recommitted together.
+const FamilySeed = 20260808
+
+// ZooStateCap bounds the compiled state space of every zoo member.
+const ZooStateCap = 1024
+
+// zooMinStates rejects degenerate draws (constant-victim policies and
+// other near-trivial machines).
+const zooMinStates = 4
+
+// FamilyMember is one generated zoo policy.
+type FamilyMember struct {
+	Name   string // artifact base name, e.g. "RuleZ03"
+	Assoc  int
+	Kind   string // "rule", "perm", or "duel"
+	States int    // compiled control-state count (<= ZooStateCap)
+	// Heavy marks members whose learning cross-check is out of routine
+	// budget (the zoo analog of the registry's assoc-8 giants): hundreds
+	// of control states, or a wide input alphabet where the conformance
+	// suite grows by |inputs|^depth whenever the depth-1 suite misses.
+	// cmd/genmodels verifies them by extraction only unless -verify-heavy.
+	Heavy bool
+	// New constructs a fresh instance of the member's policy.
+	New func() policy.Policy
+	// Program is the generating rule program of RuleZ members (nil for
+	// the other kinds): the ground truth their synthesized explanations
+	// are checked against.
+	Program *Program
+}
+
+// familyTargets lists how many members of each kind to accept per
+// associativity. Rule members span every associativity the zoo publishes;
+// permutation orbits exceed ZooStateCap beyond assoc 6 (7! = 5040), so
+// PermZ stops there.
+var familyTargets = []struct {
+	kind   string
+	assoc  int
+	target int
+}{
+	{"rule", 4, 12}, {"rule", 8, 10}, {"rule", 12, 8}, {"rule", 16, 8},
+	{"perm", 4, 6}, {"perm", 6, 4},
+	{"duel", 4, 4}, {"duel", 8, 2}, {"duel", 12, 2}, {"duel", 16, 2},
+}
+
+// Family generates the zoo for a seed: the deterministic member list
+// behind models/ (with seed == FamilySeed), consumed by cmd/genmodels
+// (which writes the artifacts) and TestZooArtifacts (which verifies them)
+// so the two can never drift.
+func Family(seed uint64) []FamilyMember {
+	var members []FamilyMember
+	rules := map[int][]FamilyMember{} // accepted rule members per assoc, for duels
+	counters := map[string]int{}
+	for _, t := range familyTargets {
+		rng := &zooRand{state: seed ^ uint64(t.assoc)<<32 ^ hashString(t.kind)}
+		var batch []FamilyMember
+		switch t.kind {
+		case "rule":
+			batch = drawRules(rng, t.assoc, t.target, counters)
+			rules[t.assoc] = batch
+		case "perm":
+			batch = drawPerms(rng, t.assoc, t.target, counters)
+		case "duel":
+			_ = rng // duels reuse accepted rule members; no fresh draws
+			batch = drawDuels(t.assoc, t.target, counters, rules[t.assoc])
+		}
+		members = append(members, batch...)
+	}
+	for i := range members {
+		members[i].Heavy = zooHeavy(members[i].Assoc, members[i].States)
+	}
+	return members
+}
+
+// zooHeavy decides whether a member's learning cross-check is out of
+// routine budget: large state spaces are expensive everywhere, and at wide
+// alphabets (assoc >= 12 means 13+ inputs) even mid-sized machines blow up
+// the conformance suite when depth escalation kicks in.
+func zooHeavy(assoc, states int) bool {
+	return states > 256 || (assoc >= 12 && states > 64)
+}
+
+// gate compiles a candidate policy and accepts it when its state space
+// lands in [zooMinStates, ZooStateCap].
+func gate(fresh func() policy.Policy) (states int, ok bool) {
+	tbl, err := policy.CompileBound(fresh(), ZooStateCap)
+	if err != nil || tbl.NumStates() < zooMinStates {
+		return 0, false
+	}
+	return tbl.NumStates(), true
+}
+
+const drawAttempts = 2000
+
+func drawRules(rng *zooRand, assoc, target int, counters map[string]int) []FamilyMember {
+	var out []FamilyMember
+	for attempt := 0; attempt < drawAttempts && len(out) < target; attempt++ {
+		prog := randProgram(rng, assoc)
+		states, ok := gate(func() policy.Policy { return NewRulePolicy(prog) })
+		if !ok {
+			continue
+		}
+		name := fmt.Sprintf("RuleZ%02d", counters["rule"])
+		counters["rule"]++
+		out = append(out, FamilyMember{
+			Name: name, Assoc: assoc, Kind: "rule", States: states,
+			New:     func() policy.Policy { return NewRulePolicy(prog) },
+			Program: prog,
+		})
+	}
+	return out
+}
+
+func drawPerms(rng *zooRand, assoc, target int, counters map[string]int) []FamilyMember {
+	var out []FamilyMember
+	for attempt := 0; attempt < drawAttempts && len(out) < target; attempt++ {
+		model := randPermModel(rng, assoc)
+		states, ok := gate(model.Policy)
+		if !ok {
+			continue
+		}
+		name := fmt.Sprintf("PermZ%02d", counters["perm"])
+		counters["perm"]++
+		out = append(out, FamilyMember{
+			Name: name, Assoc: assoc, Kind: "perm", States: states,
+			New: model.Policy,
+		})
+	}
+	return out
+}
+
+// drawDuels pairs up accepted rule members of the same associativity in a
+// deterministic order and keeps the duels whose product state space stays
+// under the cap.
+func drawDuels(assoc, target int, counters map[string]int, rules []FamilyMember) []FamilyMember {
+	var out []FamilyMember
+	pair := 0
+	for i := 0; i < len(rules) && len(out) < target; i++ {
+		for j := i + 1; j < len(rules) && len(out) < target; j++ {
+			bits := 1 + pair%2
+			pair++
+			a, b := rules[i], rules[j]
+			fresh := func() policy.Policy {
+				d, err := policy.NewDuel(a.New(), b.New(), bits)
+				if err != nil {
+					panic(err) // unreachable: same assoc, bits >= 1
+				}
+				return d
+			}
+			states, ok := gate(fresh)
+			if !ok {
+				continue
+			}
+			name := fmt.Sprintf("DuelZ%02d", counters["duel"])
+			counters["duel"]++
+			out = append(out, FamilyMember{
+				Name: name, Assoc: assoc, Kind: "duel", States: states,
+				New: fresh,
+			})
+		}
+	}
+	return out
+}
+
+func randProgram(rng *zooRand, assoc int) *Program {
+	init := make([]int, assoc)
+	for i := range init {
+		init[i] = rng.intn(MaxAge + 1)
+	}
+	proSelf := randSelf(rng, true)
+	proOthers := OthersKind(rng.intn(3))
+	evict := randEvict(rng)
+	insSelf := randSelf(rng, false)
+	insOthers := OthersKind(rng.intn(3))
+	norm := randNorm(rng)
+	return &Program{
+		Assoc:     assoc,
+		Init:      init,
+		Promote:   PromoteRule{Self: proSelf, Others: proOthers},
+		Evict:     evict,
+		Insert:    InsertRule{Self: insSelf, Others: insOthers},
+		Normalize: norm,
+	}
+}
+
+func randSelf(rng *zooRand, allowIfEq bool) SelfUpdate {
+	kinds := 3
+	if allowIfEq {
+		kinds = 4
+	}
+	switch rng.intn(kinds) {
+	case 0:
+		return SelfUpdate{Kind: SelfKeep}
+	case 1:
+		return SelfUpdate{Kind: SelfDecr}
+	case 2:
+		c1 := rng.intn(MaxAge + 1)
+		return SelfUpdate{Kind: SelfSet, C1: c1}
+	default:
+		c1 := rng.intn(MaxAge + 1)
+		c2 := rng.intn(MaxAge + 1)
+		c3 := (c2 + 1 + rng.intn(MaxAge)) % (MaxAge + 1) // c3 != c2
+		return SelfUpdate{Kind: SelfIfEq, C1: c1, C2: c2, C3: c3}
+	}
+}
+
+func randEvict(rng *zooRand) EvictRule {
+	switch rng.intn(3) {
+	case 0:
+		return EvictRule{Kind: EvictMaxLeft}
+	case 1:
+		return EvictRule{Kind: EvictMinLeft}
+	default:
+		c := rng.intn(MaxAge + 1)
+		return EvictRule{Kind: EvictFirstEq, C: c}
+	}
+}
+
+func randNorm(rng *zooRand) NormRule {
+	if rng.intn(2) == 0 {
+		return NormRule{Kind: NormIdentity}
+	}
+	kind := NormAgeUntil
+	if rng.intn(2) == 1 {
+		kind = NormResetUnless
+	}
+	c := rng.intn(MaxAge + 1)
+	except := rng.intn(2) == 1
+	flags := 1 + rng.intn(7)
+	return NormRule{
+		Kind:          kind,
+		C:             c,
+		ExceptTouched: except,
+		AfterHit:      flags&1 != 0,
+		BeforeEvict:   flags&2 != 0,
+		AfterMiss:     flags&4 != 0,
+	}
+}
+
+func randPermModel(rng *zooRand, n int) *permpol.Model {
+	m := &permpol.Model{
+		N:        n,
+		HitPerm:  make([][]int, n),
+		MissPerm: rng.perm(n),
+		InitPos:  rng.perm(n),
+	}
+	for p := range m.HitPerm {
+		m.HitPerm[p] = rng.perm(n)
+	}
+	return m
+}
+
+// zooRand is a splitmix64 stream: tiny, fast, and — unlike math/rand —
+// guaranteed stable across Go releases, which the committed artifacts
+// depend on.
+type zooRand struct{ state uint64 }
+
+func (r *zooRand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *zooRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// perm is a Fisher-Yates shuffle of 0..n-1 on the splitmix stream.
+func (r *zooRand) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}

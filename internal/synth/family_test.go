@@ -1,0 +1,149 @@
+package synth
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/mealy"
+)
+
+// testFamily memoizes one zoo generation for the whole test binary —
+// regeneration costs about a second (it compiles every candidate draw),
+// and several tests walk the member list.
+var testFamily = func() func(t *testing.T) []FamilyMember {
+	var once sync.Once
+	var members []FamilyMember
+	return func(t *testing.T) []FamilyMember {
+		t.Helper()
+		once.Do(func() { members = Family(FamilySeed) })
+		return members
+	}
+}()
+
+// TestFamilyDeterministic regenerates the zoo twice and requires identical
+// member lists — the property the committed artifacts and the nightly
+// regeneration diff depend on.
+func TestFamilyDeterministic(t *testing.T) {
+	a, b := testFamily(t), Family(FamilySeed)
+	if len(a) != len(b) {
+		t.Fatalf("two generations differ in size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Assoc != b[i].Assoc || a[i].Kind != b[i].Kind || a[i].States != b[i].States {
+			t.Errorf("member %d differs across generations: %+v vs %+v", i, a[i], b[i])
+		}
+		if !reflect.DeepEqual(a[i].Program, b[i].Program) {
+			t.Errorf("member %s regenerated a different program", a[i].Name)
+		}
+	}
+}
+
+// TestFamilyShape pins the zoo's coverage: unique names, every kind
+// present, rule members spanning associativities 4 through 16, and every
+// member's compiled state space inside [zooMinStates, ZooStateCap].
+func TestFamilyShape(t *testing.T) {
+	members := testFamily(t)
+	if len(members) < 48 {
+		t.Fatalf("zoo has %d members, want >= 48 (models/ must hold >= 60 artifacts with the registry set)", len(members))
+	}
+	names := map[string]bool{}
+	kinds := map[string]int{}
+	ruleAssocs := map[int]bool{}
+	for _, m := range members {
+		if names[m.Name] {
+			t.Errorf("duplicate member name %s", m.Name)
+		}
+		names[m.Name] = true
+		kinds[m.Kind]++
+		if m.Kind == "rule" {
+			ruleAssocs[m.Assoc] = true
+			if m.Program == nil {
+				t.Errorf("%s: rule member without its generating program", m.Name)
+			}
+		}
+		if m.States < zooMinStates || m.States > ZooStateCap {
+			t.Errorf("%s: %d states, want within [%d, %d]", m.Name, m.States, zooMinStates, ZooStateCap)
+		}
+	}
+	for _, k := range []string{"rule", "perm", "duel"} {
+		if kinds[k] == 0 {
+			t.Errorf("zoo has no %s members", k)
+		}
+	}
+	for _, a := range []int{4, 8, 12, 16} {
+		if !ruleAssocs[a] {
+			t.Errorf("no rule member at associativity %d", a)
+		}
+	}
+}
+
+// TestZooArtifacts verifies the committed zoo model files in models/ stay
+// trace-equivalent to the policies Family regenerates — the zoo twin of
+// mealy.TestModelArtifacts. Under -short (the race-enabled CI leg) members
+// beyond 256 states are skipped; the nightly full run covers all of them.
+func TestZooArtifacts(t *testing.T) {
+	for _, m := range testFamily(t) {
+		if testing.Short() && m.States > 256 {
+			continue
+		}
+		path := filepath.Join("..", "..", "models", fmt.Sprintf("%s-%d.json", m.Name, m.Assoc))
+		fh, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with go run repro/cmd/genmodels)", path, err)
+		}
+		art, err := mealy.Load(fh)
+		fh.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		truth, err := mealy.FromPolicy(m.New(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq, ce := art.Equivalent(truth); !eq {
+			t.Errorf("%s: stale artifact, ce=%v", path, ce)
+		}
+		if art.NumStates != m.States {
+			t.Errorf("%s: artifact has %d states, Family reports %d", path, art.NumStates, m.States)
+		}
+	}
+}
+
+// TestFamilyRuleMembersSynthesize closes the in-grammar loop for the small
+// assoc-4 rule members: the parallel CEGIS search must find a rule program
+// whose compiled machine is exactly the member's. (cmd/genmodels -zoo runs
+// the same check over every assoc-4 rule member, nightly.)
+func TestFamilyRuleMembersSynthesize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second synthesis sweep; cmd/genmodels -zoo covers it nightly")
+	}
+	checked := 0
+	for _, m := range testFamily(t) {
+		if m.Kind != "rule" || m.Assoc != 4 || m.States > 32 {
+			continue
+		}
+		truth, err := mealy.FromPolicy(m.New(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Synthesize(truth, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s (in-grammar by construction): %v", m.Name, err)
+		}
+		compiled, err := mealy.FromPolicy(NewRulePolicy(res.Program), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq, ce := compiled.Equivalent(truth); !eq {
+			t.Errorf("%s: synthesized program diverges, ce=%v", m.Name, ce)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no small assoc-4 rule members to check — zoo shape changed?")
+	}
+}

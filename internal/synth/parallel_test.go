@@ -1,0 +1,270 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/mealy"
+	"repro/internal/policy"
+)
+
+// legs are the search configurations every determinism test compares: the
+// batched kernel at three worker counts plus the legacy interpreted walk.
+// The synthesized program and the Candidates count must be identical on
+// all of them.
+var legs = []struct {
+	name string
+	opt  Options
+}{
+	{"batched-x1", Options{Seed: 1, Parallelism: 1}},
+	{"batched-x4", Options{Seed: 1, Parallelism: 4}},
+	{"batched-x16", Options{Seed: 1, Parallelism: 16}},
+	{"interpreted-x4", Options{Seed: 1, Parallelism: 4, Interpreted: true}},
+}
+
+// TestSynthesisDeterministicAcrossParallelism synthesizes every registered
+// policy at associativity 4 on each leg and requires bit-identical
+// programs and candidate counts: the parallel search must return the
+// first match in enumeration order no matter how the workers interleave.
+// PLRU has no program; its failure must also be identical on every leg.
+// Under -short (the race-enabled CI leg) the sweep shrinks to one
+// Simple-template policy, one Extended one and the inexplicable one.
+func TestSynthesisDeterministicAcrossParallelism(t *testing.T) {
+	names := policy.Names()
+	if testing.Short() {
+		names = []string{"LRU", "SRRIP-FP", "PLRU"}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := mealy.FromPolicy(policy.MustNew(name, 4), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref *Result
+			var refErr error
+			for i, leg := range legs {
+				opt := leg.opt
+				res, err := Synthesize(m, opt)
+				if i == 0 {
+					ref, refErr = res, err
+					continue
+				}
+				if (err == nil) != (refErr == nil) {
+					t.Fatalf("%s: err = %v, %s got %v", leg.name, err, legs[0].name, refErr)
+				}
+				if err != nil {
+					if !errors.Is(err, ErrNoProgram) || !errors.Is(refErr, ErrNoProgram) {
+						t.Fatalf("%s: err = %v, want ErrNoProgram like %v", leg.name, err, refErr)
+					}
+					if res.Candidates != ref.Candidates {
+						t.Errorf("%s exhausted after %d candidates, %s after %d",
+							leg.name, res.Candidates, legs[0].name, ref.Candidates)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(res.Program, ref.Program) {
+					t.Errorf("%s synthesized a different program:\n%s\nvs %s:\n%s",
+						leg.name, res.Program, legs[0].name, ref.Program)
+				}
+				if res.Candidates != ref.Candidates {
+					t.Errorf("%s examined %d candidates, %s %d — the count must be parallelism-invariant",
+						leg.name, res.Candidates, legs[0].name, ref.Candidates)
+				}
+			}
+		})
+	}
+}
+
+// TestSynthesisDeterministicAssoc8 repeats the cross-parallelism check at
+// associativity 8. Most registry policies are outside the 2-bit-age
+// grammar there (LRU-8 and FIFO-8 need 8 recency positions), so the
+// sweep covers the three regimes the grammar admits: MRU-8 (registered,
+// in-grammar) must synthesize identically on every leg; a small
+// in-grammar zoo rule member must synthesize identically on the batched
+// legs (millions of candidates — the interpreted walk is out of test
+// budget); and LRU-8 under a 1000-candidate budget must fail with the
+// same exhaustion error on every leg.
+func TestSynthesisDeterministicAssoc8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("assoc-8 synthesis is seconds-long; skipped under -short")
+	}
+	// MRU-8 is the registered in-grammar representative. Its Extended
+	// stage 1 sweeps 19M seed lanes (~15s batched, minutes interpreted),
+	// so only two batched legs are affordable here.
+	mru, err := mealy.FromPolicy(policy.MustNew("MRU", 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mruRef *Result
+	for i, par := range []int{1, 4} {
+		res, err := Synthesize(mru, Options{Seed: 1, Parallelism: par})
+		if err != nil {
+			t.Fatalf("x%d: MRU-8: %v", par, err)
+		}
+		if i == 0 {
+			mruRef = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Program, mruRef.Program) || res.Candidates != mruRef.Candidates {
+			t.Errorf("x%d: MRU-8 program or candidate count differs from x1", par)
+		}
+	}
+
+	var truth *mealy.Machine
+	for _, m := range testFamily(t) {
+		if m.Kind == "rule" && m.Assoc == 8 && m.States <= 30 {
+			truth, err = mealy.FromPolicy(m.New(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if truth == nil {
+		t.Fatal("no small assoc-8 rule member in the zoo")
+	}
+	var ref *Result
+	for i, par := range []int{1, 4, 16} {
+		res, err := Synthesize(truth, Options{Seed: 1, Parallelism: par})
+		if err != nil {
+			t.Fatalf("x%d: %v", par, err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Program, ref.Program) || res.Candidates != ref.Candidates {
+			t.Errorf("x%d: program or candidate count differs from x1 at assoc 8", par)
+		}
+	}
+
+	// LRU-8 is out of grammar (8 recency positions don't fit 2-bit ages):
+	// a 1000-candidate budget must exhaust identically on every leg. The
+	// Simple template keeps the stage-1 sweep affordable on the
+	// interpreted leg too.
+	lru, err := mealy.FromPolicy(policy.MustNew("LRU", 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refErr error
+	for i, leg := range legs {
+		opt := leg.opt
+		opt.Template = TemplateSimple
+		opt.MaxCandidates = 1000
+		_, err := Synthesize(lru, opt)
+		if err == nil {
+			t.Fatalf("%s: budget of 1000 not enforced at assoc 8", leg.name)
+		}
+		if i == 0 {
+			refErr = err
+			continue
+		}
+		if err.Error() != refErr.Error() {
+			t.Errorf("%s: budget error %q differs from %s's %q", leg.name, err, legs[0].name, refErr)
+		}
+	}
+}
+
+// TestCandidateBudgetIsGlobal pins the budget semantics under parallel
+// search: Candidates reports the enumeration prefix the serial search
+// would examine, so a budget of exactly that many candidates succeeds and
+// one less fails — at every parallelism, with the same error text.
+func TestCandidateBudgetIsGlobal(t *testing.T) {
+	m, err := mealy.FromPolicy(policy.MustNew("SRRIP-FP", 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Synthesize(m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leg := range legs {
+		exact := leg.opt
+		exact.MaxCandidates = ref.Candidates
+		res, err := Synthesize(m, exact)
+		if err != nil {
+			t.Fatalf("%s: budget of exactly Candidates (%d) failed: %v", leg.name, ref.Candidates, err)
+		}
+		if !reflect.DeepEqual(res.Program, ref.Program) {
+			t.Errorf("%s: budget-capped search returned a different program", leg.name)
+		}
+
+		starved := leg.opt
+		starved.MaxCandidates = ref.Candidates - 1
+		_, err = Synthesize(m, starved)
+		want := fmt.Sprintf("synth: candidate budget of %d exhausted", ref.Candidates-1)
+		if err == nil || err.Error() != want {
+			t.Errorf("%s: starved budget err = %v, want %q", leg.name, err, want)
+		}
+	}
+}
+
+// TestWitnessPoolConcurrentPublish hammers the shared witness pool from
+// many goroutines under -race: duplicate words must be deduplicated to a
+// single pool entry, and snapshots must be prefix-stable (an index handed
+// out once always refers to the same witness).
+func TestWitnessPoolConcurrentPublish(t *testing.T) {
+	const goroutines = 16
+	const words = 64
+	p := newWitnessPool(5)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < words; i++ {
+				w := witness{
+					word: []int{i % 5, (i + g) % 5, i % 3},
+					want: []int{i % 4, (i + g) % 4, i % 4},
+				}
+				p.publish(w)
+				// Snapshots taken mid-publication must stay prefix-stable.
+				snap := p.snapshot()
+				if len(snap) > 0 {
+					_ = snap[len(snap)-1]
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := p.snapshot()
+	seen := map[string]int{}
+	for i, w := range snap {
+		k := fmt.Sprint(w.word, w.want)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("witness %v published twice (indices %d and %d)", w.word, prev, i)
+		}
+		seen[k] = i
+	}
+	if p.size() != len(snap) {
+		t.Errorf("size() = %d, snapshot has %d", p.size(), len(snap))
+	}
+}
+
+// TestPLRUNoProgramParallel requires the parallel search to exhaust the
+// grammar promptly for PLRU (the paper's inexplicable policy) and report
+// the same examined-candidate count as the serial walk.
+func TestPLRUNoProgramParallel(t *testing.T) {
+	m, err := mealy.FromPolicy(policy.MustNew("PLRU", 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err1 := Synthesize(m, Options{Seed: 1, Parallelism: 1})
+	wide, err16 := Synthesize(m, Options{Seed: 1, Parallelism: 16})
+	if !errors.Is(err1, ErrNoProgram) || !errors.Is(err16, ErrNoProgram) {
+		t.Fatalf("errs = %v / %v, want ErrNoProgram", err1, err16)
+	}
+	if serial == nil || wide == nil {
+		t.Fatal("ErrNoProgram must still report the search statistics")
+	}
+	if serial.Candidates != wide.Candidates {
+		t.Errorf("exhaustion examined %d candidates serially, %d at x16", serial.Candidates, wide.Candidates)
+	}
+	if err1.Error() != err16.Error() {
+		t.Errorf("exhaustion error differs: %q vs %q", err1, err16)
+	}
+}

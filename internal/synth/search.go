@@ -4,6 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mealy"
@@ -44,20 +48,56 @@ type Options struct {
 	// surviving candidate must be rejected by a full product check (the
 	// ablation benchmarks use this). 0 means the default of 40.
 	SeedWitnesses int
-	// MaxCandidates aborts the search early (0 = exhaustive).
+	// MaxCandidates aborts the search early (0 = exhaustive). The budget
+	// counts globally examined stage-2 candidates in enumeration order —
+	// under parallel search the workers share one cap on the enumeration
+	// prefix, so success or budget exhaustion is identical at any
+	// Parallelism.
 	MaxCandidates int
+	// Parallelism is the number of search workers sharing the candidate
+	// space (0 = GOMAXPROCS). Workers claim contiguous enumeration-order
+	// chunks and the lowest-indexed verified candidate wins, so the
+	// synthesized program is byte-identical at any setting.
+	Parallelism int
+	// Interpreted replaces the batched SoA witness kernel with the legacy
+	// per-candidate interpreted walk (one Program execution per candidate
+	// per witness). The ablation benchmarks use this; results are
+	// identical either way.
+	Interpreted bool
 }
 
 // Result is a successful synthesis outcome.
 type Result struct {
-	Program    *Program
-	Template   Template // the template that produced the program
-	Candidates int      // candidates examined across both passes
-	Duration   time.Duration
+	Program  *Program
+	Template Template // the template that produced the program
+	// Candidates is the enumeration-order prefix examined: the winning
+	// candidate's global index + 1 on success (prior templates included),
+	// the whole space on exhaustion. It is identical at any Parallelism.
+	Candidates int
+	// Witnesses is the size of the shared witness pool when the search
+	// stopped: seed traces plus published counterexamples.
+	Witnesses int
+	// Pruned counts stage-2 candidates rejected by the witness prefilter
+	// before any product check. Unlike Candidates it may vary with
+	// Parallelism (workers racing the winner prune a few extra lanes).
+	Pruned   int64
+	Duration time.Duration
 }
 
 // Synthesize searches the rule grammar for a program that is exactly
 // trace-equivalent to the policy machine m (inputs Ln(0..n-1), Evct).
+//
+// The search is a parallel CEGIS pipeline: stage 1 shards the
+// (evict × insert × normalize × init) skeleton grammar over
+// Options.Parallelism workers that filter init lanes through an
+// eviction-only witness on the batched SoA kernel; stage 2 shards the
+// surviving skeletons, filters promotion lanes through the shared witness
+// pool, and product-checks the survivors, publishing counterexamples back
+// to the pool. Selection is first-match-in-enumeration-order (the lowest
+// verified global index wins), which makes the synthesized program —
+// and Result.Candidates — byte-identical at any parallelism: witness
+// filtering is sound, so the set of candidates that verify does not depend
+// on when counterexamples were discovered.
 func Synthesize(m *mealy.Machine, opt Options) (*Result, error) {
 	n := m.NumInputs - 1
 	if n < 2 {
@@ -73,25 +113,41 @@ func Synthesize(m *mealy.Machine, opt Options) (*Result, error) {
 	case TemplateExtended:
 		templates = []Template{TemplateExtended}
 	}
+	consumed := 0 // stage-2 candidates consumed by earlier templates
 	for _, tpl := range templates {
-		prog, err := s.search(tpl)
-		if err != nil {
-			return nil, err
+		budget := 0
+		if opt.MaxCandidates > 0 {
+			budget = opt.MaxCandidates - consumed
+			if budget <= 0 {
+				return nil, fmt.Errorf("synth: candidate budget of %d exhausted", opt.MaxCandidates)
+			}
 		}
+		prog, examined, total := s.searchTemplate(tpl, budget)
 		if prog != nil {
 			return &Result{
 				Program:    prog,
 				Template:   tpl,
-				Candidates: s.candidates,
+				Candidates: consumed + examined,
+				Witnesses:  s.pool.size(),
+				Pruned:     s.pruned.Load(),
 				Duration:   time.Since(start),
 			}, nil
 		}
+		if budget > 0 && total > budget {
+			return nil, fmt.Errorf("synth: candidate budget of %d exhausted", opt.MaxCandidates)
+		}
+		consumed += total
 	}
 	// Exhausted: return the search statistics alongside the error so
 	// harnesses can report the cost of proving inexplainability (the
 	// paper's PLRU row).
-	return &Result{Candidates: s.candidates, Duration: time.Since(start)},
-		fmt.Errorf("%w (%d candidates examined)", ErrNoProgram, s.candidates)
+	return &Result{
+			Candidates: consumed,
+			Witnesses:  s.pool.size(),
+			Pruned:     s.pruned.Load(),
+			Duration:   time.Since(start),
+		},
+		fmt.Errorf("%w (%d candidates examined)", ErrNoProgram, consumed)
 }
 
 // witness is one input word with the machine's expected outputs.
@@ -101,16 +157,21 @@ type witness struct {
 }
 
 type searcher struct {
-	m          *mealy.Machine
-	n          int
-	opt        Options
-	missOnly   witness   // Evct^k — the stage-1 filter
-	traces     []witness // CEGIS witness set (grows with counterexamples)
-	candidates int
+	m        *mealy.Machine
+	n        int
+	opt      Options
+	workers  int
+	missOnly witness // Evct^k — the stage-1 filter
+	pool     *witnessPool
+	pruned   atomic.Int64
 }
 
 func newSearcher(m *mealy.Machine, n int, opt Options) *searcher {
-	s := &searcher{m: m, n: n, opt: opt}
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &searcher{m: m, n: n, opt: opt, workers: workers, pool: newWitnessPool(m.NumInputs)}
 	// Stage-1 witness: a long eviction-only word, which constrains the
 	// evict/insert/normalize rules and the initial state independently of
 	// the promotion rule.
@@ -122,20 +183,20 @@ func newSearcher(m *mealy.Machine, n int, opt Options) *searcher {
 	s.missOnly = witness{word: word, want: m.Run(word)}
 
 	// Seed witnesses: deterministic structured words plus random ones.
+	// SeedWitnesses < 0 starts the pool empty (pure CEGIS: every witness
+	// must be discovered as a counterexample).
+	if opt.SeedWitnesses < 0 {
+		return s
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	add := func(w []int) {
-		s.traces = append(s.traces, witness{word: w, want: m.Run(w)})
+		s.pool.publish(witness{word: w, want: m.Run(w)})
 	}
 	for line := 0; line < n; line++ {
-		w := []int{line, evct, line, evct, evct, line, evct}
-		add(w)
+		add([]int{line, evct, line, evct, evct, line, evct})
 	}
 	seeds := opt.SeedWitnesses
-	switch {
-	case seeds < 0:
-		s.traces = nil // pure CEGIS: learn witnesses from counterexamples only
-		seeds = 0
-	case seeds == 0:
+	if seeds == 0 {
 		seeds = 40
 	}
 	for i := 0; i < seeds; i++ {
@@ -148,7 +209,8 @@ func newSearcher(m *mealy.Machine, n int, opt Options) *searcher {
 	return s
 }
 
-// matches runs the candidate program on a witness.
+// matches runs the candidate program on a witness (the interpreted walk;
+// the batched kernel in kernel.go is the default).
 func matches(prog *Program, w witness) bool {
 	ages := append([]int(nil), prog.Init...)
 	for i, in := range w.word {
@@ -166,8 +228,327 @@ func matches(prog *Program, w witness) bool {
 	return true
 }
 
+// grammar is the enumerated rule space of one template, with every
+// dimension in its canonical enumeration order. The global candidate
+// numbering — stage-1 skeletons ordered (evict, insertSelf, insertOthers,
+// norm, init), stage-2 candidates (skeleton, promoteSelf, promoteOthers) —
+// is the contract that keeps parallel search deterministic.
+type grammar struct {
+	n        int
+	selves   []SelfUpdate // promotion self-updates
+	inSelves []SelfUpdate // insertion self-updates (no SelfIfEq)
+	others   []OthersKind
+	evicts   []EvictRule
+	norms    []NormRule
+	inits    [][]int
+	initFlat []uint8 // inits flattened for the SoA kernel's lane loads
+	// Miss-path norm classes: on the eviction-only stage-1 witness the
+	// AfterHit flag never fires, so norms differing only in it behave
+	// identically. classes holds one representative per distinct
+	// (kind, C, except, BeforeEvict, AfterMiss) behavior (113 extended
+	// norms collapse to 49) and classOf maps each norm to its class.
+	classes []NormRule
+	classOf []int32
+}
+
+// missClassKey canonicalizes a norm rule to its stage-1 behavior class:
+// the AfterHit flag is dropped, and rules that never fire on a miss
+// collapse to the identity.
+func missClassKey(nr NormRule) NormRule {
+	if nr.Kind == NormIdentity || (!nr.BeforeEvict && !nr.AfterMiss) {
+		return NormRule{}
+	}
+	return NormRule{Kind: nr.Kind, C: nr.C, ExceptTouched: nr.ExceptTouched,
+		BeforeEvict: nr.BeforeEvict, AfterMiss: nr.AfterMiss}
+}
+
+func newGrammar(tpl Template, n int) *grammar {
+	selves := enumerateSelf()
+	var inSelves []SelfUpdate
+	for _, u := range selves {
+		if u.Kind != SelfIfEq {
+			// Insertion with a conditional self-update is outside the
+			// paper's insertion grammar.
+			inSelves = append(inSelves, u)
+		}
+	}
+	g := &grammar{
+		n:        n,
+		selves:   selves,
+		inSelves: inSelves,
+		others:   othersKinds,
+		evicts:   enumerateEvict(),
+		norms:    enumerateNorm(tpl),
+		inits:    enumerateInits(n),
+	}
+	g.initFlat = make([]uint8, len(g.inits)*n)
+	for i, init := range g.inits {
+		for j, a := range init {
+			g.initFlat[i*n+j] = uint8(a)
+		}
+	}
+	g.classOf = make([]int32, len(g.norms))
+	seen := make(map[NormRule]int32)
+	for i, nr := range g.norms {
+		key := missClassKey(nr)
+		cls, ok := seen[key]
+		if !ok {
+			cls = int32(len(g.classes))
+			g.classes = append(g.classes, key)
+			seen[key] = cls
+		}
+		g.classOf[i] = cls
+	}
+	return g
+}
+
+// comboRules decodes a stage-1 rule-combo index into its rules, inverting
+// the (evict, insertSelf, insertOthers, norm) enumeration order.
+func (g *grammar) comboRules(c int) (EvictRule, InsertRule, NormRule) {
+	nr := g.norms[c%len(g.norms)]
+	c /= len(g.norms)
+	io := g.others[c%len(g.others)]
+	c /= len(g.others)
+	is := g.inSelves[c%len(g.inSelves)]
+	c /= len(g.inSelves)
+	return g.evicts[c], InsertRule{Self: is, Others: io}, nr
+}
+
+// skeleton is one stage-1 survivor: a rule combo plus an init vector, both
+// as indices into the grammar.
+type skeleton struct{ combo, init int32 }
+
+// searchTemplate runs the two-stage parallel enumeration for one template.
+// It returns the winning program with its examined-prefix length, or
+// (nil, 0, total) where total is the template's stage-2 candidate count.
+// budget > 0 caps the examined stage-2 prefix.
+func (s *searcher) searchTemplate(tpl Template, budget int) (*Program, int, int) {
+	g := newGrammar(tpl, s.n)
+	skeletons := s.stage1(g)
+	perSk := len(g.selves) * len(g.others)
+	total := len(skeletons) * perSk
+	limit := total
+	if budget > 0 && budget < total {
+		limit = budget
+	}
+	if limit == 0 {
+		return nil, 0, total
+	}
+	prog, idx := s.stage2(g, skeletons, limit, perSk)
+	if prog != nil {
+		return prog, idx + 1, total
+	}
+	return nil, 0, total
+}
+
+// parallelFor runs fn over [0, units) with the searcher's workers claiming
+// indices from a shared atomic cursor.
+func (s *searcher) parallelFor(units int, fn func(worker, unit int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1) - 1)
+				if u >= units {
+					return
+				}
+				fn(worker, u)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// stage1 filters the skeleton grammar through the eviction-only witness.
+// The batched path factors the space: phase A computes the symbol-0
+// surviving seed lanes once per (evict, norm-class) pair — the first victim
+// is independent of the insert rule — and phase B continues each seed set
+// under every (insertSelf, insertOthers, class) triple. Both phases shard
+// over the workers through an atomic cursor, and results land in
+// per-unit slots, so the flattened skeleton list is in enumeration order
+// regardless of which worker processed which unit. The interpreted path
+// walks every (combo, init) candidate through matches() instead.
+func (s *searcher) stage1(g *grammar) []skeleton {
+	nEv, nIS, nIO := len(g.evicts), len(g.inSelves), len(g.others)
+	nNorm, nCls := len(g.norms), len(g.classes)
+	nCombos := nEv * nIS * nIO * nNorm
+
+	var sks []skeleton
+	if s.opt.Interpreted {
+		surv := make([][]int32, nCombos)
+		s.parallelFor(nCombos, func(_, c int) {
+			ev, ins, nr := g.comboRules(c)
+			probe := &Program{Assoc: s.n, Evict: ev, Insert: ins, Normalize: nr}
+			var out []int32
+			for i, init := range g.inits {
+				probe.Init = init
+				if matches(probe, s.missOnly) {
+					out = append(out, int32(i))
+				}
+			}
+			surv[c] = out
+		})
+		for c, list := range surv {
+			for _, init := range list {
+				sks = append(sks, skeleton{combo: int32(c), init: init})
+			}
+		}
+		return sks
+	}
+
+	seeds := make([]seedLanes, nEv*nCls)
+	s.parallelFor(nEv*nCls, func(_, u int) {
+		seeds[u] = stage1Seeds(g, g.evicts[u/nCls], g.classes[u%nCls], s.missOnly.want[0])
+	})
+
+	blocks := make([]*laneBlock, s.workers)
+	for i := range blocks {
+		blocks[i] = &laneBlock{}
+	}
+	cont := make([][]int32, nEv*nIS*nIO*nCls)
+	s.parallelFor(len(cont), func(worker, u int) {
+		cls := u % nCls
+		rest := u / nCls
+		io := rest % nIO
+		rest /= nIO
+		is := rest % nIS
+		ev := rest / nIS
+		ins := InsertRule{Self: g.inSelves[is], Others: g.others[io]}
+		cont[u] = stage1Continue(blocks[worker], g, seeds[ev*nCls+cls],
+			g.evicts[ev], ins, g.classes[cls], s.missOnly)
+	})
+
+	for c := 0; c < nCombos; c++ {
+		nr := c % nNorm
+		rest := c / nNorm
+		u := rest*nCls + int(g.classOf[nr])
+		for _, init := range cont[u] {
+			sks = append(sks, skeleton{combo: int32(c), init: init})
+		}
+	}
+	return sks
+}
+
+// stage2 shards the surviving skeletons over the workers. Each claimed
+// skeleton is one SoA block: its promotion lanes are filtered through a
+// fresh snapshot of the shared witness pool, and the survivors are
+// product-checked in ascending order. The lowest verified global index
+// wins; workers skip any candidate at or above the current best, and
+// failed checks publish their counterexample to the pool.
+func (s *searcher) stage2(g *grammar, skeletons []skeleton, limit, perSk int) (*Program, int) {
+	numSk := (limit + perSk - 1) / perSk
+	no := len(g.others)
+	var nextSk atomic.Int64
+	var bestIdx atomic.Int64
+	bestIdx.Store(int64(limit))
+	var mu sync.Mutex
+	var bestProg *Program
+	record := func(prog *Program, idx int) {
+		mu.Lock()
+		if int64(idx) < bestIdx.Load() {
+			bestIdx.Store(int64(idx))
+			bestProg = prog
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bk := &laneBlock{}
+			// Adaptive witness ordering: most-rejecting witnesses first
+			// (stage2Batch accumulates kill counts). Survivor sets are
+			// order-independent, so this only shortens the walk.
+			var order []int32
+			var kills []int64
+			for {
+				k := int(nextSk.Add(1) - 1)
+				if k >= numSk {
+					return
+				}
+				base := k * perSk
+				if int64(base) >= bestIdx.Load() {
+					continue // a lower-indexed candidate already verified
+				}
+				sk := skeletons[k]
+				ev, ins, nr := g.comboRules(int(sk.combo))
+				init := g.inits[sk.init]
+				lanes := min(perSk, limit-base)
+				traces := s.pool.snapshot()
+				if !s.opt.Interpreted {
+					// Pool snapshots are prefix-stable (publication only
+					// appends), so witness indices and their kill counts
+					// survive pool growth.
+					for i := len(order); i < len(traces); i++ {
+						order = append(order, int32(i))
+						kills = append(kills, 0)
+					}
+					sort.SliceStable(order, func(a, b int) bool {
+						return kills[order[a]] > kills[order[b]]
+					})
+				}
+				if s.opt.Interpreted {
+					probe := &Program{Assoc: s.n, Init: init, Evict: ev, Insert: ins, Normalize: nr}
+					for pl := 0; pl < lanes; pl++ {
+						idx := base + pl
+						if int64(idx) >= bestIdx.Load() {
+							break
+						}
+						probe.Promote = PromoteRule{Self: g.selves[pl/no], Others: g.others[pl%no]}
+						ok := true
+						for _, w := range traces {
+							if !matches(probe, w) {
+								ok = false
+								break
+							}
+						}
+						if !ok {
+							s.pruned.Add(1)
+							continue
+						}
+						prog := *probe
+						if s.verify(&prog) {
+							record(&prog, idx)
+						}
+					}
+					continue
+				}
+				initRow := g.initFlat[int(sk.init)*g.n : (int(sk.init)+1)*g.n]
+				survivors := stage2Batch(bk, g, initRow, ev, ins, nr, lanes, traces, order, kills)
+				s.pruned.Add(int64(lanes - len(survivors)))
+				for _, pl := range survivors {
+					idx := base + int(pl)
+					if int64(idx) >= bestIdx.Load() {
+						break
+					}
+					prog := &Program{
+						Assoc:     s.n,
+						Init:      init,
+						Promote:   PromoteRule{Self: g.selves[int(pl)/no], Others: g.others[int(pl)%no]},
+						Evict:     ev,
+						Insert:    ins,
+						Normalize: nr,
+					}
+					if s.verify(prog) {
+						record(prog, idx)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if bestProg != nil {
+		return bestProg, int(bestIdx.Load())
+	}
+	return nil, 0
+}
+
 // verify performs the exact product-equivalence check; on failure the
-// counterexample joins the witness set.
+// counterexample is published to the shared witness pool.
 func (s *searcher) verify(prog *Program) bool {
 	cand, err := mealy.FromPolicyState(NewRulePolicy(prog), 4*s.m.NumStates+64)
 	if err != nil {
@@ -177,7 +558,7 @@ func (s *searcher) verify(prog *Program) bool {
 	if eq {
 		return true
 	}
-	s.traces = append(s.traces, witness{word: ce, want: s.m.Run(ce)})
+	s.pool.publish(witness{word: ce, want: s.m.Run(ce)})
 	return false
 }
 
@@ -251,83 +632,4 @@ func enumerateInits(n int) [][]int {
 	}
 	rec(0)
 	return out
-}
-
-// missSkeleton is a promotion-independent candidate prefix: everything the
-// eviction-only witness can constrain.
-type missSkeleton struct {
-	init   []int
-	evict  EvictRule
-	insert InsertRule
-	norm   NormRule
-}
-
-// search runs the two-stage enumeration for one template.
-func (s *searcher) search(tpl Template) (*Program, error) {
-	selves := enumerateSelf()
-	evicts := enumerateEvict()
-	norms := enumerateNorm(tpl)
-	inits := enumerateInits(s.n)
-
-	// Stage 1: find all (init, evict, insert, normalize) skeletons
-	// consistent with the eviction-only witness. The promotion rule plays
-	// no role on a hit-free word.
-	var skeletons []missSkeleton
-	probe := &Program{Assoc: s.n}
-	for _, ev := range evicts {
-		for _, insSelf := range selves {
-			if insSelf.Kind == SelfIfEq {
-				continue // insertion with a conditional self-update is
-				// outside the paper's insertion grammar
-			}
-			for _, insOthers := range othersKinds {
-				for _, nr := range norms {
-					for _, init := range inits {
-						probe.Init = init
-						probe.Evict = ev
-						probe.Insert = InsertRule{Self: insSelf, Others: insOthers}
-						probe.Normalize = nr
-						if matches(probe, s.missOnly) {
-							skeletons = append(skeletons, missSkeleton{
-								init: init, evict: ev,
-								insert: probe.Insert, norm: nr,
-							})
-						}
-					}
-				}
-			}
-		}
-	}
-
-	// Stage 2: extend surviving skeletons with promotion rules, prefilter
-	// on the witness set, and verify exactly.
-	for _, sk := range skeletons {
-		for _, proSelf := range selves {
-			for _, proOthers := range othersKinds {
-				s.candidates++
-				if s.opt.MaxCandidates > 0 && s.candidates > s.opt.MaxCandidates {
-					return nil, fmt.Errorf("synth: candidate budget of %d exhausted", s.opt.MaxCandidates)
-				}
-				prog := &Program{
-					Assoc:     s.n,
-					Init:      sk.init,
-					Promote:   PromoteRule{Self: proSelf, Others: proOthers},
-					Evict:     sk.evict,
-					Insert:    sk.insert,
-					Normalize: sk.norm,
-				}
-				ok := true
-				for _, w := range s.traces {
-					if !matches(prog, w) {
-						ok = false
-						break
-					}
-				}
-				if ok && s.verify(prog) {
-					return prog, nil
-				}
-			}
-		}
-	}
-	return nil, nil
 }
